@@ -1,0 +1,38 @@
+//! Criterion bench: relaxed-cost evaluation and gradient computation —
+//! the inner loop of Algorithm 1 — across circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::grad::{Gradient, GradientOptions};
+use sfq_partition::{CostModel, CostWeights, PartitionProblem, WeightMatrix};
+
+fn bench_cost_and_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_inner_loop");
+    for bench in [Benchmark::Ksa4, Benchmark::Ksa8, Benchmark::Ksa16, Benchmark::C432] {
+        let netlist = generate(bench);
+        let problem = PartitionProblem::from_netlist(&netlist, 5).unwrap();
+        let model = CostModel::new(&problem, CostWeights::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = WeightMatrix::random(problem.num_gates(), 5, &mut rng);
+
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", bench.name()),
+            &(&model, &w),
+            |b, (model, w)| b.iter(|| model.evaluate(w)),
+        );
+
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut out = vec![0.0; problem.num_gates() * 5];
+        group.bench_with_input(
+            BenchmarkId::new("gradient", bench.name()),
+            &(&model, &w),
+            |b, (model, w)| b.iter(|| grad.compute(model, w, &mut out)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_and_grad);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: DEF serialisation and parsing round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_cells::CellLibrary;
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_def::{parse_def, write_def};
+
+fn bench_def(c: &mut Criterion) {
+    let mut group = c.benchmark_group("def");
+    group.sample_size(10);
+    for bench in [Benchmark::Ksa8, Benchmark::Ksa16, Benchmark::C432] {
+        let netlist = generate(bench);
+        group.bench_with_input(
+            BenchmarkId::new("write", bench.name()),
+            &netlist,
+            |b, nl| b.iter(|| write_def(nl)),
+        );
+        let text = write_def(&netlist);
+        group.bench_with_input(BenchmarkId::new("parse", bench.name()), &text, |b, t| {
+            b.iter(|| parse_def(t, CellLibrary::calibrated()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_def);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: benchmark-circuit generation (logic construction + SFQ
+//! technology mapping, or calibrated synthesis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_circuits::registry::{generate, Benchmark};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for bench in [
+        Benchmark::Ksa8,
+        Benchmark::Ksa16,
+        Benchmark::Mult4,
+        Benchmark::Id4,
+        Benchmark::C432,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, &x| {
+            b.iter(|| generate(x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

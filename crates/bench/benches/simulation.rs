@@ -1,0 +1,31 @@
+//! Criterion bench: pulse-level simulation throughput (ticks/second) on
+//! mapped arithmetic circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_sim::Simulator;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_tick");
+    for bench in [Benchmark::Ksa4, Benchmark::Ksa8, Benchmark::Mult4] {
+        let netlist = generate(bench);
+        let sim = Simulator::new(&netlist).expect("mapped circuits simulate");
+        let num_inputs = sim.input_names().len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &netlist,
+            |b, _| {
+                let mut sim = sim.clone();
+                let inputs = vec![true; num_inputs];
+                b.iter(|| {
+                    sim.set_inputs(&inputs);
+                    sim.step()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

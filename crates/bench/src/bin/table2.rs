@@ -1,0 +1,41 @@
+//! Regenerates the paper's **Table II**: KSA4 partitioned for K = 5..10.
+//!
+//! The trend under test: as K grows, locality (`d ≤ 1`) falls and the
+//! balance overheads (`I_comp`, `A_FS`) rise, while `B_max` and `A_max`
+//! shrink roughly as `1/K`.
+
+use sfq_bench::{load_circuit, pct, pcts, solve_and_measure, vs};
+use sfq_circuits::registry::Benchmark;
+use sfq_partition::SolverOptions;
+use sfq_report::paper::TABLE_TWO;
+use sfq_report::table::Table;
+
+fn main() {
+    println!("Table II reproduction: KSA4 for K = 5..10");
+    println!("cells are `ours (paper)`\n");
+
+    let mut table = Table::new(vec![
+        "K", "d<=1 %", "d<=floor(K/2) %", "Bmax mA", "Icomp %", "Amax mm2", "Afs %",
+    ]);
+
+    let mut d_half_sum = 0.0;
+    for paper in &TABLE_TWO {
+        let run = load_circuit(Benchmark::Ksa4, paper.k);
+        let m = solve_and_measure(&run.problem, SolverOptions::reproduction());
+        d_half_sum += m.cumulative_fraction_half_k();
+        table.add_row(vec![
+            paper.k.to_string(),
+            vs(pct(m.cumulative_fraction(1)), paper.d1_pct),
+            vs(pct(m.cumulative_fraction_half_k()), paper.d_half_k_pct),
+            vs(pcts(m.b_max, 2), paper.b_max_ma),
+            vs(pcts(m.i_comp_pct, 2), paper.i_comp_pct),
+            vs(format!("{:.4}", m.a_max * 1e-6), paper.a_max_mm2),
+            vs(pcts(m.a_fs_pct, 2), paper.a_fs_pct),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "average d <= floor(K/2), ours (paper): {}% (92.1%)",
+        pct(d_half_sum / TABLE_TWO.len() as f64)
+    );
+}

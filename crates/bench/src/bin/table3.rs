@@ -1,0 +1,85 @@
+//! Regenerates the paper's **Table III**: smallest plane count whose
+//! realized `B_max` fits under the 100 mA bias-pad limit.
+//!
+//! The trends under test: `K_res ≥ K_LB = ⌈B_cir/100 mA⌉` with the gap
+//! growing for larger circuits, and correspondingly growing `I_comp`/`A_FS`.
+//! Also prints the bias-line savings versus a parallel feed (the paper's
+//! "save 30 bias lines" argument after Ono et al.).
+
+use sfq_bench::{load_circuit, pct, pcts, vs};
+use sfq_circuits::registry::Benchmark;
+use sfq_partition::{BiasLimitPlanner, SolverOptions};
+use sfq_recycle::{RecycleOptions, RecyclingPlan};
+use sfq_report::paper::table_three_row;
+use sfq_report::table::Table;
+
+fn main() {
+    let limit_ma = 100.0;
+    println!("Table III reproduction: partitions under B_max <= {limit_ma} mA");
+    println!("cells are `ours (paper)`; KSA4 omitted as in the paper\n");
+
+    let mut table = Table::new(vec![
+        "circuit",
+        "K_LB/K_res",
+        "d<=floor(K/2) %",
+        "Bmax mA",
+        "Icomp %",
+        "Amax mm2",
+        "Afs %",
+        "lines saved",
+    ]);
+
+    for bench in Benchmark::all() {
+        if bench == Benchmark::Ksa4 {
+            continue;
+        }
+        let run = load_circuit(bench, 2);
+        let paper = table_three_row(bench.name()).expect("12 circuits in Table III");
+        // Lighter solver effort per K attempt plus galloping keeps the
+        // largest circuits (our ID8 carries 2x the paper's bias) tractable.
+        let mut solver = SolverOptions::reproduction();
+        solver.restarts = 3;
+        // Beyond ~50 planes the pure-GD relaxation stops resolving balance
+        // (the paper never ran past K = 50 either); fall back to the
+        // refinement-enabled solver there and mark the row with `*`.
+        let planner = BiasLimitPlanner::new(limit_ma, solver)
+            .with_galloping(true)
+            .with_fallback(SolverOptions::tuned(2));
+        let Some(outcome) = planner.plan(&run.problem) else {
+            println!("{}: no feasible plane count found", bench.name());
+            continue;
+        };
+        let m = &outcome.metrics;
+        let sized = run.problem.with_planes(outcome.k_result).expect("k >= 2");
+        let plan = RecyclingPlan::build(
+            &sized,
+            &outcome.partition,
+            &RecycleOptions {
+                allow_empty_planes: true,
+                ..RecycleOptions::default()
+            },
+        )
+        .expect("plan builds for the planner's partition");
+        table.add_row(vec![
+            format!(
+                "{}{}",
+                bench.name(),
+                if outcome.used_fallback { "*" } else { "" }
+            ),
+            vs(
+                format!("{}/{}", outcome.k_lower_bound, outcome.k_result),
+                format!("{}/{}", paper.k_lb, paper.k_res),
+            ),
+            vs(pct(m.cumulative_fraction_half_k()), paper.d_half_k_pct),
+            vs(pcts(m.b_max, 2), paper.b_max_ma),
+            vs(pcts(m.i_comp_pct, 2), paper.i_comp_pct),
+            vs(format!("{:.4}", m.a_max * 1e-6), paper.a_max_mm2),
+            vs(pcts(m.a_fs_pct, 2), paper.a_fs_pct),
+            plan.bias_lines_saved().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("rows marked `*` needed the refinement-enabled fallback solver (K > ~50)");
+    println!("`lines saved` = ceil(B_cir / 100 mA) - 1: serial recycling needs a single line");
+    println!("(the paper's example saves 30 of the 31 lines of Ono et al.'s 2.5 A FFT chip)");
+}

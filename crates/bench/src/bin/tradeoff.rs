@@ -1,0 +1,46 @@
+//! Locality-vs-balance trade-off sweep: the paper fixes `c₁..c₄` and never
+//! shows how the knobs trade interconnect locality against bias/area
+//! balance. This binary sweeps the interconnect weight `c₁` (with
+//! `c₂ = c₃ = 1`) and prints the Pareto front the cost function encodes.
+
+use sfq_bench::{load_circuit, pct, pcts, solve_and_measure};
+use sfq_circuits::registry::Benchmark;
+use sfq_partition::{CostWeights, SolverOptions};
+use sfq_report::table::Table;
+
+fn main() {
+    let bench = Benchmark::Ksa8;
+    let k = 5;
+    let run = load_circuit(bench, k);
+    println!(
+        "Trade-off sweep on {} (G = {}, |E| = {}), K = {k}: interconnect weight c1\n",
+        bench.name(),
+        run.problem.num_gates(),
+        run.problem.num_edges()
+    );
+
+    let mut table = Table::new(vec![
+        "c1", "d<=1 %", "d<=2 %", "cut size", "Icomp %", "Afs %",
+    ]);
+    for c1 in [0.0, 0.25, 1.0, 4.0, 16.0, 64.0] {
+        let mut options = SolverOptions::reproduction();
+        options.weights = CostWeights {
+            c1,
+            ..options.weights
+        };
+        let m = solve_and_measure(&run.problem, options);
+        table.add_row(vec![
+            format!("{c1}"),
+            pct(m.cumulative_fraction(1)),
+            pct(m.cumulative_fraction(2)),
+            m.cut_size().to_string(),
+            pcts(m.i_comp_pct, 2),
+            pcts(m.a_fs_pct, 2),
+        ]);
+    }
+    println!("{table}");
+    println!("c1 = 0 ignores connectivity entirely (balance-only, best I_comp, worst");
+    println!("locality); moderate c1 buys locality cheaply; very large c1 destabilises");
+    println!("the descent (the quartic term's cliffs dominate the gradient) and loses");
+    println!("on both axes. The paper's default (c1 = 1) sits at the knee.");
+}

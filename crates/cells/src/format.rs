@@ -1,0 +1,264 @@
+//! A minimal text format for cell libraries ("liberty-lite").
+//!
+//! Real flows carry bias currents and areas in vendor library files; this
+//! format lets users supply their own numbers without recompiling:
+//!
+//! ```text
+//! library my-foundry ;
+//! cell AND2 { jj 11 ; bias 1.40 ; area 8400 ; }
+//! cell SPLIT { jj 3 ; bias 0.45 ; area 2400 ; }
+//! ```
+//!
+//! `bias` is in mA, `area` in µm². Unknown attributes are rejected (typos
+//! should not silently drop data). `#` starts a line comment.
+
+use std::fmt;
+
+use crate::library::CellLibrary;
+use crate::spec::{CellKind, CellSpec};
+use crate::units::{MilliAmps, SquareMicrons};
+
+/// Error parsing a library file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseLibraryError {
+    line: usize,
+    message: String,
+}
+
+impl ParseLibraryError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseLibraryError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLibraryError {}
+
+/// Parses the text format described in the module docs.
+///
+/// # Errors
+///
+/// Returns an error naming the offending line for unknown cells, unknown
+/// attributes, malformed numbers, missing attributes, or duplicate cells.
+///
+/// # Example
+///
+/// ```
+/// use sfq_cells::{parse_library, CellKind};
+///
+/// let lib = parse_library(
+///     "library toy ;\n cell JTL { jj 2 ; bias 0.25 ; area 1200 ; }\n",
+/// )?;
+/// assert_eq!(lib.name(), "toy");
+/// assert_eq!(lib.spec(CellKind::Jtl).jj_count, 2);
+/// # Ok::<(), sfq_cells::ParseLibraryError>(())
+/// ```
+pub fn parse_library(text: &str) -> Result<CellLibrary, ParseLibraryError> {
+    let mut library: Option<CellLibrary> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.first().copied() {
+            Some("library") => {
+                if library.is_some() {
+                    return Err(ParseLibraryError::new(line_no, "duplicate `library` header"));
+                }
+                let name = tokens
+                    .get(1)
+                    .filter(|&&t| t != ";")
+                    .ok_or_else(|| ParseLibraryError::new(line_no, "missing library name"))?;
+                library = Some(CellLibrary::new(*name));
+            }
+            Some("cell") => {
+                let lib = library
+                    .as_mut()
+                    .ok_or_else(|| ParseLibraryError::new(line_no, "`cell` before `library`"))?;
+                let spec = parse_cell(&tokens, line_no)?;
+                if lib.get(spec.kind).is_some() {
+                    return Err(ParseLibraryError::new(
+                        line_no,
+                        format!("duplicate cell `{}`", spec.kind),
+                    ));
+                }
+                lib.insert(spec);
+            }
+            Some(other) => {
+                return Err(ParseLibraryError::new(
+                    line_no,
+                    format!("unknown statement `{other}`"),
+                ));
+            }
+            None => {}
+        }
+    }
+    library.ok_or_else(|| ParseLibraryError::new(0, "missing `library` header"))
+}
+
+fn parse_cell(tokens: &[&str], line_no: usize) -> Result<CellSpec, ParseLibraryError> {
+    let name = tokens
+        .get(1)
+        .ok_or_else(|| ParseLibraryError::new(line_no, "missing cell name"))?;
+    let kind: CellKind = name
+        .parse()
+        .map_err(|_| ParseLibraryError::new(line_no, format!("unknown cell `{name}`")))?;
+    if tokens.get(2) != Some(&"{") || tokens.last() != Some(&"}") {
+        return Err(ParseLibraryError::new(
+            line_no,
+            "cell body must be `{ attr value ; ... }` on one line",
+        ));
+    }
+    let mut jj: Option<u32> = None;
+    let mut bias: Option<f64> = None;
+    let mut area: Option<f64> = None;
+    let body = &tokens[3..tokens.len() - 1];
+    let mut it = body.iter();
+    while let Some(&attr) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| ParseLibraryError::new(line_no, format!("`{attr}` missing value")))?;
+        if it.next() != Some(&";") {
+            return Err(ParseLibraryError::new(
+                line_no,
+                format!("`{attr}` must end with `;`"),
+            ));
+        }
+        let bad_num =
+            || ParseLibraryError::new(line_no, format!("invalid number `{value}` for `{attr}`"));
+        match attr {
+            "jj" => jj = Some(value.parse().map_err(|_| bad_num())?),
+            "bias" => bias = Some(value.parse().map_err(|_| bad_num())?),
+            "area" => area = Some(value.parse().map_err(|_| bad_num())?),
+            other => {
+                return Err(ParseLibraryError::new(
+                    line_no,
+                    format!("unknown attribute `{other}`"),
+                ));
+            }
+        }
+    }
+    let missing = |what: &str| ParseLibraryError::new(line_no, format!("cell `{name}` missing `{what}`"));
+    Ok(CellSpec::new(
+        kind,
+        jj.ok_or_else(|| missing("jj"))?,
+        MilliAmps::new(bias.ok_or_else(|| missing("bias"))?),
+        SquareMicrons::new(area.ok_or_else(|| missing("area"))?),
+    ))
+}
+
+/// Serialises a library into the text format (round-trips through
+/// [`parse_library`]).
+pub fn write_library(library: &CellLibrary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "library {} ;", library.name());
+    for spec in library.iter() {
+        let _ = writeln!(
+            out,
+            "cell {} {{ jj {} ; bias {} ; area {} ; }}",
+            spec.kind.name(),
+            spec.jj_count,
+            spec.bias_current.as_milliamps(),
+            spec.area.as_square_microns(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_library() {
+        let lib = parse_library(
+            "# comment\nlibrary demo ;\ncell DFF { jj 6 ; bias 0.8 ; area 4800 ; }\n",
+        )
+        .unwrap();
+        assert_eq!(lib.name(), "demo");
+        let dff = lib.spec(CellKind::Dff);
+        assert_eq!(dff.jj_count, 6);
+        assert_eq!(dff.bias_current, MilliAmps::new(0.8));
+        assert_eq!(dff.area, SquareMicrons::new(4800.0));
+    }
+
+    #[test]
+    fn calibrated_round_trips() {
+        let original = CellLibrary::calibrated();
+        let text = write_library(&original);
+        let parsed = parse_library(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let err = parse_library("library l ;\ncell NAND9 { jj 1 ; bias 1 ; area 1 ; }\n")
+            .unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("NAND9"));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err = parse_library("library l ;\ncell JTL { jj 2 ; volts 1 ; area 1 ; }\n")
+            .unwrap_err();
+        assert!(err.message().contains("volts"));
+    }
+
+    #[test]
+    fn missing_attribute_rejected() {
+        let err = parse_library("library l ;\ncell JTL { jj 2 ; bias 0.2 ; }\n").unwrap_err();
+        assert!(err.message().contains("missing `area`"));
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let text = "library l ;\n\
+                    cell JTL { jj 2 ; bias 0.2 ; area 100 ; }\n\
+                    cell JTL { jj 2 ; bias 0.2 ; area 100 ; }\n";
+        let err = parse_library(text).unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn cell_before_library_rejected() {
+        let err = parse_library("cell JTL { jj 2 ; bias 0.2 ; area 1 ; }\n").unwrap_err();
+        assert!(err.message().contains("before `library`"));
+    }
+
+    #[test]
+    fn bad_number_names_attribute() {
+        let err = parse_library("library l ;\ncell JTL { jj two ; bias 0.2 ; area 1 ; }\n")
+            .unwrap_err();
+        assert!(err.message().contains("jj"));
+        assert!(err.message().contains("two"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_library("").is_err());
+        assert!(parse_library("# only comments\n").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! The 13-circuit benchmark suite of the paper's Table I, by name.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sfq_cells::CellLibrary;
+use sfq_netlist::Netlist;
+
+use crate::divider::restoring_divider;
+use crate::ksa::kogge_stone_adder;
+use crate::map::{map_to_sfq, MapOptions};
+use crate::mult::array_multiplier;
+use crate::synthetic::{synthetic_netlist, SyntheticSpec};
+
+/// One benchmark circuit of the suite.
+///
+/// The eight arithmetic circuits are generated structurally and technology-
+/// mapped; the five ISCAS circuits are calibrated synthetic stand-ins (see
+/// [`synthetic`](crate::synthetic)).
+///
+/// # Example
+///
+/// ```
+/// use sfq_circuits::registry::Benchmark;
+///
+/// assert_eq!("ksa8".parse::<Benchmark>()?, Benchmark::Ksa8);
+/// assert_eq!(Benchmark::all().len(), 13);
+/// # Ok::<(), sfq_circuits::registry::ParseBenchmarkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // Variant names are the circuit names.
+pub enum Benchmark {
+    Ksa4,
+    Ksa8,
+    Ksa16,
+    Ksa32,
+    Mult4,
+    Mult8,
+    Id4,
+    Id8,
+    C432,
+    C499,
+    C1355,
+    C1908,
+    C3540,
+}
+
+impl Benchmark {
+    /// All 13 circuits in Table I's row order.
+    pub const fn all() -> [Benchmark; 13] {
+        [
+            Benchmark::Ksa4,
+            Benchmark::Ksa8,
+            Benchmark::Ksa16,
+            Benchmark::Ksa32,
+            Benchmark::Mult4,
+            Benchmark::Mult8,
+            Benchmark::Id4,
+            Benchmark::Id8,
+            Benchmark::C432,
+            Benchmark::C499,
+            Benchmark::C1355,
+            Benchmark::C1908,
+            Benchmark::C3540,
+        ]
+    }
+
+    /// Canonical display name (as in the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ksa4 => "KSA4",
+            Benchmark::Ksa8 => "KSA8",
+            Benchmark::Ksa16 => "KSA16",
+            Benchmark::Ksa32 => "KSA32",
+            Benchmark::Mult4 => "MULT4",
+            Benchmark::Mult8 => "MULT8",
+            Benchmark::Id4 => "ID4",
+            Benchmark::Id8 => "ID8",
+            Benchmark::C432 => "C432",
+            Benchmark::C499 => "C499",
+            Benchmark::C1355 => "C1355",
+            Benchmark::C1908 => "C1908",
+            Benchmark::C3540 => "C3540",
+        }
+    }
+
+    /// Whether this row is a calibrated synthetic stand-in rather than a
+    /// structurally generated circuit.
+    pub fn is_synthetic(self) -> bool {
+        matches!(
+            self,
+            Benchmark::C432
+                | Benchmark::C499
+                | Benchmark::C1355
+                | Benchmark::C1908
+                | Benchmark::C3540
+        )
+    }
+
+    /// `(gates, connections)` targets for the synthetic circuits, straight
+    /// from Table I; `None` for the structurally generated ones.
+    pub fn synthetic_targets(self) -> Option<(usize, usize)> {
+        match self {
+            Benchmark::C432 => Some((1216, 1434)),
+            Benchmark::C499 => Some((991, 1318)),
+            Benchmark::C1355 => Some((1046, 1367)),
+            Benchmark::C1908 => Some((1695, 2095)),
+            Benchmark::C3540 => Some((3792, 4927)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    name: String,
+}
+
+impl ParseBenchmarkError {
+    /// The unrecognised name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == upper)
+            .ok_or(ParseBenchmarkError { name: s.to_owned() })
+    }
+}
+
+/// Generates `bench` with the calibrated default library.
+pub fn generate(bench: Benchmark) -> Netlist {
+    generate_with_library(bench, CellLibrary::calibrated())
+}
+
+/// Generates `bench` against a custom cell library.
+pub fn generate_with_library(bench: Benchmark, library: CellLibrary) -> Netlist {
+    match bench {
+        Benchmark::Ksa4 => map(kogge_stone_adder(4), library),
+        Benchmark::Ksa8 => map(kogge_stone_adder(8), library),
+        Benchmark::Ksa16 => map(kogge_stone_adder(16), library),
+        Benchmark::Ksa32 => map(kogge_stone_adder(32), library),
+        Benchmark::Mult4 => map(array_multiplier(4), library),
+        Benchmark::Mult8 => map(array_multiplier(8), library),
+        Benchmark::Id4 => map(restoring_divider(4), library),
+        Benchmark::Id8 => map(restoring_divider(8), library),
+        synthetic => {
+            let (gates, connections) = synthetic
+                .synthetic_targets()
+                .expect("synthetic benchmarks carry targets");
+            // Seed derived from the name (FNV-1a) so every circuit is
+            // distinct but reproducible.
+            let seed = synthetic
+                .name()
+                .bytes()
+                .fold(0xcbf29ce484222325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x100000001b3)
+                });
+            let spec = SyntheticSpec::new(synthetic.name(), gates, connections, seed);
+            synthetic_netlist(&spec, library)
+        }
+    }
+}
+
+fn map(logic: crate::logic::LogicNetwork, library: CellLibrary) -> Netlist {
+    // Prune never-consumed prefix terms before mapping: dead SFQ cells
+    // would waste bias current and skew the calibration.
+    map_to_sfq(&logic.without_dead_gates(), library, &MapOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::all() {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "KSA7".parse::<Benchmark>().unwrap_err();
+        assert_eq!(err.name(), "KSA7");
+    }
+
+    #[test]
+    fn synthetic_circuits_hit_table_one_exactly() {
+        for b in Benchmark::all().into_iter().filter(|b| b.is_synthetic()) {
+            let (gates, connections) = b.synthetic_targets().unwrap();
+            let stats = generate(b).stats();
+            assert_eq!(stats.num_gates, gates, "{b} gates");
+            assert_eq!(stats.num_connections, connections, "{b} connections");
+        }
+    }
+
+    #[test]
+    fn arithmetic_circuits_validate_and_scale() {
+        let ksa4 = generate(Benchmark::Ksa4);
+        ksa4.validate().expect("KSA4 valid");
+        let ksa8 = generate(Benchmark::Ksa8);
+        assert!(ksa8.stats().num_gates > 2 * ksa4.stats().num_gates);
+        let mult4 = generate(Benchmark::Mult4);
+        assert!(mult4.stats().num_gates > ksa4.stats().num_gates);
+    }
+
+    #[test]
+    fn suite_generates_deterministically() {
+        let a = generate(Benchmark::C499).stats();
+        let b = generate(Benchmark::C499).stats();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,359 @@
+//! Analytic gradients of the relaxed cost (the paper's eq. 10).
+//!
+//! Two of the printed formulas in eq. 10 contain typos; this module
+//! implements the exact derivatives by default and the printed variants
+//! behind [`GradientOptions`] for side-by-side comparison:
+//!
+//! * **`∂F₁/∂w_ik`** — the paper prints unsigned `|l_i − l_j|³` magnitudes
+//!   with the sign taken from the edge *direction* (source minus sink).
+//!   Differentiating `F₁ = Σ|l_i − l_j|⁴/N₁` gives the *signed*
+//!   `4(l_i − l_j)³`, independent of edge direction. The signed form is what
+//!   actually descends `F₁`; the unsigned form pushes both endpoints the same
+//!   way and stalls on edges pointing "uphill".
+//! * **`∂F₄/∂w_ik`** — differentiating eq. 9 row-wise gives
+//!   `(2/N₄)[(Σ_k w_ik − 1) − (w_ik − w̄_i)/K]`; the paper prints
+//!   `(2/N₄)[(K + 1/K)(w̄_i − w_ik) + K − 1]`, which does not vanish at
+//!   one-hot rows (the minimizer of `F₄`).
+//!
+//! `∂F₂` and `∂F₃` are exact as printed: because `Σ_k (B_k − B̄) = 0`
+//! identically, the chain-rule term through `B̄` cancels and
+//! `∂F₂/∂w_ik = 2·b_i·(B_k − B̄)/(K·N₂)` holds even while row sums drift
+//! away from one during descent.
+
+use crate::cost::CostModel;
+use crate::weights::WeightMatrix;
+
+/// Selects exact or as-printed gradient formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GradientOptions {
+    /// Use the paper's unsigned `F₁` gradient (eq. 10 as printed).
+    pub paper_f1_sign: bool,
+    /// Use the paper's `F₄` gradient (eq. 10 as printed).
+    pub paper_f4_formula: bool,
+}
+
+impl GradientOptions {
+    /// Exact derivatives (the default).
+    pub fn exact() -> Self {
+        GradientOptions::default()
+    }
+
+    /// Both formulas exactly as printed in the paper.
+    pub fn as_printed() -> Self {
+        GradientOptions {
+            paper_f1_sign: true,
+            paper_f4_formula: true,
+        }
+    }
+}
+
+/// Reusable gradient evaluator (owns the scratch buffers).
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::{CostModel, CostWeights, PartitionProblem, WeightMatrix};
+/// use sfq_partition::grad::{Gradient, GradientOptions};
+///
+/// let p = PartitionProblem::new(vec![1.0; 4], vec![1.0; 4],
+///                               vec![(0, 1), (1, 2), (2, 3)], 2)?;
+/// let model = CostModel::new(&p, CostWeights::default());
+/// let mut grad = Gradient::new(GradientOptions::exact());
+/// let w = WeightMatrix::uniform(4, 2);
+/// let mut g = vec![0.0; 4 * 2];
+/// grad.compute(&model, &w, &mut g);
+/// assert_eq!(g.len(), 8);
+/// # Ok::<(), sfq_partition::ProblemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gradient {
+    options: GradientOptions,
+    labels: Vec<f64>,
+    force: Vec<f64>,
+    bias_sums: Vec<f64>,
+    area_sums: Vec<f64>,
+}
+
+impl Gradient {
+    /// Creates an evaluator with the given formula options.
+    pub fn new(options: GradientOptions) -> Self {
+        Gradient {
+            options,
+            labels: Vec::new(),
+            force: Vec::new(),
+            bias_sums: Vec::new(),
+            area_sums: Vec::new(),
+        }
+    }
+
+    /// The formula options in use.
+    pub fn options(&self) -> GradientOptions {
+        self.options
+    }
+
+    /// Computes `∂F/∂w` into `out` (row-major `G×K`), weighted by the
+    /// model's `c₁..c₄`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != G·K` or `w`'s dimensions mismatch the model's
+    /// problem.
+    pub fn compute(&mut self, model: &CostModel<'_>, w: &WeightMatrix, out: &mut [f64]) {
+        let problem = model.problem();
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        assert_eq!(out.len(), g * k, "gradient buffer size mismatch");
+        assert_eq!(w.num_gates(), g);
+        assert_eq!(w.num_planes(), k);
+
+        let (n1, n2, n3, n4) = model.normalizations();
+        let weights = model.weights();
+        let p = model.exponent();
+        let kf = k as f64;
+
+        // --- F1 forces per gate: force_i = Σ over incident edges of
+        //     p·s·|Δ|^{p−1}/N1 with Δ measured from i's side.
+        self.labels.resize(g, 0.0);
+        w.labels_into(&mut self.labels);
+        self.force.clear();
+        self.force.resize(g, 0.0);
+        for &(u, v) in problem.edges() {
+            let delta = self.labels[u as usize] - self.labels[v as usize];
+            let magnitude = p * delta.abs().powf(p - 1.0) / n1;
+            if self.options.paper_f1_sign {
+                // As printed: + for the edge's source, − for its sink,
+                // regardless of which label is larger.
+                self.force[u as usize] += magnitude;
+                self.force[v as usize] -= magnitude;
+            } else {
+                let signed = magnitude * delta.signum();
+                self.force[u as usize] += signed;
+                self.force[v as usize] -= signed;
+            }
+        }
+
+        // --- F2/F3 plane sums and their means at the current w.
+        self.bias_sums = model.plane_bias_sums(w);
+        self.area_sums = model.plane_area_sums(w);
+        let b_mean = self.bias_sums.iter().sum::<f64>() / kf;
+        let a_mean = self.area_sums.iter().sum::<f64>() / kf;
+
+        let bias = problem.bias();
+        let area = problem.area();
+        for i in 0..g {
+            let row = w.row(i);
+            let row_sum: f64 = row.iter().sum();
+            let row_mean = row_sum / kf;
+            let base = i * k;
+            for kk in 0..k {
+                let plane_factor = (kk + 1) as f64;
+                let df1 = plane_factor * self.force[i];
+                let df2 = 2.0 * bias[i] * (self.bias_sums[kk] - b_mean) / (kf * n2);
+                let df3 = 2.0 * area[i] * (self.area_sums[kk] - a_mean) / (kf * n3);
+                let df4 = if self.options.paper_f4_formula {
+                    (2.0 / n4) * ((kf + 1.0 / kf) * (row_mean - row[kk]) + kf - 1.0)
+                } else {
+                    (2.0 / n4) * ((row_sum - 1.0) - (row[kk] - row_mean) / kf)
+                };
+                out[base + kk] =
+                    weights.c1 * df1 + weights.c2 * df2 + weights.c3 * df3 + weights.c4 * df4;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostWeights;
+    use crate::problem::PartitionProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central finite difference of the total cost wrt each w entry.
+    fn finite_difference(model: &CostModel<'_>, w: &WeightMatrix, eps: f64) -> Vec<f64> {
+        let g = w.num_gates();
+        let k = w.num_planes();
+        let mut out = vec![0.0; g * k];
+        let mut wp = w.clone();
+        for i in 0..g {
+            for kk in 0..k {
+                let orig = wp.get(i, kk);
+                wp.set(i, kk, orig + eps);
+                let up = model.evaluate(&wp).total;
+                wp.set(i, kk, orig - eps);
+                let down = model.evaluate(&wp).total;
+                wp.set(i, kk, orig);
+                out[i * k + kk] = (up - down) / (2.0 * eps);
+            }
+        }
+        out
+    }
+
+    fn random_problem(g: usize, k: usize, seed: u64) -> PartitionProblem {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bias: Vec<f64> = (0..g).map(|_| rng.random_range(0.2..2.0)).collect();
+        let area: Vec<f64> = (0..g).map(|_| rng.random_range(1.0..10.0)).collect();
+        let mut edges = Vec::new();
+        for i in 1..g as u32 {
+            let j = rng.random_range(0..i);
+            edges.push((j, i));
+        }
+        PartitionProblem::new(bias, area, edges, k).unwrap()
+    }
+
+    #[test]
+    fn exact_gradient_matches_finite_difference() {
+        let p = random_problem(12, 4, 3);
+        let model = CostModel::new(&p, CostWeights::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = WeightMatrix::random(12, 4, &mut rng);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut g = vec![0.0; 12 * 4];
+        grad.compute(&model, &w, &mut g);
+        let fd = finite_difference(&model, &w, 1e-6);
+        for (i, (&an, &nu)) in g.iter().zip(&fd).enumerate() {
+            let scale = an.abs().max(nu.abs()).max(1e-6);
+            assert!(
+                (an - nu).abs() / scale < 1e-4,
+                "entry {i}: analytic {an} vs numeric {nu}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_gradient_matches_fd_with_exponent_two() {
+        let p = random_problem(8, 3, 5);
+        let model = CostModel::with_exponent(&p, CostWeights::default(), 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = WeightMatrix::random(8, 3, &mut rng);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut g = vec![0.0; 8 * 3];
+        grad.compute(&model, &w, &mut g);
+        let fd = finite_difference(&model, &w, 1e-6);
+        for (&an, &nu) in g.iter().zip(&fd) {
+            let scale = an.abs().max(nu.abs()).max(1e-6);
+            assert!((an - nu).abs() / scale < 1e-4);
+        }
+    }
+
+    #[test]
+    fn exact_gradient_matches_fd_with_nonuniform_weights() {
+        let p = random_problem(10, 5, 17);
+        let weights = CostWeights {
+            c1: 3.0,
+            c2: 0.5,
+            c3: 2.0,
+            c4: 10.0,
+        };
+        let model = CostModel::new(&p, weights);
+        let mut rng = StdRng::seed_from_u64(23);
+        let w = WeightMatrix::random(10, 5, &mut rng);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut g = vec![0.0; 10 * 5];
+        grad.compute(&model, &w, &mut g);
+        let fd = finite_difference(&model, &w, 1e-6);
+        for (&an, &nu) in g.iter().zip(&fd) {
+            let scale = an.abs().max(nu.abs()).max(1e-6);
+            assert!((an - nu).abs() / scale < 1e-4);
+        }
+    }
+
+    #[test]
+    fn printed_f1_gradient_differs_only_when_labels_invert_edge_direction() {
+        // Edge (0,1) with l_0 < l_1: exact gives sign −, printed gives +.
+        let p = PartitionProblem::new(vec![1.0, 1.0], vec![1.0, 1.0], vec![(0, 1)], 3).unwrap();
+        // Only c1 active to isolate F1.
+        let weights = CostWeights {
+            c1: 1.0,
+            c2: 0.0,
+            c3: 0.0,
+            c4: 0.0,
+        };
+        let model = CostModel::new(&p, weights);
+        let w = WeightMatrix::from_labels(&[0, 2], 3); // l = 1 and 3
+        let mut exact = Gradient::new(GradientOptions::exact());
+        let mut printed = Gradient::new(GradientOptions {
+            paper_f1_sign: true,
+            paper_f4_formula: false,
+        });
+        let mut ge = vec![0.0; 6];
+        let mut gp = vec![0.0; 6];
+        exact.compute(&model, &w, &mut ge);
+        printed.compute(&model, &w, &mut gp);
+        // Same magnitudes, opposite signs for gate 0 (the edge source whose
+        // label is the smaller one).
+        for kk in 0..3 {
+            assert!((ge[kk] + gp[kk]).abs() < 1e-12, "k={kk}");
+            assert!(ge[kk].abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_f4_gradient_vanishes_at_one_hot() {
+        // One-hot rows with sum 1 minimize F4 along feasible directions…
+        let p = PartitionProblem::new(vec![1.0], vec![1.0], vec![], 4).unwrap();
+        let weights = CostWeights {
+            c1: 0.0,
+            c2: 0.0,
+            c3: 0.0,
+            c4: 1.0,
+        };
+        let model = CostModel::new(&p, weights);
+        let w = WeightMatrix::from_labels(&[2], 4);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut ge = vec![0.0; 4];
+        grad.compute(&model, &w, &mut ge);
+        // Exact gradient at a one-hot row: d = (sum−1) − (w_k − mean)/K
+        // = −(w_k − 1/4)/4 → pushes the hot entry up and the cold ones down,
+        // which the [0,1] projection absorbs. Check the signs.
+        assert!(ge[2] < 0.0, "hot entry is pushed further up (descent on −g)");
+        for kk in [0usize, 1, 3] {
+            assert!(ge[kk] > 0.0, "cold entries pushed down");
+        }
+        // The printed formula happens to agree on the hot entry (both equal
+        // −(K−1)/K² · 2/N₄ at a one-hot row) but disagrees on every cold
+        // entry, where it carries a large K−1 offset.
+        let mut printed = Gradient::new(GradientOptions::as_printed());
+        let mut gp = vec![0.0; 4];
+        printed.compute(&model, &w, &mut gp);
+        assert!((gp[2] - ge[2]).abs() < 1e-15, "hot entries coincide");
+        for kk in [0usize, 1, 3] {
+            assert!(
+                (gp[kk] - ge[kk]).abs() > 1e-6,
+                "cold entry {kk} should differ between printed and exact"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_zero_at_uniform_for_symmetric_problem() {
+        let p = PartitionProblem::new(
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![(0, 1)],
+            2,
+        )
+        .unwrap();
+        let model = CostModel::new(&p, CostWeights::default());
+        let w = WeightMatrix::uniform(2, 2);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut g = vec![0.0; 4];
+        grad.compute(&model, &w, &mut g);
+        for &x in &g {
+            assert!(x.abs() < 1e-12, "uniform point is a stationary saddle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let p = random_problem(4, 2, 1);
+        let model = CostModel::new(&p, CostWeights::default());
+        let w = WeightMatrix::uniform(4, 2);
+        let mut grad = Gradient::new(GradientOptions::exact());
+        let mut g = vec![0.0; 3];
+        grad.compute(&model, &w, &mut g);
+    }
+}

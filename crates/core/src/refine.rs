@@ -1,0 +1,513 @@
+//! Discrete local-move refinement of a hard partition.
+//!
+//! Gradient descent on the relaxed cost ends with an `argmax` snap; the snap
+//! can strand individual gates on the wrong side of a boundary. This module
+//! polishes the snapped partition with a greedy single-gate move pass over
+//! the *discrete* analogue of the paper's objective,
+//!
+//! ```text
+//! F_d = c₁·Σ_E d(e)^p / N₁ + c₂·Var_k(B_k)/N₂ + c₃·Var_k(A_k)/N₃
+//! ```
+//!
+//! (`F₄` is identically minimal for any hard assignment and drops out).
+//! Moves are evaluated incrementally in `O(deg(i) + 1)` and applied
+//! best-improvement-first per gate, sweeping until a full pass makes no
+//! improving move or `max_passes` is reached. This is the classic
+//! Fiduccia–Mattheyses-style polish adapted to the paper's ordered-plane,
+//! distance-weighted objective; the solver enables it by default and the
+//! `ablations` bench quantifies its contribution.
+
+use crate::assign::Partition;
+use crate::cost::CostWeights;
+use crate::problem::PartitionProblem;
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOptions {
+    /// Term weights (`c₄` is ignored — see module docs).
+    pub weights: CostWeights,
+    /// Distance exponent `p` (the paper's 4).
+    pub exponent: f64,
+    /// Maximum number of full sweeps.
+    pub max_passes: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            weights: CostWeights::default(),
+            exponent: 4.0,
+            max_passes: 40,
+        }
+    }
+}
+
+/// Computes the discrete objective `F_d` of a hard partition (see module
+/// docs). Lower is better; 0 is a perfectly balanced, cut-free partition.
+///
+/// # Panics
+///
+/// Panics if the partition does not match the problem's dimensions.
+pub fn discrete_cost(
+    problem: &PartitionProblem,
+    partition: &Partition,
+    weights: CostWeights,
+    exponent: f64,
+) -> f64 {
+    let state = MoveState::new(problem, partition, weights, exponent);
+    state.total_cost()
+}
+
+/// Greedily improves `partition` by single-gate moves; returns the refined
+/// partition and the number of moves applied.
+///
+/// # Panics
+///
+/// Panics if the partition does not match the problem's dimensions.
+pub fn refine(
+    problem: &PartitionProblem,
+    partition: &Partition,
+    options: &RefineOptions,
+) -> (Partition, usize) {
+    let mut state = MoveState::new(problem, partition, options.weights, options.exponent);
+    let mut moves = 0usize;
+    for _ in 0..options.max_passes {
+        let mut improved = false;
+        for gate in 0..problem.num_gates() {
+            if let Some((target, gain)) = state.best_move(gate) {
+                if gain < -1e-15 {
+                    state.apply(gate, target);
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (state.into_partition(), moves)
+}
+
+/// Like [`refine`] but additionally attempting *pair swaps* across every cut
+/// edge once the single-move pass converges. Swapping two gates between
+/// their planes preserves gate counts and (for similar cells) bias/area
+/// almost exactly, so it escapes the balance-locked local optima where any
+/// single move would unbalance the planes. Returns the refined partition and
+/// the total number of applied moves (single moves + 2 per swap).
+///
+/// # Panics
+///
+/// Panics if the partition does not match the problem's dimensions.
+pub fn refine_with_swaps(
+    problem: &PartitionProblem,
+    partition: &Partition,
+    options: &RefineOptions,
+) -> (Partition, usize) {
+    let (mut current, mut moves) = refine(problem, partition, options);
+    let connectivity_only = CostWeights {
+        c2: 0.0,
+        c3: 0.0,
+        ..options.weights
+    };
+    for _ in 0..options.max_passes {
+        // Candidate generation: where would each gate go if only
+        // connectivity mattered? Gates wishing to cross the same boundary
+        // in opposite directions are swap partners.
+        let f1_view = MoveState::new(problem, &current, connectivity_only, options.exponent);
+        let mut wishes: std::collections::HashMap<(u32, u32), Vec<usize>> =
+            std::collections::HashMap::new();
+        for gate in 0..problem.num_gates() {
+            if let Some((target, gain)) = f1_view.best_move(gate) {
+                if gain < -1e-15 {
+                    wishes
+                        .entry((f1_view.labels[gate], target))
+                        .or_default()
+                        .push(gate);
+                }
+            }
+        }
+
+        let mut state = MoveState::new(problem, &current, options.weights, options.exponent);
+        let mut improved = false;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (&(p, q), forward) in &wishes {
+            if p >= q {
+                continue; // each unordered plane pair handled once
+            }
+            if let Some(backward) = wishes.get(&(q, p)) {
+                pairs.extend(forward.iter().zip(backward).map(|(&u, &v)| (u, v)));
+            }
+        }
+        for (u, v) in pairs {
+            let pu = state.labels[u];
+            let pv = state.labels[v];
+            if pu == pv {
+                continue; // an earlier swap already moved one of them
+            }
+            // Trial: move u into v's plane, then v into u's old plane; the
+            // second gain is evaluated *after* the first move, so the pair
+            // gain is exact.
+            let g1 = state.move_gain(u, pv);
+            state.apply(u, pv);
+            let g2 = state.move_gain(v, pu);
+            if g1 + g2 < -1e-15 {
+                state.apply(v, pu);
+                moves += 2;
+                improved = true;
+            } else {
+                state.apply(u, pu); // revert
+            }
+        }
+        if !improved {
+            break;
+        }
+        // Swaps may open new single-move improvements.
+        let (next, more) = refine(problem, &state.into_partition(), options);
+        current = next;
+        moves += more;
+    }
+    (current, moves)
+}
+
+/// Incremental move evaluation state (shared with the annealing baseline).
+pub(crate) struct MoveState<'a> {
+    problem: &'a PartitionProblem,
+    weights: CostWeights,
+    exponent: f64,
+    labels: Vec<u32>,
+    k: usize,
+    /// Incident neighbor labels are looked up through this adjacency;
+    /// parallel edges appear multiple times, matching their cost.
+    adjacency: Vec<Vec<u32>>,
+    plane_bias: Vec<f64>,
+    plane_area: Vec<f64>,
+    n1: f64,
+    n2: f64,
+    n3: f64,
+    b_mean: f64,
+    a_mean: f64,
+}
+
+impl<'a> MoveState<'a> {
+    pub(crate) fn new(
+        problem: &'a PartitionProblem,
+        partition: &Partition,
+        weights: CostWeights,
+        exponent: f64,
+    ) -> Self {
+        assert_eq!(problem.num_gates(), partition.num_gates());
+        assert_eq!(problem.num_planes(), partition.num_planes());
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let mut adjacency = vec![Vec::new(); g];
+        for &(u, v) in problem.edges() {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        let mut plane_bias = vec![0.0; k];
+        let mut plane_area = vec![0.0; k];
+        for i in 0..g {
+            let p = partition.plane_of(i);
+            plane_bias[p] += problem.bias()[i];
+            plane_area[p] += problem.area()[i];
+        }
+        let kf = k as f64;
+        let b_mean = problem.total_bias() / kf;
+        let a_mean = problem.total_area() / kf;
+        let nz = |x: f64| if x > 0.0 { x } else { 1.0 };
+        MoveState {
+            problem,
+            weights,
+            exponent,
+            labels: partition.labels().to_vec(),
+            k,
+            adjacency,
+            plane_bias,
+            plane_area,
+            n1: nz(problem.num_edges() as f64 * (kf - 1.0).powf(exponent)),
+            n2: nz((kf - 1.0) * b_mean * b_mean),
+            n3: nz((kf - 1.0) * a_mean * a_mean),
+            b_mean,
+            a_mean,
+        }
+    }
+
+    fn dist_pow(&self, a: u32, b: u32) -> f64 {
+        let d = (a as i64 - b as i64).unsigned_abs() as f64;
+        if self.exponent == 4.0 {
+            let d2 = d * d;
+            d2 * d2
+        } else {
+            d.powf(self.exponent)
+        }
+    }
+
+    pub(crate) fn total_cost(&self) -> f64 {
+        let mut f1 = 0.0;
+        for &(u, v) in self.problem.edges() {
+            f1 += self.dist_pow(self.labels[u as usize], self.labels[v as usize]);
+        }
+        f1 /= self.n1;
+        let kf = self.k as f64;
+        let f2 = self
+            .plane_bias
+            .iter()
+            .map(|&b| (b - self.b_mean) * (b - self.b_mean))
+            .sum::<f64>()
+            / (kf * self.n2);
+        let f3 = self
+            .plane_area
+            .iter()
+            .map(|&a| (a - self.a_mean) * (a - self.a_mean))
+            .sum::<f64>()
+            / (kf * self.n3);
+        self.weights.c1 * f1 + self.weights.c2 * f2 + self.weights.c3 * f3
+    }
+
+    /// Cost delta of moving `gate` to plane `target`.
+    pub(crate) fn move_gain(&self, gate: usize, target: u32) -> f64 {
+        let from = self.labels[gate];
+        if from == target {
+            return 0.0;
+        }
+        let mut d_f1 = 0.0;
+        for &nbr in &self.adjacency[gate] {
+            let nl = self.labels[nbr as usize];
+            d_f1 += self.dist_pow(target, nl) - self.dist_pow(from, nl);
+        }
+        d_f1 /= self.n1;
+
+        let kf = self.k as f64;
+        let b = self.problem.bias()[gate];
+        let bp = self.plane_bias[from as usize];
+        let bq = self.plane_bias[target as usize];
+        let d_f2 = ((bp - b - self.b_mean).powi(2) + (bq + b - self.b_mean).powi(2)
+            - (bp - self.b_mean).powi(2)
+            - (bq - self.b_mean).powi(2))
+            / (kf * self.n2);
+
+        let a = self.problem.area()[gate];
+        let ap = self.plane_area[from as usize];
+        let aq = self.plane_area[target as usize];
+        let d_f3 = ((ap - a - self.a_mean).powi(2) + (aq + a - self.a_mean).powi(2)
+            - (ap - self.a_mean).powi(2)
+            - (aq - self.a_mean).powi(2))
+            / (kf * self.n3);
+
+        self.weights.c1 * d_f1 + self.weights.c2 * d_f2 + self.weights.c3 * d_f3
+    }
+
+    /// Best (most negative gain) target plane for `gate`, if any differs.
+    pub(crate) fn best_move(&self, gate: usize) -> Option<(u32, f64)> {
+        let from = self.labels[gate];
+        let mut best: Option<(u32, f64)> = None;
+        for target in 0..self.k as u32 {
+            if target == from {
+                continue;
+            }
+            let gain = self.move_gain(gate, target);
+            if best.is_none_or(|(_, g)| gain < g) {
+                best = Some((target, gain));
+            }
+        }
+        best
+    }
+
+    pub(crate) fn apply(&mut self, gate: usize, target: u32) {
+        let from = self.labels[gate] as usize;
+        let b = self.problem.bias()[gate];
+        let a = self.problem.area()[gate];
+        self.plane_bias[from] -= b;
+        self.plane_area[from] -= a;
+        self.plane_bias[target as usize] += b;
+        self.plane_area[target as usize] += a;
+        self.labels[gate] = target;
+    }
+
+    /// Clones the current labels into a [`Partition`] without consuming the
+    /// state (used by the annealing baseline's best-so-far snapshots).
+    pub(crate) fn snapshot_partition(&self) -> Partition {
+        Partition::from_labels(self.labels.clone(), self.k).expect("labels stay in range")
+    }
+
+    pub(crate) fn into_partition(self) -> Partition {
+        Partition::from_labels(self.labels, self.k).expect("labels stay in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32, k: usize) -> PartitionProblem {
+        PartitionProblem::new(
+            vec![1.0; n as usize],
+            vec![10.0; n as usize],
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+            k,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discrete_cost_zero_for_perfect_split() {
+        let p = chain(4, 2);
+        // {0,1} | {2,3}: one cut of distance 1.
+        let part = Partition::from_labels(vec![0, 0, 1, 1], 2).unwrap();
+        let c = discrete_cost(&p, &part, CostWeights::default(), 4.0);
+        // F1 = 1/(3·1) = 1/3, balance perfect.
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_fixes_a_stranded_gate() {
+        let p = chain(6, 2);
+        // Gate 5 stranded on the overloaded plane 0: moving it improves both
+        // locality and balance, and the follow-up move of gate 3 restores
+        // the perfect contiguous split.
+        let part = Partition::from_labels(vec![0, 0, 0, 0, 1, 0], 2).unwrap();
+        let (refined, moves) = refine(&p, &part, &RefineOptions::default());
+        assert!(moves >= 2);
+        let before = discrete_cost(&p, &part, CostWeights::default(), 4.0);
+        let after = discrete_cost(&p, &refined, CostWeights::default(), 4.0);
+        assert!(after < before);
+        // Balance is restored exactly (3 gates per plane)…
+        let m = crate::metrics::PartitionMetrics::evaluate(&p, &refined);
+        assert_eq!(m.i_comp_ma, 0.0);
+        // …and locality is at least as good as a two-cut split.
+        assert!(m.cut_size() <= 2);
+    }
+
+    #[test]
+    fn refine_is_idempotent_at_local_optimum() {
+        let p = chain(8, 2);
+        let part = Partition::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let (once, moves1) = refine(&p, &part, &RefineOptions::default());
+        assert_eq!(moves1, 0, "perfect split is locally optimal");
+        assert_eq!(once, part);
+    }
+
+    #[test]
+    fn refine_never_increases_cost() {
+        use rand::Rng;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let n = rng.random_range(5..40) as u32;
+            let k = rng.random_range(2..6);
+            let mut edges = Vec::new();
+            for i in 1..n {
+                edges.push((rng.random_range(0..i), i));
+            }
+            let bias: Vec<f64> = (0..n).map(|_| rng.random_range(0.2..2.0)).collect();
+            let area: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..9.0)).collect();
+            let p = PartitionProblem::new(bias, area, edges, k).unwrap();
+            let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..k as u32)).collect();
+            let part = Partition::from_labels(labels, k).unwrap();
+            let before = discrete_cost(&p, &part, CostWeights::default(), 4.0);
+            let (refined, _) = refine(&p, &part, &RefineOptions::default());
+            let after = discrete_cost(&p, &refined, CostWeights::default(), 4.0);
+            assert!(
+                after <= before + 1e-12,
+                "trial {trial}: cost rose {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_gain_matches_recomputation() {
+        let p = chain(6, 3);
+        let part = Partition::from_labels(vec![0, 1, 2, 0, 1, 2], 3).unwrap();
+        let state = MoveState::new(&p, &part, CostWeights::default(), 4.0);
+        let base = state.total_cost();
+        for gate in 0..6usize {
+            for target in 0..3u32 {
+                let mut moved = part.clone();
+                moved.move_gate(gate, target as usize);
+                let expect = discrete_cost(&p, &moved, CostWeights::default(), 4.0) - base;
+                let got = state.move_gain(gate, target);
+                assert!(
+                    (expect - got).abs() < 1e-10,
+                    "gate {gate} -> {target}: {expect} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swaps_escape_balance_locked_optima() {
+        // Two planes, four unit gates; heavy edges a-y and x-b cross planes.
+        // Any single move unbalances 3-1 (blocked by a heavy balance
+        // weight), but swapping x and y fixes both cuts at zero balance
+        // cost.
+        let p = PartitionProblem::new(
+            vec![1.0; 4],
+            vec![10.0; 4],
+            vec![(0, 3), (0, 3), (1, 2), (1, 2)], // a=0, x=1, b=2, y=3
+            2,
+        )
+        .unwrap();
+        let start = Partition::from_labels(vec![0, 0, 1, 1], 2).unwrap();
+        let opts = RefineOptions {
+            weights: CostWeights {
+                c2: 50.0,
+                c3: 50.0,
+                ..CostWeights::default()
+            },
+            ..RefineOptions::default()
+        };
+        let (single_only, _) = refine(&p, &start, &opts);
+        assert_eq!(
+            single_only, start,
+            "single moves are balance-blocked here"
+        );
+        let (swapped, moves) = refine_with_swaps(&p, &start, &opts);
+        assert!(moves >= 2);
+        let m = crate::metrics::PartitionMetrics::evaluate(&p, &swapped);
+        assert_eq!(m.cut_size(), 0, "swap resolves both cut edges");
+        assert_eq!(m.i_comp_ma, 0.0, "balance preserved");
+    }
+
+    #[test]
+    fn swaps_never_worsen() {
+        use rand::Rng;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..8 {
+            let n = rng.random_range(8..40) as u32;
+            let k = rng.random_range(2..5);
+            let mut edges = Vec::new();
+            for i in 1..n {
+                edges.push((rng.random_range(0..i), i));
+            }
+            let p = PartitionProblem::new(
+                (0..n).map(|_| rng.random_range(0.2..2.0)).collect(),
+                (0..n).map(|_| rng.random_range(1.0..9.0)).collect(),
+                edges,
+                k,
+            )
+            .unwrap();
+            let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..k as u32)).collect();
+            let start = Partition::from_labels(labels, k).unwrap();
+            let w = CostWeights::default();
+            let before = discrete_cost(&p, &start, w, 4.0);
+            let (out, _) = refine_with_swaps(&p, &start, &RefineOptions::default());
+            let after = discrete_cost(&p, &out, w, 4.0);
+            assert!(after <= before + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_passes_zero_is_a_no_op() {
+        let p = chain(6, 2);
+        let part = Partition::from_labels(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let opts = RefineOptions {
+            max_passes: 0,
+            ..RefineOptions::default()
+        };
+        let (out, moves) = refine(&p, &part, &opts);
+        assert_eq!(moves, 0);
+        assert_eq!(out, part);
+    }
+}

@@ -1,0 +1,266 @@
+//! Spectral ordering baseline: 1-D Fiedler embedding + bias-balanced
+//! chunking.
+//!
+//! The ground planes form an ordered 1-D arrangement, so the classic
+//! spectral heuristic applies directly: compute the Fiedler vector (second
+//! eigenvector of the connection Laplacian), which places strongly connected
+//! gates at nearby coordinates, sort gates by it, and cut the order into `K`
+//! consecutive chunks of equal bias. Contiguous chunks of a good 1-D
+//! embedding mostly cross adjacent boundaries — exactly the paper's
+//! objective — making this the strongest classical comparator in
+//! [`baselines`](crate::baselines)-style studies.
+//!
+//! The Fiedler vector is computed with deflated power iteration on the
+//! shifted Laplacian `σI − L` (σ = Gershgorin bound), which needs no linear
+//! algebra dependency and converges quickly on the sparse, bounded-degree
+//! graphs SFQ netlists produce.
+
+use crate::assign::Partition;
+use crate::problem::PartitionProblem;
+
+/// Options for [`spectral_partition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralOptions {
+    /// Power-iteration sweeps for the Fiedler vector.
+    pub iterations: usize,
+    /// Convergence tolerance on the iterate's change (L∞).
+    pub tolerance: f64,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        SpectralOptions {
+            iterations: 4_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Partitions by sorting gates along the Fiedler vector and cutting the
+/// order into `K` bias-balanced chunks.
+///
+/// Deterministic: the power iteration starts from a fixed pseudo-random
+/// vector derived from the gate index.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::spectral::{spectral_partition, SpectralOptions};
+/// use sfq_partition::{PartitionMetrics, PartitionProblem};
+///
+/// // Two cliques joined by one edge split cleanly.
+/// let mut edges = Vec::new();
+/// for i in 0..4u32 { for j in (i+1)..4 { edges.push((i, j)); } }
+/// for i in 4..8u32 { for j in (i+1)..8 { edges.push((i, j)); } }
+/// edges.push((0, 4));
+/// let p = PartitionProblem::new(vec![1.0; 8], vec![1.0; 8], edges, 2)?;
+/// let part = spectral_partition(&p, &SpectralOptions::default());
+/// let m = PartitionMetrics::evaluate(&p, &part);
+/// assert_eq!(m.cut_size(), 1);
+/// # Ok::<(), sfq_partition::ProblemError>(())
+/// ```
+pub fn spectral_partition(problem: &PartitionProblem, options: &SpectralOptions) -> Partition {
+    let order = fiedler_order(problem, options);
+    chunk_by_bias(problem, &order)
+}
+
+/// Returns the gate order induced by the Fiedler vector (ties by index).
+pub fn fiedler_order(problem: &PartitionProblem, options: &SpectralOptions) -> Vec<usize> {
+    let fiedler = fiedler_vector(problem, options);
+    let mut order: Vec<usize> = (0..problem.num_gates()).collect();
+    order.sort_by(|&a, &b| {
+        fiedler[a]
+            .partial_cmp(&fiedler[b])
+            .expect("fiedler entries are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Cuts an explicit gate order into `K` consecutive chunks holding
+/// (approximately) `B_cir/K` of bias each.
+pub fn chunk_by_bias(problem: &PartitionProblem, order: &[usize]) -> Partition {
+    assert_eq!(order.len(), problem.num_gates(), "order must cover all gates");
+    let k = problem.num_planes();
+    let target = problem.total_bias() / k as f64;
+    let mut labels = vec![0u32; problem.num_gates()];
+    let mut plane = 0usize;
+    let mut acc = 0.0;
+    for &gate in order {
+        labels[gate] = plane as u32;
+        acc += problem.bias()[gate];
+        if acc >= target * (plane + 1) as f64 && plane + 1 < k {
+            plane += 1;
+        }
+    }
+    Partition::from_labels(labels, k).expect("labels in range")
+}
+
+/// Computes (an approximation of) the Fiedler vector of the connection
+/// Laplacian via deflated power iteration on `σI − L`.
+fn fiedler_vector(problem: &PartitionProblem, options: &SpectralOptions) -> Vec<f64> {
+    let n = problem.num_gates();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Degree and adjacency (parallel edges accumulate weight).
+    let mut degree = vec![0.0f64; n];
+    for &(u, v) in problem.edges() {
+        degree[u as usize] += 1.0;
+        degree[v as usize] += 1.0;
+    }
+    // Gershgorin: eigenvalues of L lie in [0, 2·max_degree].
+    let sigma = 2.0 * degree.iter().copied().fold(1.0, f64::max);
+
+    // Deterministic pseudo-random start, orthogonal to the all-ones vector.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+            (h % 10_000) as f64 / 10_000.0 - 0.5
+        })
+        .collect();
+    deflate_constant(&mut x);
+    normalize(&mut x);
+
+    let mut y = vec![0.0f64; n];
+    for _ in 0..options.iterations {
+        // y = (σI − L)x = σx − Dx + Ax.
+        for i in 0..n {
+            y[i] = (sigma - degree[i]) * x[i];
+        }
+        for &(u, v) in problem.edges() {
+            let (u, v) = (u as usize, v as usize);
+            y[u] += x[v];
+            y[v] += x[u];
+        }
+        deflate_constant(&mut y);
+        normalize(&mut y);
+        let delta = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut x, &mut y);
+        if delta < options.tolerance {
+            break;
+        }
+    }
+    x
+}
+
+/// Removes the component along the all-ones vector (the trivial eigenvector).
+fn deflate_constant(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionMetrics;
+
+    fn chain(n: u32, k: usize) -> PartitionProblem {
+        PartitionProblem::new(
+            vec![1.0; n as usize],
+            vec![10.0; n as usize],
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+            k,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_fiedler_order_is_monotone_along_the_chain() {
+        let p = chain(30, 3);
+        let order = fiedler_order(&p, &SpectralOptions::default());
+        // The Fiedler vector of a path is a cosine: sorted order must be the
+        // path order or its reverse.
+        let forward: Vec<usize> = (0..30).collect();
+        let backward: Vec<usize> = (0..30).rev().collect();
+        assert!(
+            order == forward || order == backward,
+            "unexpected order {order:?}"
+        );
+    }
+
+    #[test]
+    fn chain_partitions_perfectly() {
+        let p = chain(30, 3);
+        let part = spectral_partition(&p, &SpectralOptions::default());
+        let m = PartitionMetrics::evaluate(&p, &part);
+        assert_eq!(m.cut_size(), 2);
+        assert!((m.cumulative_fraction(1) - 1.0).abs() < 1e-12);
+        assert_eq!(m.i_comp_ma, 0.0);
+    }
+
+    #[test]
+    fn two_cliques_split_on_the_bridge() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        for i in 6..12u32 {
+            for j in (i + 1)..12 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((2, 8));
+        let p = PartitionProblem::new(vec![1.0; 12], vec![1.0; 12], edges, 2).unwrap();
+        let part = spectral_partition(&p, &SpectralOptions::default());
+        let m = PartitionMetrics::evaluate(&p, &part);
+        assert_eq!(m.cut_size(), 1);
+    }
+
+    #[test]
+    fn balances_heterogeneous_bias() {
+        // One heavy gate: chunking must not lump it with half the chain.
+        let mut bias = vec![1.0; 20];
+        bias[0] = 10.0;
+        let p = PartitionProblem::new(
+            bias,
+            vec![1.0; 20],
+            (0..19).map(|i| (i, i + 1)).collect(),
+            2,
+        )
+        .unwrap();
+        let part = spectral_partition(&p, &SpectralOptions::default());
+        let m = PartitionMetrics::evaluate(&p, &part);
+        // Total 29, perfect split 14.5: expect within a couple of gates.
+        assert!(m.b_max < 20.0, "B_max {}", m.b_max);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = chain(25, 4);
+        let a = spectral_partition(&p, &SpectralOptions::default());
+        let b = spectral_partition(&p, &SpectralOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edgeless_problem_still_partitions() {
+        let p = PartitionProblem::new(vec![1.0; 8], vec![1.0; 8], vec![], 4).unwrap();
+        let part = spectral_partition(&p, &SpectralOptions::default());
+        assert_eq!(part.occupied_planes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover all gates")]
+    fn chunk_by_bias_checks_order_length() {
+        let p = chain(5, 2);
+        let _ = chunk_by_bias(&p, &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The relaxed assignment matrix `w ∈ [0,1]^{G×K}`.
+
+use rand::distr::{Distribution, Uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `G×K` matrix of relaxed assignment weights.
+///
+/// Row `i` is the paper's vector `[w_{i,1}, …, w_{i,K}]`. Algorithm 1
+/// initializes every entry uniformly at random and normalizes each row to sum
+/// to one ([`WeightMatrix::random`]); the solver then clamps entries to
+/// `[0,1]` after every step and finally snaps each row to its argmax.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sfq_partition::WeightMatrix;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = WeightMatrix::random(3, 4, &mut rng);
+/// for i in 0..3 {
+///     let sum: f64 = w.row(i).iter().sum();
+///     assert!((sum - 1.0).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightMatrix {
+    num_gates: usize,
+    num_planes: usize,
+    data: Vec<f64>,
+}
+
+impl WeightMatrix {
+    /// Creates a matrix filled with `1/K` (the fully undecided point).
+    pub fn uniform(num_gates: usize, num_planes: usize) -> Self {
+        assert!(num_planes > 0, "need at least one plane");
+        WeightMatrix {
+            num_gates,
+            num_planes,
+            data: vec![1.0 / num_planes as f64; num_gates * num_planes],
+        }
+    }
+
+    /// Creates a matrix with uniformly random rows, each normalized to sum
+    /// to one (Algorithm 1 lines 3–11).
+    pub fn random<R: Rng + ?Sized>(num_gates: usize, num_planes: usize, rng: &mut R) -> Self {
+        assert!(num_planes > 0, "need at least one plane");
+        let dist = Uniform::new(0.0f64, 1.0).expect("valid range");
+        let mut data = Vec::with_capacity(num_gates * num_planes);
+        for _ in 0..num_gates {
+            let start = data.len();
+            let mut sum = 0.0;
+            for _ in 0..num_planes {
+                let x = dist.sample(rng).max(1e-12);
+                sum += x;
+                data.push(x);
+            }
+            for w in &mut data[start..] {
+                *w /= sum;
+            }
+        }
+        WeightMatrix {
+            num_gates,
+            num_planes,
+            data,
+        }
+    }
+
+    /// Creates a matrix with uniformly random rows, each given an extra
+    /// `spread` of mass on one uniformly chosen plane before normalization.
+    ///
+    /// Plain random rows have labels `l_i` concentrated around `(K+1)/2`
+    /// (a sum of `K` random weights), which starves the outer planes at
+    /// large `K`; seeding one plane per row keeps the initial labels spread
+    /// over the whole `1..K` range while remaining a random initialization
+    /// in the paper's sense. `spread = 0` reduces to [`WeightMatrix::random`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread` is negative.
+    pub fn random_spread<R: Rng + ?Sized>(
+        num_gates: usize,
+        num_planes: usize,
+        spread: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(spread >= 0.0, "spread must be non-negative");
+        let mut m = WeightMatrix::random(num_gates, num_planes, rng);
+        if spread == 0.0 {
+            return m;
+        }
+        #[allow(clippy::needless_range_loop)] // parallel-array indexing
+        for i in 0..num_gates {
+            let hot = rng.random_range(0..num_planes);
+            let row = m.row_mut(i);
+            row[hot] += spread;
+            let sum: f64 = row.iter().sum();
+            for w in row {
+                *w /= sum;
+            }
+        }
+        m
+    }
+
+    /// Creates a one-hot matrix from explicit plane labels (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= num_planes`.
+    pub fn from_labels(labels: &[usize], num_planes: usize) -> Self {
+        let mut m = WeightMatrix {
+            num_gates: labels.len(),
+            num_planes,
+            data: vec![0.0; labels.len() * num_planes],
+        };
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < num_planes, "label {l} out of range for K={num_planes}");
+            m.data[i * num_planes + l] = 1.0;
+        }
+        m
+    }
+
+    /// Number of gates `G` (rows).
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Number of planes `K` (columns).
+    pub fn num_planes(&self) -> usize {
+        self.num_planes
+    }
+
+    /// Row `i` as a slice of length `K`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.num_planes..(i + 1) * self.num_planes]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.num_planes..(i + 1) * self.num_planes]
+    }
+
+    /// Entry `w[i][k]` with `k` 0-based.
+    pub fn get(&self, i: usize, k: usize) -> f64 {
+        self.data[i * self.num_planes + k]
+    }
+
+    /// Sets entry `w[i][k]` with `k` 0-based.
+    pub fn set(&mut self, i: usize, k: usize, value: f64) {
+        self.data[i * self.num_planes + k] = value;
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The paper's label `l_i = Σ_k k·w[i][k]` with `k = 1..K`.
+    ///
+    /// For a row-stochastic row this is the "expected plane" of gate `i`.
+    pub fn label(&self, i: usize) -> f64 {
+        self.row(i)
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| (k + 1) as f64 * w)
+            .sum()
+    }
+
+    /// Writes all labels `l_i` into `out` (length `G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != G`.
+    pub fn labels_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_gates);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.label(i);
+        }
+    }
+
+    /// Argmax plane (0-based) of row `i`; ties break toward the lower index,
+    /// matching a stable `argmax` over `k = 1..K`.
+    pub fn argmax_plane(&self, i: usize) -> usize {
+        let row = self.row(i);
+        let mut best = 0usize;
+        let mut best_val = row[0];
+        for (k, &v) in row.iter().enumerate().skip(1) {
+            if v > best_val {
+                best = k;
+                best_val = v;
+            }
+        }
+        best
+    }
+
+    /// Clamps every entry to `[0,1]` (Algorithm 1 lines 21–23).
+    pub fn clamp_unit(&mut self) {
+        for w in &mut self.data {
+            *w = w.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Applies `w ← w − step` element-wise with clamping to `[0,1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step.len()` differs from the matrix size.
+    pub fn descend(&mut self, step: &[f64]) {
+        assert_eq!(step.len(), self.data.len());
+        for (w, &s) in self.data.iter_mut().zip(step) {
+            *w = (*w - s).clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_rows_are_stochastic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = WeightMatrix::random(50, 7, &mut rng);
+        for i in 0..50 {
+            let sum: f64 = w.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn uniform_labels_are_midpoint() {
+        let w = WeightMatrix::uniform(3, 4);
+        // l = (1+2+3+4)/4 = 2.5
+        for i in 0..3 {
+            assert!((w.label(i) - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_hot_label_is_plane_index_plus_one() {
+        let w = WeightMatrix::from_labels(&[0, 2, 1], 3);
+        assert_eq!(w.label(0), 1.0);
+        assert_eq!(w.label(1), 3.0);
+        assert_eq!(w.label(2), 2.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        let mut w = WeightMatrix::uniform(1, 3);
+        assert_eq!(w.argmax_plane(0), 0);
+        w.set(0, 2, 0.9);
+        assert_eq!(w.argmax_plane(0), 2);
+    }
+
+    #[test]
+    fn descend_clamps() {
+        let mut w = WeightMatrix::from_labels(&[0], 2);
+        // Step pushes entry 0 above 1 and entry 1 below 0 — both clamp.
+        w.descend(&[-0.5, 0.5]);
+        assert_eq!(w.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn labels_into_matches_label() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = WeightMatrix::random(10, 5, &mut rng);
+        let mut out = vec![0.0; 10];
+        w.labels_into(&mut out);
+        for (i, &label) in out.iter().enumerate() {
+            assert_eq!(label, w.label(i));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = WeightMatrix::random(5, 3, &mut StdRng::seed_from_u64(9));
+        let b = WeightMatrix::random(5, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn from_labels_rejects_out_of_range() {
+        let _ = WeightMatrix::from_labels(&[3], 3);
+    }
+
+    #[test]
+    fn random_spread_zero_equals_plain_random() {
+        let a = WeightMatrix::random(20, 6, &mut StdRng::seed_from_u64(3));
+        let b = WeightMatrix::random_spread(20, 6, 0.0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_spread_rows_stay_stochastic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = WeightMatrix::random_spread(40, 8, 0.5, &mut rng);
+        for i in 0..40 {
+            let sum: f64 = w.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_spread_occupies_outer_planes() {
+        // The whole point: with many planes, argmax of plain random rows
+        // almost never lands on the extremes, while seeded rows cover the
+        // full range.
+        let k = 24;
+        let g = 400;
+        let occupied = |w: &WeightMatrix| {
+            let mut seen = vec![false; k];
+            for i in 0..g {
+                seen[w.argmax_plane(i)] = true;
+            }
+            seen.iter().filter(|&&s| s).count()
+        };
+        let seeded = WeightMatrix::random_spread(g, k, 0.5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(occupied(&seeded), k, "seeded init covers every plane");
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be non-negative")]
+    fn random_spread_rejects_negative() {
+        let _ =
+            WeightMatrix::random_spread(2, 2, -0.1, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,58 @@
+//! DEF parsing errors with line/column positions.
+
+use std::fmt;
+
+/// Error produced while parsing DEF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefError {
+    line: usize,
+    column: usize,
+    message: String,
+}
+
+impl DefError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        DefError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DEF parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for DefError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = DefError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "DEF parse error at 3:7: unexpected token");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 7);
+        assert_eq!(e.message(), "unexpected token");
+    }
+}

@@ -1,0 +1,225 @@
+//! Tokenizer for the DEF subset.
+
+use crate::error::DefError;
+
+/// One DEF token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    /// Identifier, keyword, or number (DEF keywords are plain words).
+    Word(String),
+    /// Double-quoted string (quotes stripped).
+    Quoted(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `-`
+    Dash,
+    /// `+`
+    Plus,
+    /// `;`
+    Semi,
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// Tokenizes DEF text; `#` starts a comment running to end-of-line.
+/// Indices are byte offsets but always advance by whole characters, so
+/// non-ASCII input (invalid in DEF proper) tokenizes into words rather than
+/// breaking string slicing.
+pub(crate) fn tokenize(text: &str) -> Result<Vec<Spanned>, DefError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let mut i = 0usize;
+        while i < line.len() {
+            let c = line[i..].chars().next().expect("i sits on a char boundary");
+            let col = i + 1;
+            match c {
+                '#' => break, // comment
+                c if c.is_whitespace() => {
+                    i += c.len_utf8();
+                }
+                '(' => {
+                    out.push(Spanned {
+                        token: Token::LParen,
+                        line: line_no,
+                        column: col,
+                    });
+                    i += 1;
+                }
+                ')' => {
+                    out.push(Spanned {
+                        token: Token::RParen,
+                        line: line_no,
+                        column: col,
+                    });
+                    i += 1;
+                }
+                ';' => {
+                    out.push(Spanned {
+                        token: Token::Semi,
+                        line: line_no,
+                        column: col,
+                    });
+                    i += 1;
+                }
+                '+' => {
+                    out.push(Spanned {
+                        token: Token::Plus,
+                        line: line_no,
+                        column: col,
+                    });
+                    i += 1;
+                }
+                '"' => {
+                    let start = i + 1;
+                    match line[start..].find('"') {
+                        Some(rel) => {
+                            out.push(Spanned {
+                                token: Token::Quoted(line[start..start + rel].to_owned()),
+                                line: line_no,
+                                column: col,
+                            });
+                            i = start + rel + 1;
+                        }
+                        None => {
+                            return Err(DefError::new(line_no, col, "unterminated string"));
+                        }
+                    }
+                }
+                '-' => {
+                    // A lone dash is the item marker; a dash glued to more
+                    // characters (e.g. negative coordinates) is part of a word.
+                    let next = line[i + 1..].chars().next();
+                    let is_lone = next.is_none_or(|c| c.is_whitespace());
+                    if is_lone {
+                        out.push(Spanned {
+                            token: Token::Dash,
+                            line: line_no,
+                            column: col,
+                        });
+                        i += 1;
+                    } else {
+                        let (word, next) = take_word(line, i);
+                        out.push(Spanned {
+                            token: Token::Word(word),
+                            line: line_no,
+                            column: col,
+                        });
+                        i = next;
+                    }
+                }
+                _ => {
+                    let (word, next) = take_word(line, i);
+                    out.push(Spanned {
+                        token: Token::Word(word),
+                        line: line_no,
+                        column: col,
+                    });
+                    i = next;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn take_word(line: &str, start: usize) -> (String, usize) {
+    let mut j = start;
+    for c in line[start..].chars() {
+        if c.is_whitespace() || matches!(c, '(' | ')' | ';' | '"' | '#' | '+') {
+            break;
+        }
+        j += c.len_utf8();
+    }
+    (line[start..j].to_owned(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<Token> {
+        tokenize(text).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            words("DESIGN top ;"),
+            vec![
+                Token::Word("DESIGN".into()),
+                Token::Word("top".into()),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn component_line() {
+        let toks = words("- u1 AND2 + PLACED ( 100 200 ) N ;");
+        assert_eq!(toks[0], Token::Dash);
+        assert_eq!(toks[1], Token::Word("u1".into()));
+        assert_eq!(toks[3], Token::Plus);
+        assert!(toks.contains(&Token::LParen));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            words("VERSION 5.8 ; # a comment ; ( )"),
+            vec![
+                Token::Word("VERSION".into()),
+                Token::Word("5.8".into()),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_strings() {
+        assert_eq!(
+            words("DIVIDERCHAR \"/\" ;"),
+            vec![
+                Token::Word("DIVIDERCHAR".into()),
+                Token::Quoted("/".into()),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("BUSBITCHARS \"[]").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn negative_numbers_are_words() {
+        assert_eq!(
+            words("( -100 200 )"),
+            vec![
+                Token::LParen,
+                Token::Word("-100".into()),
+                Token::Word("200".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (1, 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Reader and writer for a subset of the Cadence DEF format.
+//!
+//! The SPORT-lab benchmark suite the paper evaluates on is distributed as
+//! post-routed DEF; the paper's Python flow starts with a DEF parser. This
+//! crate reproduces that interface for the Rust flow:
+//!
+//! * [`write_def`] serialises a [`Netlist`](sfq_netlist::Netlist) into DEF:
+//!   non-pad cells become `COMPONENTS`, pads become `PINS`, and every net is
+//!   written with its driver first.
+//! * [`parse_def`] reads the same subset back (`VERSION`, `DESIGN`, `UNITS`,
+//!   `DIEAREA`, `COMPONENTS`, `PINS`, `NETS`), reconstructing the netlist
+//!   against a caller-supplied cell library. Placement coordinates are
+//!   accepted and ignored — partitioning is a pre-placement step.
+//!
+//! Pin naming convention (matching the writer): data inputs are `a`, `b`;
+//! the single output is `q`; a splitter's outputs are `q0`, `q1`.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_cells::{CellKind, CellLibrary};
+//! use sfq_def::{parse_def, write_def};
+//! use sfq_netlist::Netlist;
+//!
+//! let mut nl = Netlist::new("toy", CellLibrary::calibrated());
+//! let a = nl.add_cell("u1", CellKind::Dff);
+//! let b = nl.add_cell("u2", CellKind::And2);
+//! nl.connect("n1", a, 0, &[(b, 0)])?;
+//!
+//! let def_text = write_def(&nl);
+//! let parsed = parse_def(&def_text, CellLibrary::calibrated())?;
+//! assert_eq!(parsed.num_cells(), 2);
+//! assert_eq!(parsed.connections().count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+mod parser;
+mod writer;
+
+pub use error::DefError;
+pub use parser::parse_def;
+pub use writer::{write_def, write_def_placed};
+
+use sfq_cells::CellKind;
+
+/// Name of data-input pin `idx` for `kind` (writer/parser convention).
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range for the kind.
+pub fn input_pin_name(kind: CellKind, idx: usize) -> &'static str {
+    assert!(idx < kind.num_inputs(), "{kind} has no input pin {idx}");
+    match idx {
+        0 => "a",
+        1 => "b",
+        _ => unreachable!("no SFQ cell has more than two data inputs"),
+    }
+}
+
+/// Name of output pin `idx` for `kind` (writer/parser convention).
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range for the kind.
+pub fn output_pin_name(kind: CellKind, idx: usize) -> &'static str {
+    assert!(idx < kind.num_outputs(), "{kind} has no output pin {idx}");
+    if kind == CellKind::Splitter {
+        match idx {
+            0 => "q0",
+            _ => "q1",
+        }
+    } else {
+        "q"
+    }
+}
+
+/// Resolves a pin name back to `(is_output, index)`.
+///
+/// Returns `None` for names outside the convention or out of range for the
+/// kind.
+pub fn resolve_pin(kind: CellKind, name: &str) -> Option<(bool, usize)> {
+    let (is_output, idx) = match name {
+        "a" => (false, 0),
+        "b" => (false, 1),
+        "q" | "q0" => (true, 0),
+        "q1" => (true, 1),
+        _ => return None,
+    };
+    if is_output {
+        if name == "q" && kind == CellKind::Splitter {
+            // Splitter outputs must be explicit.
+            return None;
+        }
+        (idx < kind.num_outputs()).then_some((true, idx))
+    } else {
+        (idx < kind.num_inputs()).then_some((false, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_names_round_trip() {
+        for kind in CellKind::ALL {
+            for i in 0..kind.num_inputs() {
+                let name = input_pin_name(kind, i);
+                assert_eq!(resolve_pin(kind, name), Some((false, i)));
+            }
+            for o in 0..kind.num_outputs() {
+                let name = output_pin_name(kind, o);
+                assert_eq!(resolve_pin(kind, name), Some((true, o)));
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_pins_are_explicit() {
+        assert_eq!(output_pin_name(CellKind::Splitter, 0), "q0");
+        assert_eq!(output_pin_name(CellKind::Splitter, 1), "q1");
+        assert_eq!(resolve_pin(CellKind::Splitter, "q"), None);
+    }
+
+    #[test]
+    fn resolve_rejects_out_of_range() {
+        assert_eq!(resolve_pin(CellKind::Dff, "b"), None); // DFF has 1 input
+        assert_eq!(resolve_pin(CellKind::And2, "q1"), None);
+        assert_eq!(resolve_pin(CellKind::And2, "zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no input pin")]
+    fn input_pin_name_checks_range() {
+        let _ = input_pin_name(CellKind::Dff, 1);
+    }
+}

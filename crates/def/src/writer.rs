@@ -1,0 +1,208 @@
+//! DEF serialisation of a netlist.
+
+use std::fmt::Write as _;
+
+use sfq_cells::CellKind;
+use sfq_netlist::Netlist;
+
+use crate::{input_pin_name, output_pin_name};
+
+/// Serialises `netlist` into DEF text.
+///
+/// Non-pad cells are written to `COMPONENTS` (unplaced), pads to `PINS`, and
+/// every net to `NETS` with its driver connection first. The `DIEAREA` is a
+/// square sized to the total cell area plus 25 % whitespace, in the DEF
+/// database units of 1000 per micron.
+pub fn write_def(netlist: &Netlist) -> String {
+    write_def_impl(netlist, None)
+}
+
+/// Like [`write_def`] but emitting `+ PLACED ( x y ) N` for every cell whose
+/// entry in `positions` (indexed by cell id, in µm) is `Some`.
+///
+/// # Panics
+///
+/// Panics if `positions.len()` differs from the netlist's cell count.
+pub fn write_def_placed(netlist: &Netlist, positions: &[Option<(f64, f64)>]) -> String {
+    assert_eq!(
+        positions.len(),
+        netlist.num_cells(),
+        "one position slot per cell required"
+    );
+    write_def_impl(netlist, Some(positions))
+}
+
+fn write_def_impl(netlist: &Netlist, positions: Option<&[Option<(f64, f64)>]>) -> String {
+    let mut out = String::new();
+    let stats = netlist.stats();
+
+    out.push_str("VERSION 5.8 ;\n");
+    out.push_str("DIVIDERCHAR \"/\" ;\n");
+    out.push_str("BUSBITCHARS \"[]\" ;\n");
+    let _ = writeln!(out, "DESIGN {} ;", netlist.name());
+    out.push_str("UNITS DISTANCE MICRONS 1000 ;\n");
+
+    let side_um = (stats.total_area.as_square_microns() * 1.25).sqrt().ceil() as i64;
+    let side_db = side_um * 1000;
+    let _ = writeln!(out, "DIEAREA ( 0 0 ) ( {side_db} {side_db} ) ;");
+
+    // Components: non-pad cells.
+    let components: Vec<_> = netlist
+        .cells()
+        .filter(|(_, c)| !c.kind.is_pad())
+        .collect();
+    let _ = writeln!(out, "COMPONENTS {} ;", components.len());
+    for (id, cell) in &components {
+        match positions.and_then(|p| p[id.index()]) {
+            Some((x, y)) => {
+                let _ = writeln!(
+                    out,
+                    "  - {} {} + PLACED ( {} {} ) N ;",
+                    cell.name,
+                    cell.kind.name(),
+                    (x * 1000.0).round() as i64,
+                    (y * 1000.0).round() as i64,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  - {} {} ;", cell.name, cell.kind.name());
+            }
+        }
+    }
+    out.push_str("END COMPONENTS\n");
+
+    // Pins: pads. Each pad touches at most one net in our netlists; find it.
+    let pads: Vec<_> = netlist.cells().filter(|(_, c)| c.kind.is_pad()).collect();
+    let _ = writeln!(out, "PINS {} ;", pads.len());
+    for (id, cell) in &pads {
+        let net_name = netlist
+            .nets()
+            .find(|(_, n)| n.driver.cell == *id || n.sinks.iter().any(|s| s.cell == *id))
+            .map(|(_, n)| n.name.as_str())
+            .unwrap_or(cell.name.as_str());
+        let direction = if cell.kind == CellKind::InputPad {
+            "INPUT"
+        } else {
+            "OUTPUT"
+        };
+        let _ = writeln!(
+            out,
+            "  - {} + NET {} + DIRECTION {} ;",
+            cell.name, net_name, direction
+        );
+    }
+    out.push_str("END PINS\n");
+
+    // Nets: driver first, then sinks; pad connections use the PIN form.
+    let _ = writeln!(out, "NETS {} ;", netlist.num_nets());
+    for (_, net) in netlist.nets() {
+        let mut line = format!("  - {}", net.name);
+        let driver_cell = netlist.cell(net.driver.cell);
+        if driver_cell.kind.is_pad() {
+            let _ = write!(line, " ( PIN {} )", driver_cell.name);
+        } else {
+            let _ = write!(
+                line,
+                " ( {} {} )",
+                driver_cell.name,
+                output_pin_name(driver_cell.kind, net.driver.pin)
+            );
+        }
+        for sink in &net.sinks {
+            let sink_cell = netlist.cell(sink.cell);
+            if sink_cell.kind.is_pad() {
+                let _ = write!(line, " ( PIN {} )", sink_cell.name);
+            } else {
+                let _ = write!(
+                    line,
+                    " ( {} {} )",
+                    sink_cell.name,
+                    input_pin_name(sink_cell.kind, sink.pin)
+                );
+            }
+        }
+        line.push_str(" ;\n");
+        out.push_str(&line);
+    }
+    out.push_str("END NETS\n");
+    out.push_str("END DESIGN\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("sample", CellLibrary::calibrated());
+        let pad = nl.add_cell("pi0", CellKind::InputPad);
+        let d = nl.add_cell("u1", CellKind::Dff);
+        let s = nl.add_cell("u2", CellKind::Splitter);
+        let g = nl.add_cell("u3", CellKind::And2);
+        let po = nl.add_cell("po0", CellKind::OutputPad);
+        nl.connect("n0", pad, 0, &[(d, 0)]).unwrap();
+        nl.connect("n1", d, 0, &[(s, 0)]).unwrap();
+        nl.connect("n2", s, 0, &[(g, 0)]).unwrap();
+        nl.connect("n3", s, 1, &[(g, 1)]).unwrap();
+        nl.connect("n4", g, 0, &[(po, 0)]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn header_and_sections_present() {
+        let text = write_def(&sample());
+        assert!(text.contains("DESIGN sample ;"));
+        assert!(text.contains("COMPONENTS 3 ;"));
+        assert!(text.contains("PINS 2 ;"));
+        assert!(text.contains("NETS 5 ;"));
+        assert!(text.ends_with("END DESIGN\n"));
+    }
+
+    #[test]
+    fn splitter_outputs_named_explicitly() {
+        let text = write_def(&sample());
+        assert!(text.contains("( u2 q0 )"));
+        assert!(text.contains("( u2 q1 )"));
+    }
+
+    #[test]
+    fn pads_use_pin_form() {
+        let text = write_def(&sample());
+        assert!(text.contains("( PIN pi0 )"));
+        assert!(text.contains("( PIN po0 )"));
+        assert!(text.contains("- pi0 + NET n0 + DIRECTION INPUT ;"));
+        assert!(text.contains("- po0 + NET n4 + DIRECTION OUTPUT ;"));
+    }
+
+    #[test]
+    fn placed_def_contains_coordinates() {
+        let nl = sample();
+        let mut positions = vec![None; nl.num_cells()];
+        let u1 = nl.find_cell("u1").unwrap();
+        positions[u1.index()] = Some((12.5, 80.0));
+        let text = write_def_placed(&nl, &positions);
+        assert!(text.contains("- u1 DFF + PLACED ( 12500 80000 ) N ;"), "{text}");
+        // Unplaced cells stay bare.
+        assert!(text.contains("- u2 SPLIT ;"));
+        // Round trip still parses (placement ignored).
+        let parsed = crate::parse_def(&text, CellLibrary::calibrated()).unwrap();
+        assert_eq!(parsed.num_cells(), nl.num_cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "one position slot per cell")]
+    fn placed_def_checks_length() {
+        let nl = sample();
+        let _ = write_def_placed(&nl, &[None]);
+    }
+
+    #[test]
+    fn driver_is_written_first() {
+        let text = write_def(&sample());
+        let line = text.lines().find(|l| l.contains("- n1")).unwrap();
+        let d_pos = line.find("u1").unwrap();
+        let s_pos = line.find("u2").unwrap();
+        assert!(d_pos < s_pos);
+    }
+}

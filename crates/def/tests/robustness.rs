@@ -1,0 +1,76 @@
+//! Robustness: the DEF parser must never panic, whatever bytes it is fed —
+//! it either parses or returns a positioned error.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sfq_cells::CellLibrary;
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_def::{parse_def, write_def};
+
+/// KSA4's DEF, generated once (debug-mode generation is slow enough to
+/// dominate the proptest loop otherwise).
+fn ksa4_def() -> &'static str {
+    static DEF: OnceLock<String> = OnceLock::new();
+    DEF.get_or_init(|| write_def(&generate(Benchmark::Ksa4)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        let _ = parse_def(&text, CellLibrary::calibrated());
+    }
+
+    #[test]
+    fn def_like_token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("DESIGN".to_owned()),
+                Just("COMPONENTS".to_owned()),
+                Just("PINS".to_owned()),
+                Just("NETS".to_owned()),
+                Just("END".to_owned()),
+                Just("-".to_owned()),
+                Just("+".to_owned()),
+                Just(";".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("PIN".to_owned()),
+                Just("DFF".to_owned()),
+                Just("u1".to_owned()),
+                Just("q".to_owned()),
+                Just("a".to_owned()),
+                Just("3".to_owned()),
+            ],
+            0..60,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse_def(&text, CellLibrary::calibrated());
+    }
+
+    #[test]
+    fn truncated_valid_def_never_panics(cut in 0usize..10_000) {
+        let full = ksa4_def();
+        let cut = cut.min(full.len());
+        // Truncate on a char boundary (DEF output is ASCII, so always is).
+        let _ = parse_def(&full[..cut], CellLibrary::calibrated());
+    }
+}
+
+#[test]
+fn truncation_yields_errors_not_false_successes() {
+    let full = ksa4_def();
+    // Any cut strictly inside the NETS section must fail (count mismatch or
+    // missing END), never silently succeed with fewer nets.
+    let nets_start = full.find("NETS").expect("section present");
+    let end = full.find("END NETS").expect("section present");
+    for cut in [nets_start + 10, (nets_start + end) / 2, end - 1] {
+        assert!(
+            parse_def(&full[..cut], CellLibrary::calibrated()).is_err(),
+            "cut at {cut} must not parse"
+        );
+    }
+}

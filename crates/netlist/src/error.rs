@@ -1,0 +1,114 @@
+//! Netlist construction and validation errors.
+
+use std::fmt;
+
+use crate::model::{CellId, NetId};
+
+/// Errors produced while building or validating a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell id referenced a cell that does not exist.
+    UnknownCell {
+        /// The out-of-range id.
+        cell: CellId,
+    },
+    /// A net id referenced a net that does not exist.
+    UnknownNet {
+        /// The out-of-range id.
+        net: NetId,
+    },
+    /// Two cells were given the same instance name.
+    DuplicateCellName {
+        /// The repeated name.
+        name: String,
+    },
+    /// Two nets were given the same name.
+    DuplicateNetName {
+        /// The repeated name.
+        name: String,
+    },
+    /// An output pin index exceeded the cell's output pin count.
+    OutputPinOutOfRange {
+        /// Offending cell.
+        cell: CellId,
+        /// Requested pin.
+        pin: usize,
+        /// Number of output pins the cell actually has.
+        available: usize,
+    },
+    /// An input pin index exceeded the cell's input pin count.
+    InputPinOutOfRange {
+        /// Offending cell.
+        cell: CellId,
+        /// Requested pin.
+        pin: usize,
+        /// Number of input pins the cell actually has.
+        available: usize,
+    },
+    /// An input pin was driven by more than one net.
+    InputPinDoublyDriven {
+        /// Offending cell.
+        cell: CellId,
+        /// Pin with multiple drivers.
+        pin: usize,
+    },
+    /// An output pin drove more than one net.
+    OutputPinDoublyUsed {
+        /// Offending cell.
+        cell: CellId,
+        /// Pin used as driver of multiple nets.
+        pin: usize,
+    },
+    /// A cell's kind is missing from the netlist's library.
+    MissingSpec {
+        /// Name of the cell kind absent from the library.
+        kind: String,
+    },
+    /// A net has no sinks (dangling driver), reported by strict validation.
+    DanglingNet {
+        /// The sink-less net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCell { cell } => write!(f, "unknown cell id {cell:?}"),
+            NetlistError::UnknownNet { net } => write!(f, "unknown net id {net:?}"),
+            NetlistError::DuplicateCellName { name } => {
+                write!(f, "duplicate cell instance name `{name}`")
+            }
+            NetlistError::DuplicateNetName { name } => write!(f, "duplicate net name `{name}`"),
+            NetlistError::OutputPinOutOfRange {
+                cell,
+                pin,
+                available,
+            } => write!(
+                f,
+                "output pin {pin} out of range for cell {cell:?} ({available} outputs)"
+            ),
+            NetlistError::InputPinOutOfRange {
+                cell,
+                pin,
+                available,
+            } => write!(
+                f,
+                "input pin {pin} out of range for cell {cell:?} ({available} inputs)"
+            ),
+            NetlistError::InputPinDoublyDriven { cell, pin } => {
+                write!(f, "input pin {pin} of cell {cell:?} driven by multiple nets")
+            }
+            NetlistError::OutputPinDoublyUsed { cell, pin } => {
+                write!(f, "output pin {pin} of cell {cell:?} drives multiple nets")
+            }
+            NetlistError::MissingSpec { kind } => {
+                write!(f, "cell kind `{kind}` missing from the attached library")
+            }
+            NetlistError::DanglingNet { net } => write!(f, "net {net:?} has no sinks"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

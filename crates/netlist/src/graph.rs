@@ -1,0 +1,270 @@
+//! Connectivity-graph utilities over a [`Netlist`].
+//!
+//! The partitioner and the benchmark generators both need cheap graph
+//! questions answered: adjacency, topological levels, connected components.
+//! [`ConnectivityGraph`] caches adjacency lists built once from the netlist's
+//! connection set.
+
+use std::collections::VecDeque;
+
+use crate::model::{CellId, Netlist};
+
+/// Cached adjacency lists over a netlist's gate-to-gate connections.
+///
+/// # Example
+///
+/// ```
+/// use sfq_cells::{CellKind, CellLibrary};
+/// use sfq_netlist::{ConnectivityGraph, Netlist};
+///
+/// let mut nl = Netlist::new("chain", CellLibrary::calibrated());
+/// let a = nl.add_cell("a", CellKind::Dff);
+/// let b = nl.add_cell("b", CellKind::Dff);
+/// let c = nl.add_cell("c", CellKind::Dff);
+/// nl.connect("n0", a, 0, &[(b, 0)])?;
+/// nl.connect("n1", b, 0, &[(c, 0)])?;
+///
+/// let g = ConnectivityGraph::of(&nl);
+/// assert_eq!(g.fanout(a), &[b]);
+/// assert_eq!(g.fanin(c), &[b]);
+/// assert_eq!(g.num_components(), 1);
+/// # Ok::<(), sfq_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectivityGraph {
+    fanout: Vec<Vec<CellId>>,
+    fanin: Vec<Vec<CellId>>,
+}
+
+impl ConnectivityGraph {
+    /// Builds the graph from all gate-to-gate connections of `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let n = netlist.num_cells();
+        let mut fanout = vec![Vec::new(); n];
+        let mut fanin = vec![Vec::new(); n];
+        for conn in netlist.connections() {
+            fanout[conn.from.index()].push(conn.to);
+            fanin[conn.to.index()].push(conn.from);
+        }
+        ConnectivityGraph { fanout, fanin }
+    }
+
+    /// Number of vertices (cells).
+    pub fn num_cells(&self) -> usize {
+        self.fanout.len()
+    }
+
+    /// Cells driven by `cell`.
+    pub fn fanout(&self, cell: CellId) -> &[CellId] {
+        &self.fanout[cell.index()]
+    }
+
+    /// Cells driving `cell`.
+    pub fn fanin(&self, cell: CellId) -> &[CellId] {
+        &self.fanin[cell.index()]
+    }
+
+    /// Maximum fanout degree across all cells (0 for an empty graph).
+    pub fn max_fanout(&self) -> usize {
+        self.fanout.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.fanout.iter().map(Vec::len).sum()
+    }
+
+    /// Assigns each cell its longest-path depth from any source (cell with no
+    /// fanin), ignoring cycles by processing in Kahn order and leaving cells
+    /// on cycles at the level where the cycle was broken.
+    pub fn levels(&self) -> LevelAssignment {
+        let n = self.num_cells();
+        let mut indeg: Vec<usize> = self.fanin.iter().map(Vec::len).collect();
+        let mut level = vec![0usize; n];
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop_front() {
+            seen += 1;
+            for &v in &self.fanout[u] {
+                let vi = v.index();
+                level[vi] = level[vi].max(level[u] + 1);
+                indeg[vi] -= 1;
+                if indeg[vi] == 0 {
+                    queue.push_back(vi);
+                }
+            }
+        }
+        LevelAssignment {
+            levels: level,
+            is_dag: seen == n,
+        }
+    }
+
+    /// Returns one topological order if the graph is a DAG, else `None`.
+    pub fn topological_order(&self) -> Option<Vec<CellId>> {
+        let n = self.num_cells();
+        let mut indeg: Vec<usize> = self.fanin.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(CellId(u as u32));
+            for &v in &self.fanout[u] {
+                let vi = v.index();
+                indeg[vi] -= 1;
+                if indeg[vi] == 0 {
+                    queue.push_back(vi);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Number of weakly connected components.
+    pub fn num_components(&self) -> usize {
+        let n = self.num_cells();
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = count;
+            while let Some(u) = stack.pop() {
+                for &v in self.fanout[u].iter().chain(self.fanin[u].iter()) {
+                    let vi = v.index();
+                    if comp[vi] == usize::MAX {
+                        comp[vi] = count;
+                        stack.push(vi);
+                    }
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+}
+
+/// Result of [`ConnectivityGraph::levels`].
+#[derive(Debug, Clone)]
+pub struct LevelAssignment {
+    levels: Vec<usize>,
+    is_dag: bool,
+}
+
+impl LevelAssignment {
+    /// Level (longest-path depth from a source) of `cell`.
+    pub fn level(&self, cell: CellId) -> usize {
+        self.levels[cell.index()]
+    }
+
+    /// All levels, indexed by cell id.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Whether the underlying graph was acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.is_dag
+    }
+
+    /// The maximum level (circuit logic depth); 0 for an empty circuit.
+    pub fn depth(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::{CellKind, CellLibrary};
+
+    fn diamond() -> Netlist {
+        // a -> s -> {b, c} -> m
+        let mut nl = Netlist::new("diamond", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Dff);
+        let s = nl.add_cell("s", CellKind::Splitter);
+        let b = nl.add_cell("b", CellKind::Jtl);
+        let c = nl.add_cell("c", CellKind::Jtl);
+        let m = nl.add_cell("m", CellKind::Merger);
+        nl.connect("n0", a, 0, &[(s, 0)]).unwrap();
+        nl.connect("n1", s, 0, &[(b, 0)]).unwrap();
+        nl.connect("n2", s, 1, &[(c, 0)]).unwrap();
+        nl.connect("n3", b, 0, &[(m, 0)]).unwrap();
+        nl.connect("n4", c, 0, &[(m, 1)]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn adjacency() {
+        let nl = diamond();
+        let g = ConnectivityGraph::of(&nl);
+        assert_eq!(g.fanout(CellId(1)).len(), 2);
+        assert_eq!(g.fanin(CellId(4)).len(), 2);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.max_fanout(), 2);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let nl = diamond();
+        let g = ConnectivityGraph::of(&nl);
+        let lv = g.levels();
+        assert!(lv.is_dag());
+        assert_eq!(lv.level(CellId(0)), 0);
+        assert_eq!(lv.level(CellId(1)), 1);
+        assert_eq!(lv.level(CellId(4)), 3);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let nl = diamond();
+        let g = ConnectivityGraph::of(&nl);
+        let order = g.topological_order().expect("diamond is a DAG");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, c) in order.iter().enumerate() {
+                p[c.index()] = i;
+            }
+            p
+        };
+        for cell in nl.cell_ids() {
+            for &succ in g.fanout(cell) {
+                assert!(pos[cell.index()] < pos[succ.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut nl = Netlist::new("cycle", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Jtl);
+        let b = nl.add_cell("b", CellKind::Jtl);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        nl.connect("n1", b, 0, &[(a, 0)]).unwrap();
+        let g = ConnectivityGraph::of(&nl);
+        assert!(g.topological_order().is_none());
+        assert!(!g.levels().is_dag());
+    }
+
+    #[test]
+    fn components() {
+        let mut nl = diamond();
+        // Two isolated cells -> 3 components total.
+        nl.add_cell("x", CellKind::Jtl);
+        nl.add_cell("y", CellKind::Jtl);
+        let g = ConnectivityGraph::of(&nl);
+        assert_eq!(g.num_components(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let nl = Netlist::new("empty", CellLibrary::calibrated());
+        let g = ConnectivityGraph::of(&nl);
+        assert_eq!(g.num_cells(), 0);
+        assert_eq!(g.num_components(), 0);
+        assert_eq!(g.levels().depth(), 0);
+        assert_eq!(g.topological_order(), Some(vec![]));
+    }
+}

@@ -1,0 +1,44 @@
+//! Gate-level SFQ netlist data model.
+//!
+//! A [`Netlist`] is a flat collection of cell instances (each referencing a
+//! [`CellKind`](sfq_cells::CellKind) from a [`CellLibrary`](sfq_cells::CellLibrary))
+//! and point-to-multipoint nets. It is the interchange type between the DEF
+//! parser (`sfq-def`), the benchmark generators (`sfq-circuits`), the
+//! partitioner (`sfq-partition`), and the current-recycling planner
+//! (`sfq-recycle`).
+//!
+//! For ground-plane partitioning, the netlist is flattened to the paper's
+//! connection set `E`: one ordered pair *(driver gate, sink gate)* per
+//! driver→sink arc of every signal net ([`Netlist::connections`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_cells::{CellKind, CellLibrary};
+//! use sfq_netlist::Netlist;
+//!
+//! let mut nl = Netlist::new("toy", CellLibrary::calibrated());
+//! let a = nl.add_cell("a", CellKind::Dff);
+//! let b = nl.add_cell("b", CellKind::Dff);
+//! nl.connect("n1", a, 0, &[(b, 0)])?;
+//! assert_eq!(nl.connections().count(), 1);
+//! assert!(nl.validate().is_ok());
+//! # Ok::<(), sfq_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod model;
+mod stats;
+mod timing;
+mod transform;
+
+pub use error::NetlistError;
+pub use graph::{ConnectivityGraph, LevelAssignment};
+pub use model::{Cell, CellId, Connection, Net, NetId, Netlist, PinRef};
+pub use stats::NetlistStats;
+pub use timing::ClockAnalysis;
+pub use transform::{fanout_histogram, level_histogram, sweep_dangling};

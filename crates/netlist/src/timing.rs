@@ -1,0 +1,204 @@
+//! Static timing analysis of the gate-level pipeline.
+//!
+//! In a fully path-balanced SFQ circuit, every clock period one pulse wave
+//! advances one clocked stage. The minimum clock period is therefore the
+//! worst *stage delay*: the clock-to-Q delay of the launching clocked cell
+//! (or the arrival of an input pad) plus the propagation delays of every
+//! unclocked cell (splitters, JTLs, mergers, PTL couplers) on the way to
+//! the next clocked cell or output pad.
+//!
+//! This is the lens for the paper's §III-B3 remark that non-adjacent
+//! connections "decrease the operating frequency of the circuit": each
+//! boundary crossing inserts an inductive driver/receiver pair into a stage
+//! path, and [`ClockAnalysis`] of a coupler-inserted netlist quantifies the
+//! resulting period increase directly.
+
+use crate::graph::ConnectivityGraph;
+use crate::model::{CellId, Netlist};
+
+/// Result of [`ClockAnalysis::of`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockAnalysis {
+    /// Worst stage delay = minimum clock period, ps.
+    pub min_period_ps: f64,
+    /// Maximum operating frequency, GHz (`1000 / min_period_ps`).
+    pub max_frequency_ghz: f64,
+    /// The cell ending the critical stage (a clocked cell or output pad).
+    pub critical_endpoint: Option<CellId>,
+}
+
+impl ClockAnalysis {
+    /// Analyzes `netlist` with the delays of its attached library.
+    ///
+    /// Cells whose kind is missing a library spec contribute the kind's
+    /// default delay. An empty or pad-only netlist reports a zero period.
+    pub fn of(netlist: &Netlist) -> Self {
+        Self::with_edge_delays(netlist, |_, _| 0.0)
+    }
+
+    /// Like [`ClockAnalysis::of`] but adding `extra(driver, sink)` ps to
+    /// every gate-to-gate arc — the hook used to model inductive ground-
+    /// plane crossings without rewriting the netlist (each crossed boundary
+    /// adds a driver/receiver pair to the stage path).
+    pub fn with_edge_delays<F>(netlist: &Netlist, extra: F) -> Self
+    where
+        F: Fn(CellId, CellId) -> f64,
+    {
+        let graph = ConnectivityGraph::of(netlist);
+        let order = match graph.topological_order() {
+            Some(o) => o,
+            // Cyclic netlists have no static pipeline period; report the
+            // conservative "no result".
+            None => {
+                return ClockAnalysis {
+                    min_period_ps: f64::INFINITY,
+                    max_frequency_ghz: 0.0,
+                    critical_endpoint: None,
+                }
+            }
+        };
+
+        let delay = |id: CellId| -> f64 {
+            let kind = netlist.cell(id).kind;
+            netlist
+                .library()
+                .get(kind)
+                .map(|s| s.delay_ps)
+                .unwrap_or_else(|| kind.default_delay_ps())
+        };
+
+        // f(u) = accumulated delay since the launching clocked stage,
+        // measured at u's output.
+        let mut f = vec![0.0f64; netlist.num_cells()];
+        let mut worst = 0.0f64;
+        let mut endpoint = None;
+        for id in order {
+            let kind = netlist.cell(id).kind;
+            let incoming = graph
+                .fanin(id)
+                .iter()
+                .map(|&p| f[p.index()] + extra(p, id))
+                .fold(0.0f64, f64::max);
+            if kind.is_clocked() || kind.is_pad() {
+                // Stage ends here: candidate period = path into this cell.
+                let candidate = incoming + if kind.is_clocked() { delay(id) } else { 0.0 };
+                if candidate > worst {
+                    worst = candidate;
+                    endpoint = Some(id);
+                }
+                // A clocked cell relaunches with its clock-to-Q delay; a pad
+                // launches at 0 (the pad interface is externally timed).
+                f[id.index()] = if kind.is_clocked() { delay(id) } else { 0.0 };
+            } else {
+                f[id.index()] = incoming + delay(id);
+                // Paths may also end in a sink-less unclocked cell.
+                if graph.fanout(id).is_empty() && f[id.index()] > worst {
+                    worst = f[id.index()];
+                    endpoint = Some(id);
+                }
+            }
+        }
+
+        ClockAnalysis {
+            min_period_ps: worst,
+            max_frequency_ghz: if worst > 0.0 { 1000.0 / worst } else { 0.0 },
+            critical_endpoint: endpoint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::{CellKind, CellLibrary};
+
+    #[test]
+    fn dff_chain_period_is_one_stage() {
+        // in -> DFF -> DFF -> out: each stage = one DFF clock-to-Q (5 ps).
+        let mut nl = Netlist::new("p", CellLibrary::calibrated());
+        let i = nl.add_cell("i", CellKind::InputPad);
+        let d1 = nl.add_cell("d1", CellKind::Dff);
+        let d2 = nl.add_cell("d2", CellKind::Dff);
+        let o = nl.add_cell("o", CellKind::OutputPad);
+        nl.connect("n0", i, 0, &[(d1, 0)]).unwrap();
+        nl.connect("n1", d1, 0, &[(d2, 0)]).unwrap();
+        nl.connect("n2", d2, 0, &[(o, 0)]).unwrap();
+        let t = ClockAnalysis::of(&nl);
+        assert!((t.min_period_ps - 10.0).abs() < 1e-9, "5 launch + 5 capture");
+        assert!((t.max_frequency_ghz - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unclocked_chain_lengthens_the_stage() {
+        // DFF -> JTL -> JTL -> SPLIT -> DFF: stage = 5 + 3 + 3 + 4 + 5.
+        let mut nl = Netlist::new("p", CellLibrary::calibrated());
+        let d1 = nl.add_cell("d1", CellKind::Dff);
+        let j1 = nl.add_cell("j1", CellKind::Jtl);
+        let j2 = nl.add_cell("j2", CellKind::Jtl);
+        let s = nl.add_cell("s", CellKind::Splitter);
+        let d2 = nl.add_cell("d2", CellKind::Dff);
+        let d3 = nl.add_cell("d3", CellKind::Dff);
+        nl.connect("n0", d1, 0, &[(j1, 0)]).unwrap();
+        nl.connect("n1", j1, 0, &[(j2, 0)]).unwrap();
+        nl.connect("n2", j2, 0, &[(s, 0)]).unwrap();
+        nl.connect("n3", s, 0, &[(d2, 0)]).unwrap();
+        nl.connect("n4", s, 1, &[(d3, 0)]).unwrap();
+        let t = ClockAnalysis::of(&nl);
+        assert!((t.min_period_ps - 20.0).abs() < 1e-9, "got {}", t.min_period_ps);
+        assert!(t.critical_endpoint.is_some());
+    }
+
+    #[test]
+    fn coupler_pair_slows_the_stage() {
+        // Same stage with a PTLTX->PTLRX crossing modeled galvanically
+        // through its receiver: DFF -> RX -> DFF (driver side ends at TX).
+        let mut base = Netlist::new("b", CellLibrary::calibrated());
+        let d1 = base.add_cell("d1", CellKind::Dff);
+        let d2 = base.add_cell("d2", CellKind::Dff);
+        base.connect("n0", d1, 0, &[(d2, 0)]).unwrap();
+        let fast = ClockAnalysis::of(&base).min_period_ps;
+
+        let mut slow = Netlist::new("s", CellLibrary::calibrated());
+        let d1 = slow.add_cell("d1", CellKind::Dff);
+        let tx = slow.add_cell("tx", CellKind::PtlTx);
+        let rx = slow.add_cell("rx", CellKind::PtlRx);
+        let d2 = slow.add_cell("d2", CellKind::Dff);
+        slow.connect("n0", d1, 0, &[(tx, 0)]).unwrap();
+        slow.connect("n1", rx, 0, &[(d2, 0)]).unwrap();
+        let crossed = ClockAnalysis::of(&slow).min_period_ps;
+        // TX path: 5 + 12.5 = 17.5; RX path: 12.5 + 5 = 17.5 > 10.
+        assert!(crossed > fast, "crossing must slow the stage");
+        assert!((crossed - 17.5).abs() < 1e-9, "got {crossed}");
+    }
+
+    #[test]
+    fn edge_delays_extend_the_critical_stage() {
+        let mut nl = Netlist::new("x", CellLibrary::calibrated());
+        let d1 = nl.add_cell("d1", CellKind::Dff);
+        let d2 = nl.add_cell("d2", CellKind::Dff);
+        nl.connect("n0", d1, 0, &[(d2, 0)]).unwrap();
+        let base = ClockAnalysis::of(&nl).min_period_ps;
+        let crossed = ClockAnalysis::with_edge_delays(&nl, |_, _| 25.0).min_period_ps;
+        assert!((crossed - base - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_netlist_reports_infinite_period() {
+        let mut nl = Netlist::new("c", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Jtl);
+        let b = nl.add_cell("b", CellKind::Jtl);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        nl.connect("n1", b, 0, &[(a, 0)]).unwrap();
+        let t = ClockAnalysis::of(&nl);
+        assert!(t.min_period_ps.is_infinite());
+        assert_eq!(t.max_frequency_ghz, 0.0);
+    }
+
+    #[test]
+    fn empty_netlist_reports_zero() {
+        let nl = Netlist::new("e", CellLibrary::calibrated());
+        let t = ClockAnalysis::of(&nl);
+        assert_eq!(t.min_period_ps, 0.0);
+        assert_eq!(t.critical_endpoint, None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Netlist transformations and structural analyses.
+//!
+//! * [`sweep_dangling`] — iteratively removes dead logic (non-pad cells
+//!   whose outputs drive nothing), as left behind by generators or manual
+//!   edits. Partitioning dead gates would waste bias budget.
+//! * [`fanout_histogram`] / [`level_histogram`] — structural profiles used
+//!   by the generators' calibration tests and by reports.
+
+use std::collections::BTreeMap;
+
+use crate::graph::ConnectivityGraph;
+use crate::model::{CellId, Netlist};
+
+/// Removes non-pad cells with no outgoing connections, repeating until a
+/// fixed point (removing a dead sink can orphan its driver). Returns the
+/// swept netlist and the number of cells removed.
+///
+/// Net and cell names are preserved; ids are compacted.
+///
+/// # Example
+///
+/// ```
+/// use sfq_cells::{CellKind, CellLibrary};
+/// use sfq_netlist::{sweep_dangling, Netlist};
+///
+/// let mut nl = Netlist::new("d", CellLibrary::calibrated());
+/// let a = nl.add_cell("a", CellKind::Splitter);
+/// let live = nl.add_cell("live", CellKind::OutputPad);
+/// let dead = nl.add_cell("dead", CellKind::Jtl);
+/// nl.connect("n0", a, 0, &[(live, 0)])?;
+/// nl.connect("n1", a, 1, &[(dead, 0)])?;
+/// let (swept, removed) = sweep_dangling(&nl);
+/// assert_eq!(removed, 1);
+/// assert!(swept.find_cell("dead").is_none());
+/// # Ok::<(), sfq_netlist::NetlistError>(())
+/// ```
+pub fn sweep_dangling(netlist: &Netlist) -> (Netlist, usize) {
+    let mut alive = vec![true; netlist.num_cells()];
+    loop {
+        // Fanout counts among live cells only.
+        let mut fanout = vec![0usize; netlist.num_cells()];
+        for (_, net) in netlist.nets() {
+            if !alive[net.driver.cell.index()] {
+                continue;
+            }
+            for sink in &net.sinks {
+                if alive[sink.cell.index()] {
+                    fanout[net.driver.cell.index()] += 1;
+                }
+            }
+        }
+        let mut changed = false;
+        for (id, cell) in netlist.cells() {
+            if alive[id.index()] && !cell.kind.is_pad() && fanout[id.index()] == 0 {
+                alive[id.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Rebuild with compacted ids.
+    let mut out = Netlist::new(netlist.name().to_owned(), netlist.library().clone());
+    let mut remap = vec![CellId(u32::MAX); netlist.num_cells()];
+    let mut removed = 0usize;
+    for (id, cell) in netlist.cells() {
+        if alive[id.index()] {
+            remap[id.index()] = out.add_cell(cell.name.clone(), cell.kind);
+        } else {
+            removed += 1;
+        }
+    }
+    for (_, net) in netlist.nets() {
+        if !alive[net.driver.cell.index()] {
+            continue;
+        }
+        let sinks: Vec<(CellId, usize)> = net
+            .sinks
+            .iter()
+            .filter(|s| alive[s.cell.index()])
+            .map(|s| (remap[s.cell.index()], s.pin))
+            .collect();
+        if sinks.is_empty() {
+            continue; // Fully dead net.
+        }
+        out.connect(
+            net.name.clone(),
+            remap[net.driver.cell.index()],
+            net.driver.pin,
+            &sinks,
+        )
+        .expect("remapped pins stay valid");
+    }
+    (out, removed)
+}
+
+/// Histogram of gate-to-gate fanout degree (pads excluded on both sides),
+/// keyed by degree.
+pub fn fanout_histogram(netlist: &Netlist) -> BTreeMap<usize, usize> {
+    let graph = ConnectivityGraph::of(netlist);
+    let mut histogram = BTreeMap::new();
+    for (id, cell) in netlist.cells() {
+        if cell.kind.is_pad() {
+            continue;
+        }
+        let degree = graph
+            .fanout(id)
+            .iter()
+            .filter(|&&s| !netlist.cell(s).kind.is_pad())
+            .count();
+        *histogram.entry(degree).or_insert(0) += 1;
+    }
+    histogram
+}
+
+/// Histogram of logic levels (longest path from any source), keyed by level.
+pub fn level_histogram(netlist: &Netlist) -> BTreeMap<usize, usize> {
+    let graph = ConnectivityGraph::of(netlist);
+    let levels = graph.levels();
+    let mut histogram = BTreeMap::new();
+    for (id, cell) in netlist.cells() {
+        if cell.kind.is_pad() {
+            continue;
+        }
+        *histogram.entry(levels.level(id)).or_insert(0) += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::{CellKind, CellLibrary};
+
+    fn with_dead_chain() -> Netlist {
+        // a -> b -> pad (live) and a -> c -> d (dead tail).
+        let mut nl = Netlist::new("t", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Splitter);
+        let b = nl.add_cell("b", CellKind::Dff);
+        let pad = nl.add_cell("pad", CellKind::OutputPad);
+        let c = nl.add_cell("c", CellKind::Jtl);
+        let d = nl.add_cell("d", CellKind::Jtl);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        nl.connect("n1", b, 0, &[(pad, 0)]).unwrap();
+        nl.connect("n2", a, 1, &[(c, 0)]).unwrap();
+        nl.connect("n3", c, 0, &[(d, 0)]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn sweep_removes_dead_tail_transitively() {
+        let nl = with_dead_chain();
+        let (swept, removed) = sweep_dangling(&nl);
+        // d dies (no fanout), then c dies.
+        assert_eq!(removed, 2);
+        assert!(swept.find_cell("c").is_none());
+        assert!(swept.find_cell("d").is_none());
+        assert!(swept.find_cell("a").is_some());
+        swept.validate().expect("swept netlist valid");
+        assert_eq!(swept.stats().num_gates, 2);
+    }
+
+    #[test]
+    fn sweep_keeps_everything_when_alive() {
+        let nl = {
+            let mut nl = Netlist::new("live", CellLibrary::calibrated());
+            let a = nl.add_cell("a", CellKind::Dff);
+            let pad = nl.add_cell("pad", CellKind::OutputPad);
+            nl.connect("n", a, 0, &[(pad, 0)]).unwrap();
+            nl
+        };
+        let (swept, removed) = sweep_dangling(&nl);
+        assert_eq!(removed, 0);
+        assert_eq!(swept.num_cells(), nl.num_cells());
+    }
+
+    #[test]
+    fn sweep_drops_dead_nets() {
+        let nl = with_dead_chain();
+        let (swept, _) = sweep_dangling(&nl);
+        // n2 and n3 vanish entirely.
+        assert_eq!(swept.num_nets(), 2);
+    }
+
+    #[test]
+    fn fanout_histogram_excludes_pads() {
+        let nl = with_dead_chain();
+        let h = fanout_histogram(&nl);
+        // a drives 2 gates; b drives only a pad (degree 0 gate-to-gate);
+        // c drives 1; d drives 0.
+        assert_eq!(h[&2], 1);
+        assert_eq!(h[&0], 2); // b and d
+        assert_eq!(h[&1], 1); // c
+    }
+
+    #[test]
+    fn level_histogram_counts_gates_per_level() {
+        let nl = with_dead_chain();
+        let h = level_histogram(&nl);
+        let total: usize = h.values().sum();
+        assert_eq!(total, 4, "four non-pad gates");
+        assert_eq!(h[&0], 1, "a is the only source gate");
+    }
+}

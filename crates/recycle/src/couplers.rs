@@ -1,0 +1,258 @@
+//! Netlist transform: materialise the inductive couplers a partition needs.
+//!
+//! Communication between isolated ground planes uses differential inductive
+//! coupling — a driver cell (`PTLTX`) on the sending plane magnetically
+//! coupled to a receiver (`PTLRX`) on the receiving plane (paper §III-A).
+//! A connection spanning `d` boundaries needs `d` driver/receiver pairs,
+//! one per intermediate plane hop.
+//!
+//! [`insert_couplers`] rewrites a partitioned netlist so that every
+//! plane-crossing connection physically routes through its coupler chain,
+//! producing a netlist that could actually be laid out — and an extended
+//! partition assigning each inserted cell to its plane.
+
+use sfq_cells::CellKind;
+use sfq_netlist::{CellId, Netlist};
+use sfq_partition::{Partition, PartitionProblem};
+
+use crate::plan::RecycleError;
+
+/// Result of [`insert_couplers`].
+#[derive(Debug, Clone)]
+pub struct CoupledNetlist {
+    /// The rewritten netlist (original cells first, couplers appended).
+    pub netlist: Netlist,
+    /// Plane of every cell in the rewritten netlist (original gates keep
+    /// their plane; each TX sits on its source-side plane, each RX on the
+    /// next plane toward the sink).
+    pub planes: Vec<u32>,
+    /// Number of TX/RX pairs inserted.
+    pub pairs_inserted: usize,
+}
+
+/// Rewrites `netlist` so every plane-crossing driver→sink arc passes
+/// through the required chain of `PTLTX`/`PTLRX` pairs.
+///
+/// `problem` must have been built from `netlist` (it carries the gate↔cell
+/// mapping) and `partition` must match `problem`.
+///
+/// # Errors
+///
+/// Returns [`RecycleError::Mismatch`] if the problem lacks the netlist
+/// mapping or the dimensions disagree.
+pub fn insert_couplers(
+    netlist: &Netlist,
+    problem: &PartitionProblem,
+    partition: &Partition,
+) -> Result<CoupledNetlist, RecycleError> {
+    if problem.num_gates() != partition.num_gates() {
+        return Err(RecycleError::Mismatch {
+            detail: "problem/partition gate counts differ".to_owned(),
+        });
+    }
+    let Some(gate_cells) = problem.gate_cells() else {
+        return Err(RecycleError::Mismatch {
+            detail: "problem was not built from a netlist (no gate mapping)".to_owned(),
+        });
+    };
+
+    // Plane of every original cell; pads inherit the plane of their gate
+    // neighbour (resolved below), seeded with plane 0.
+    let mut plane_of_cell = vec![0u32; netlist.num_cells()];
+    for (gate, &cell) in gate_cells.iter().enumerate() {
+        plane_of_cell[cell.index()] = partition.plane_of(gate) as u32;
+    }
+
+    let mut out = Netlist::new(
+        format!("{}_coupled", netlist.name()),
+        netlist.library().clone(),
+    );
+    // Copy cells 1:1 (ids preserved because insertion order matches).
+    for (_, cell) in netlist.cells() {
+        out.add_cell(cell.name.clone(), cell.kind);
+    }
+    let mut planes = plane_of_cell.clone();
+
+    let mut pairs_inserted = 0usize;
+    let mut coupler_id = 0usize;
+    for (_, net) in netlist.nets() {
+        let driver = net.driver;
+        // The driver keeps exactly one net; crossing sinks are replaced by
+        // the first TX of their coupler chain, chain internals get their
+        // own nets.
+        let mut direct_sinks: Vec<(CellId, usize)> = Vec::new();
+        for sink in &net.sinks {
+            let from_plane = plane_of_cell[driver.cell.index()] as i64;
+            let to_plane = plane_of_cell[sink.cell.index()] as i64;
+            // Pads share the perimeter common ground: no couplers needed.
+            let skip = netlist.cell(driver.cell).kind.is_pad()
+                || netlist.cell(sink.cell).kind.is_pad();
+            let distance = (from_plane - to_plane).unsigned_abs() as usize;
+            if skip || distance == 0 {
+                direct_sinks.push((sink.cell, sink.pin));
+                continue;
+            }
+
+            // Chain of TX/RX pairs, one per boundary hop. The first TX
+            // becomes a sink of the driver's net; each RX feeds the next
+            // TX (the TX→RX link itself is the magnetic coupling, which has
+            // no galvanic net).
+            let step: i64 = if to_plane > from_plane { 1 } else { -1 };
+            let mut plane = from_plane;
+            let mut upstream_rx: Option<CellId> = None;
+            for hop in 0..distance {
+                let tx = out.add_cell(format!("ctx{coupler_id}_{hop}"), CellKind::PtlTx);
+                planes.push(plane as u32);
+                let rx = out.add_cell(format!("crx{coupler_id}_{hop}"), CellKind::PtlRx);
+                planes.push((plane + step) as u32);
+                match upstream_rx {
+                    None => direct_sinks.push((tx, 0)),
+                    Some(prev_rx) => {
+                        out.connect(
+                            format!("chain{coupler_id}_{hop}"),
+                            prev_rx,
+                            0,
+                            &[(tx, 0)],
+                        )
+                        .expect("rx pin 0 exists");
+                    }
+                }
+                upstream_rx = Some(rx);
+                plane += step;
+                pairs_inserted += 1;
+            }
+            out.connect(
+                format!("final{coupler_id}"),
+                upstream_rx.expect("distance >= 1 built a chain"),
+                0,
+                &[(sink.cell, sink.pin)],
+            )
+            .expect("sink pin unchanged");
+            coupler_id += 1;
+        }
+        out.connect(
+            format!("net{}", out.num_nets()),
+            driver.cell,
+            driver.pin,
+            &direct_sinks,
+        )
+        .expect("copied pins stay valid");
+    }
+
+    debug_assert!(out.validate().is_ok());
+    Ok(CoupledNetlist {
+        netlist: out,
+        planes,
+        pairs_inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    /// Chain of 4 DFFs split across 3 planes: 0,0 | 1 | 2 with one direct
+    /// arc per boundary plus one long arc 0→2 via a second splitter output.
+    fn setup() -> (Netlist, PartitionProblem, Partition) {
+        let mut nl = Netlist::new("t", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Splitter);
+        let b = nl.add_cell("b", CellKind::Dff);
+        let c = nl.add_cell("c", CellKind::Dff);
+        let d = nl.add_cell("d", CellKind::Merger);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        nl.connect("n1", b, 0, &[(c, 0)]).unwrap();
+        nl.connect("n2", c, 0, &[(d, 0)]).unwrap();
+        nl.connect("n3", a, 1, &[(d, 1)]).unwrap(); // long arc
+        let problem = PartitionProblem::from_netlist(&nl, 3).unwrap();
+        let partition = Partition::from_labels(vec![0, 0, 1, 2], 3).unwrap();
+        (nl, problem, partition)
+    }
+
+    #[test]
+    fn inserts_one_pair_per_boundary_hop() {
+        let (nl, problem, partition) = setup();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        // Arcs: a->b d0; b->c d1 (1 pair); c->d d1 (1 pair); a->d d2 (2 pairs).
+        assert_eq!(coupled.pairs_inserted, 4);
+        let stats = coupled.netlist.stats();
+        assert_eq!(stats.kind_histogram[&CellKind::PtlTx], 4);
+        assert_eq!(stats.kind_histogram[&CellKind::PtlRx], 4);
+    }
+
+    #[test]
+    fn pair_count_matches_metrics() {
+        let (nl, problem, partition) = setup();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        let m = sfq_partition::PartitionMetrics::evaluate(&problem, &partition);
+        assert_eq!(coupled.pairs_inserted, m.total_coupler_pairs());
+    }
+
+    #[test]
+    fn coupled_netlist_validates() {
+        let (nl, problem, partition) = setup();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        coupled.netlist.validate().expect("valid after rewrite");
+        assert_eq!(coupled.planes.len(), coupled.netlist.num_cells());
+    }
+
+    #[test]
+    fn tx_rx_sit_on_adjacent_planes() {
+        let (nl, problem, partition) = setup();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        for (id, cell) in coupled.netlist.cells() {
+            if cell.kind == CellKind::PtlTx {
+                // Its RX partner is the next cell added.
+                let rx_plane = coupled.planes[id.index() + 1];
+                let tx_plane = coupled.planes[id.index()];
+                assert_eq!(
+                    (rx_plane as i64 - tx_plane as i64).abs(),
+                    1,
+                    "TX/RX must straddle one boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_plane_arcs_untouched() {
+        let (nl, problem, partition) = setup();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        // a->b stays a direct arc.
+        let a = coupled.netlist.find_cell("a").unwrap();
+        let b = coupled.netlist.find_cell("b").unwrap();
+        assert!(coupled
+            .netlist
+            .connections()
+            .any(|c| c.from == a && c.to == b));
+    }
+
+    #[test]
+    fn requires_netlist_backed_problem() {
+        let (nl, _, partition) = setup();
+        let raw = PartitionProblem::new(vec![1.0; 4], vec![1.0; 4], vec![], 3).unwrap();
+        let err = insert_couplers(&nl, &raw, &partition).unwrap_err();
+        assert!(matches!(err, RecycleError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn downhill_crossings_also_chain() {
+        // Arc from plane 2 down to plane 0.
+        let mut nl = Netlist::new("down", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Dff);
+        let b = nl.add_cell("b", CellKind::Dff);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        let problem = PartitionProblem::from_netlist(&nl, 3).unwrap();
+        let partition = Partition::from_labels(vec![2, 0], 3).unwrap();
+        let coupled = insert_couplers(&nl, &problem, &partition).unwrap();
+        assert_eq!(coupled.pairs_inserted, 2);
+        // First TX on plane 2, its RX on plane 1, next TX plane 1, RX plane 0.
+        let tx_planes: Vec<u32> = coupled
+            .netlist
+            .cells()
+            .filter(|(_, c)| c.kind == CellKind::PtlTx)
+            .map(|(id, _)| coupled.planes[id.index()])
+            .collect();
+        assert_eq!(tx_planes, vec![2, 1]);
+    }
+}

@@ -1,0 +1,109 @@
+//! ASCII rendition of the paper's Fig. 1 for a concrete plan.
+
+use std::fmt::Write as _;
+
+use crate::plan::RecyclingPlan;
+
+/// Renders the stacked-ground-plane chip diagram (the paper's Fig. 1) for a
+/// concrete plan: one box per plane with its gate count, bias current and
+/// dummy current, coupler counts on each boundary, and the serial bias chain
+/// down the side.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::{baselines, PartitionProblem};
+/// use sfq_recycle::{render_chip_diagram, RecycleOptions, RecyclingPlan};
+///
+/// let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+/// let problem = PartitionProblem::new(vec![1.0; 10], vec![100.0; 10], edges, 2)?;
+/// let partition = baselines::round_robin_levelized(&problem);
+/// let plan = RecyclingPlan::build(&problem, &partition, &RecycleOptions::default())?;
+/// let art = render_chip_diagram(&plan);
+/// assert!(art.contains("GP 1"));
+/// assert!(art.contains("I ="));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_chip_diagram(plan: &RecyclingPlan) -> String {
+    const WIDTH: usize = 58;
+    let mut out = String::new();
+    let supply = plan.supply_current().as_milliamps();
+
+    let _ = writeln!(out, "        external supply  I = {supply:.2} mA");
+    let _ = writeln!(out, "        v");
+    let bar = "-".repeat(WIDTH);
+    for (i, plane) in plan.planes().iter().enumerate() {
+        let _ = writeln!(out, "  +{bar}+");
+        let body = format!(
+            "GP {}  gates: {}  bias: {:.2} mA  dummy: {:.2} mA",
+            i + 1,
+            plane.num_gates,
+            plane.bias.as_milliamps(),
+            plane.dummy_current.as_milliamps()
+        );
+        let _ = writeln!(out, "  |{body:^WIDTH$}|");
+        let util = format!(
+            "area: {:.4} mm^2  utilization: {:.0}%",
+            plane.area.as_square_millimeters(),
+            plane.utilization * 100.0
+        );
+        let _ = writeln!(out, "  |{util:^WIDTH$}|");
+        let _ = writeln!(out, "  +{bar}+");
+        if let Some(boundary) = plan.boundaries().get(i) {
+            let label = format!(
+                "| ground return {supply:.2} mA v     x{} inductive couplers",
+                boundary.coupler_pairs
+            );
+            let _ = writeln!(out, "        {label}");
+        }
+    }
+    let _ = writeln!(out, "        v");
+    let _ = writeln!(
+        out,
+        "        sink (chip ground)   [{} bias line(s) saved vs parallel feed]",
+        plan.bias_lines_saved()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{RecycleOptions, RecyclingPlan};
+    use sfq_partition::{Partition, PartitionProblem};
+
+    fn plan() -> RecyclingPlan {
+        let p = PartitionProblem::new(
+            vec![1.0; 6],
+            vec![100.0; 6],
+            (0..5).map(|i| (i, i + 1)).collect(),
+            3,
+        )
+        .unwrap();
+        let part = Partition::from_labels(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        RecyclingPlan::build(&p, &part, &RecycleOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn diagram_mentions_every_plane() {
+        let art = render_chip_diagram(&plan());
+        assert!(art.contains("GP 1"));
+        assert!(art.contains("GP 2"));
+        assert!(art.contains("GP 3"));
+    }
+
+    #[test]
+    fn diagram_shows_couplers_and_supply() {
+        let art = render_chip_diagram(&plan());
+        assert!(art.contains("x1 inductive couplers"));
+        assert!(art.contains("I = 2.00 mA"));
+        assert!(art.contains("bias line(s) saved"));
+    }
+
+    #[test]
+    fn diagram_has_k_boxes() {
+        let art = render_chip_diagram(&plan());
+        let boxes = art.lines().filter(|l| l.contains("+--")).count();
+        assert_eq!(boxes, 6); // top+bottom per plane
+    }
+}

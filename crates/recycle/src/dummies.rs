@@ -1,0 +1,192 @@
+//! Netlist transform: synthesize the bias-compensation dummy structures.
+//!
+//! After partitioning, every plane must carry exactly the supply current
+//! `B_max`; planes whose circuit bias `B_k` falls short bypass the excess
+//! through *dummy structures* — shunted JJ stacks that pass current without
+//! computing (paper §III-B1). This module materialises them as
+//! [`CellKind::BiasDummy`] instances in 0.5 mA quanta, producing the final
+//! fabrication netlist whose per-plane bias totals are equal up to one
+//! quantum.
+
+use sfq_cells::CellKind;
+use sfq_netlist::Netlist;
+use sfq_partition::{Partition, PartitionProblem};
+
+use crate::plan::RecycleError;
+
+/// Result of [`insert_dummies`].
+#[derive(Debug, Clone)]
+pub struct DummiedNetlist {
+    /// The netlist with dummy cells appended.
+    pub netlist: Netlist,
+    /// Plane of every cell (original gates keep theirs; dummies get the
+    /// plane they compensate).
+    pub planes: Vec<u32>,
+    /// Dummy cells inserted per plane.
+    pub dummies_per_plane: Vec<usize>,
+    /// Residual imbalance after quantised compensation, mA (strictly less
+    /// than one dummy quantum).
+    pub residual_ma: f64,
+}
+
+/// Appends [`CellKind::BiasDummy`] cells so every plane's bias total reaches
+/// `B_max` (up to one dummy quantum).
+///
+/// The dummy quantum is the library's `BiasDummy` bias current. The returned
+/// netlist is the *fabrication* view — re-partitioning it would treat the
+/// dummies as movable gates, which they are not.
+///
+/// # Errors
+///
+/// Returns [`RecycleError::Mismatch`] if `problem` lacks the netlist mapping
+/// or disagrees with `partition`.
+pub fn insert_dummies(
+    netlist: &Netlist,
+    problem: &PartitionProblem,
+    partition: &Partition,
+) -> Result<DummiedNetlist, RecycleError> {
+    if problem.num_gates() != partition.num_gates()
+        || problem.num_planes() != partition.num_planes()
+    {
+        return Err(RecycleError::Mismatch {
+            detail: "partition does not match problem".to_owned(),
+        });
+    }
+    let Some(gate_cells) = problem.gate_cells() else {
+        return Err(RecycleError::Mismatch {
+            detail: "problem was not built from a netlist (no gate mapping)".to_owned(),
+        });
+    };
+    let quantum = netlist
+        .library()
+        .bias_current(CellKind::BiasDummy)
+        .as_milliamps();
+    assert!(quantum > 0.0, "library dummy quantum must be positive");
+
+    let k = problem.num_planes();
+    let mut plane_bias = vec![0.0f64; k];
+    for gate in 0..problem.num_gates() {
+        plane_bias[partition.plane_of(gate)] += problem.bias()[gate];
+    }
+    let b_max = plane_bias.iter().copied().fold(0.0, f64::max);
+
+    let mut out = Netlist::new(
+        format!("{}_dummied", netlist.name()),
+        netlist.library().clone(),
+    );
+    let mut planes = vec![0u32; netlist.num_cells()];
+    for (id, cell) in netlist.cells() {
+        out.add_cell(cell.name.clone(), cell.kind);
+        planes[id.index()] = 0;
+    }
+    for (gate, &cell) in gate_cells.iter().enumerate() {
+        planes[cell.index()] = partition.plane_of(gate) as u32;
+    }
+    for (_, net) in netlist.nets() {
+        let sinks: Vec<_> = net.sinks.iter().map(|s| (s.cell, s.pin)).collect();
+        out.connect(net.name.clone(), net.driver.cell, net.driver.pin, &sinks)
+            .expect("copied pins stay valid");
+    }
+
+    let mut dummies_per_plane = vec![0usize; k];
+    let mut residual_ma = 0.0f64;
+    for (plane, &bias) in plane_bias.iter().enumerate() {
+        let deficit = b_max - bias;
+        let count = (deficit / quantum).floor() as usize;
+        dummies_per_plane[plane] = count;
+        residual_ma = residual_ma.max(deficit - count as f64 * quantum);
+        for d in 0..count {
+            out.add_cell(format!("dummy{plane}_{d}"), CellKind::BiasDummy);
+            planes.push(plane as u32);
+        }
+    }
+
+    debug_assert!(out.validate().is_ok());
+    Ok(DummiedNetlist {
+        netlist: out,
+        planes,
+        dummies_per_plane,
+        residual_ma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    fn setup() -> (Netlist, PartitionProblem, Partition) {
+        // Three planes with biases 2×DFF=1.6, 1×DFF=0.8, 1×AND2=1.4.
+        let mut nl = Netlist::new("t", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Dff);
+        let b = nl.add_cell("b", CellKind::Dff);
+        let c = nl.add_cell("c", CellKind::Dff);
+        let d = nl.add_cell("d", CellKind::And2);
+        nl.connect("n0", a, 0, &[(d, 0)]).unwrap();
+        nl.connect("n1", b, 0, &[(d, 1)]).unwrap();
+        nl.connect("n2", c, 0, &[]).unwrap();
+        let problem = PartitionProblem::from_netlist(&nl, 3).unwrap();
+        let partition = Partition::from_labels(vec![0, 0, 1, 2], 3).unwrap();
+        (nl, problem, partition)
+    }
+
+    #[test]
+    fn equalizes_within_one_quantum() {
+        let (nl, problem, partition) = setup();
+        let result = insert_dummies(&nl, &problem, &partition).unwrap();
+        // Planes: 1.6, 0.8, 1.4; B_max = 1.6; deficits 0, 0.8, 0.2;
+        // quantum 0.5 → 0/1/0 dummies, residual 0.3.
+        assert_eq!(result.dummies_per_plane, vec![0, 1, 0]);
+        assert!((result.residual_ma - 0.3).abs() < 1e-9);
+
+        // Recompute plane totals over the dummied netlist.
+        let lib = result.netlist.library().clone();
+        let mut totals = vec![0.0f64; 3];
+        for (id, cell) in result.netlist.cells() {
+            if !cell.kind.is_pad() {
+                totals[result.planes[id.index()] as usize] +=
+                    lib.bias_current(cell.kind).as_milliamps();
+            }
+        }
+        let max = totals.iter().copied().fold(0.0, f64::max);
+        for &t in &totals {
+            assert!(max - t < 0.5 + 1e-9, "within one quantum: {totals:?}");
+        }
+    }
+
+    #[test]
+    fn dummied_netlist_validates_and_keeps_connectivity() {
+        let (nl, problem, partition) = setup();
+        let result = insert_dummies(&nl, &problem, &partition).unwrap();
+        result.netlist.validate().expect("valid");
+        assert_eq!(
+            result.netlist.connections().count(),
+            nl.connections().count()
+        );
+        assert_eq!(result.planes.len(), result.netlist.num_cells());
+    }
+
+    #[test]
+    fn balanced_partition_needs_no_dummies() {
+        let mut nl = Netlist::new("b", CellLibrary::calibrated());
+        let a = nl.add_cell("a", CellKind::Dff);
+        let b = nl.add_cell("b", CellKind::Dff);
+        nl.connect("n0", a, 0, &[(b, 0)]).unwrap();
+        let problem = PartitionProblem::from_netlist(&nl, 2).unwrap();
+        let partition = Partition::from_labels(vec![0, 1], 2).unwrap();
+        let result = insert_dummies(&nl, &problem, &partition).unwrap();
+        assert_eq!(result.dummies_per_plane, vec![0, 0]);
+        assert_eq!(result.residual_ma, 0.0);
+        assert_eq!(result.netlist.num_cells(), nl.num_cells());
+    }
+
+    #[test]
+    fn requires_netlist_backed_problem() {
+        let (nl, _, partition) = setup();
+        let raw = PartitionProblem::new(vec![1.0; 4], vec![1.0; 4], vec![], 3).unwrap();
+        assert!(matches!(
+            insert_dummies(&nl, &raw, &partition),
+            Err(RecycleError::Mismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! Current-recycling planning on top of a ground-plane partition.
+//!
+//! A [`Partition`](sfq_partition::Partition) says *which* gates share a
+//! ground plane; this crate turns that into the physical plan of the paper's
+//! Fig. 1:
+//!
+//! * the **serial bias chain** — the external supply feeds plane 1 with
+//!   `B_max`, each plane's ground return feeds the next plane's bias bus;
+//! * **dummy structures** sized per plane to bypass `B_max − B_k` so every
+//!   plane carries exactly the same current;
+//! * **inductive couplers** — one driver/receiver pair per ground-plane
+//!   boundary crossed by each inter-plane connection (a distance-`d`
+//!   connection needs `d` pairs, which is why the partitioner's cost is
+//!   `d⁴`);
+//! * a **stacked-strip floorplan** estimate, and the **bias-line savings**
+//!   versus feeding the same circuit in parallel through 100 mA pads (the
+//!   paper's "save 30 bias lines" argument, after Ono et al.'s FFT chip).
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_partition::{baselines, PartitionProblem};
+//! use sfq_recycle::{RecycleOptions, RecyclingPlan};
+//!
+//! let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+//! let problem = PartitionProblem::new(vec![1.0; 10], vec![4800.0; 10], edges, 2)?;
+//! let partition = baselines::round_robin_levelized(&problem);
+//! let plan = RecyclingPlan::build(&problem, &partition, &RecycleOptions::default())?;
+//! assert_eq!(plan.planes().len(), 2);
+//! assert!(plan.supply_current().as_milliamps() >= 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod couplers;
+mod diagram;
+mod dummies;
+mod electrical;
+mod placement;
+mod plan;
+
+pub use couplers::{insert_couplers, CoupledNetlist};
+pub use dummies::{insert_dummies, DummiedNetlist};
+pub use electrical::{clock_impact, ClockImpact, ElectricalOptions, ElectricalReport};
+pub use diagram::render_chip_diagram;
+pub use placement::{place_in_strips, PackOrder, PlacementOptions, StripPlacement, ROW_HEIGHT_UM};
+pub use plan::{
+    BoundaryReport, Floorplan, PlaneReport, RecycleError, RecycleOptions, RecyclingPlan,
+};

@@ -1,0 +1,20 @@
+//! Reporting support for the DATE 2020 reproduction: ASCII tables and the
+//! paper's published reference values (Tables I–III), so every harness can
+//! print "ours vs. paper" side by side.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_report::table::Table;
+//!
+//! let mut t = Table::new(vec!["circuit", "gates"]);
+//! t.add_row(vec!["KSA4".into(), "93".into()]);
+//! let text = t.to_string();
+//! assert!(text.contains("KSA4"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod table;

@@ -1,0 +1,160 @@
+//! Minimal right-aligned ASCII table rendering.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// The first column is left-aligned (row labels), the rest right-aligned
+/// (numbers), matching the typography of the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use sfq_report::table::Table;
+///
+/// let mut t = Table::new(vec!["circuit", "d<=1"]);
+/// t.add_row(vec!["KSA4".into(), "74.6%".into()]);
+/// t.add_row(vec!["KSA8".into(), "70.3%".into()]);
+/// let s = t.to_string();
+/// assert!(s.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header count.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Serialises the table as tab-separated values (header row first) —
+    /// the hand-off format for external plotting tools.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfq_report::table::Table;
+    ///
+    /// let mut t = Table::new(vec!["k", "d1"]);
+    /// t.add_row(vec!["5".into(), "74.6".into()]);
+    /// assert_eq!(t.to_tsv(), "k\td1\n5\t74.6\n");
+    /// ```
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "{cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally wide (trailing alignment).
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+        // Value column right-aligned: "1" ends at same column as "12345".
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_headers() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn counts_rows() {
+        let mut t = Table::new(vec!["x"]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+}

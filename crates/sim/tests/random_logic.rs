@@ -1,0 +1,131 @@
+//! Property test: for random combinational logic networks, the SFQ flow
+//! (technology map → pulse simulation) must agree with direct Boolean
+//! evaluation on every input vector. This cross-checks three components at
+//! once: the mapping's path balancing, the splitter insertion, and the
+//! simulator's pulse semantics.
+
+use proptest::prelude::*;
+use sfq_cells::CellLibrary;
+use sfq_circuits::logic::{LogicNetwork, LogicOp, NodeId};
+use sfq_circuits::map::{map_to_sfq, MapOptions};
+use sfq_netlist::ConnectivityGraph;
+use sfq_sim::Simulator;
+
+/// Builds a random combinational network from a recipe of (op, operand
+/// picks); every gate becomes an output so nothing is dead.
+fn build(num_inputs: usize, recipe: &[(u8, usize, usize)]) -> LogicNetwork {
+    let mut net = LogicNetwork::new("rand");
+    let mut nodes: Vec<NodeId> = (0..num_inputs)
+        .map(|i| net.input(format!("i{i}")))
+        .collect();
+    for &(op, a_pick, b_pick) in recipe {
+        let a = nodes[a_pick % nodes.len()];
+        let b = nodes[b_pick % nodes.len()];
+        let gate = match op % 4 {
+            0 => net.and2(a, b),
+            1 => net.or2(a, b),
+            2 => net.xor2(a, b),
+            _ => net.not(a),
+        };
+        nodes.push(gate);
+    }
+    // Tap the last few gates as outputs.
+    let taps = nodes.len().saturating_sub(3).max(num_inputs);
+    for (o, &node) in nodes[taps..].iter().enumerate() {
+        net.output(format!("o{o}"), node);
+    }
+    net
+}
+
+fn pipeline_latency(netlist: &sfq_netlist::Netlist) -> usize {
+    let graph = ConnectivityGraph::of(netlist);
+    let order = graph.topological_order().expect("DAG");
+    let mut depth = vec![0usize; netlist.num_cells()];
+    let mut max = 0;
+    for id in order {
+        let d = depth[id.index()] + netlist.cell(id).kind.is_clocked() as usize;
+        max = max.max(d);
+        for &succ in graph.fanout(id) {
+            depth[succ.index()] = depth[succ.index()].max(d);
+        }
+    }
+    max
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapped_simulation_matches_boolean_evaluation(
+        num_inputs in 2usize..6,
+        recipe in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+        vector in any::<u16>(),
+    ) {
+        let logic = build(num_inputs, &recipe);
+        let inputs: Vec<bool> = (0..num_inputs).map(|i| (vector >> i) & 1 == 1).collect();
+        let expected = logic.evaluate(&inputs);
+
+        let netlist = map_to_sfq(
+            &logic.without_dead_gates(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
+        prop_assert!(netlist.validate().is_ok());
+        let latency = pipeline_latency(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("mapped netlists simulate");
+        sim.set_inputs(&inputs);
+        let mut out = sim.step();
+        for _ in 1..latency {
+            out = sim.step();
+        }
+        for (name, want) in expected {
+            prop_assert_eq!(
+                out.pulse(&name),
+                want,
+                "output {} of a {}-gate network",
+                name,
+                logic.num_gates()
+            );
+        }
+    }
+
+    #[test]
+    fn mapped_pipeline_streams_correctly(
+        num_inputs in 2usize..5,
+        recipe in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..15),
+        vectors in proptest::collection::vec(any::<u16>(), 2..6),
+    ) {
+        let logic = build(num_inputs, &recipe);
+        let netlist = map_to_sfq(
+            &logic.without_dead_gates(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
+        let latency = pipeline_latency(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("simulates");
+
+        let mut expected_stream = Vec::new();
+        let mut got_stream = Vec::new();
+        let total = vectors.len() + latency;
+        for tick in 0..total {
+            let v = if tick < vectors.len() { vectors[tick] } else { 0 };
+            let inputs: Vec<bool> = (0..num_inputs).map(|i| (v >> i) & 1 == 1).collect();
+            if tick < vectors.len() {
+                let mut exp: Vec<(String, bool)> = logic.evaluate(&inputs);
+                exp.sort();
+                expected_stream.push(exp);
+            }
+            sim.set_inputs(&inputs);
+            let out = sim.step();
+            if tick + 1 >= latency {
+                let mut got: Vec<(String, bool)> =
+                    out.iter().map(|(n, p)| (n.to_owned(), p)).collect();
+                got.sort();
+                got_stream.push(got);
+            }
+        }
+        for (i, exp) in expected_stream.iter().enumerate() {
+            prop_assert_eq!(&got_stream[i], exp, "vector {} through the pipeline", i);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Physical-constraint planning: a bias pad sustains ~100 mA, so how many
+//! serially biased planes does each circuit need, and how many cryostat
+//! bias lines does recycling save? (The paper's Table III scenario.)
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example bmax_planning --release
+//! ```
+
+use current_recycling::circuits::registry::{generate, Benchmark};
+use current_recycling::partition::{BiasLimitPlanner, PartitionProblem, SolverOptions};
+use current_recycling::recycle::{RecycleOptions, RecyclingPlan};
+use current_recycling::report::table::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let limit_ma = 100.0;
+    println!("planning under a {limit_ma} mA bias-pad limit\n");
+
+    let mut table = Table::new(vec![
+        "circuit", "B_cir mA", "K_LB", "K_res", "B_max mA", "couplers", "lines saved",
+    ]);
+    for bench in [Benchmark::Ksa8, Benchmark::Ksa16, Benchmark::Mult4, Benchmark::Id4] {
+        let netlist = generate(bench);
+        let problem = PartitionProblem::from_netlist(&netlist, 2)?;
+        let planner = BiasLimitPlanner::new(limit_ma, SolverOptions::tuned(4));
+        let outcome = planner
+            .plan(&problem)
+            .expect("all suite circuits fit some K");
+        let sized = problem.with_planes(outcome.k_result)?;
+        let plan = RecyclingPlan::build(
+            &sized,
+            &outcome.partition,
+            &RecycleOptions {
+                allow_empty_planes: true,
+                ..RecycleOptions::default()
+            },
+        )?;
+        table.add_row(vec![
+            bench.name().to_owned(),
+            format!("{:.1}", problem.total_bias()),
+            outcome.k_lower_bound.to_string(),
+            outcome.k_result.to_string(),
+            format!("{:.2}", outcome.metrics.b_max),
+            plan.coupler_pairs_total().to_string(),
+            plan.bias_lines_saved().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("K_LB = ceil(B_cir / limit); K_res = first K whose realized B_max fits.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! DEF interchange: write a generated circuit to DEF (the format the SPORT
+//! benchmark suite ships in), parse it back, and show the partitioner is
+//! oblivious to the round trip.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example def_roundtrip --release
+//! ```
+
+use current_recycling::cells::CellLibrary;
+use current_recycling::circuits::registry::{generate, Benchmark};
+use current_recycling::def::{parse_def, write_def};
+use current_recycling::partition::{PartitionMetrics, PartitionProblem, Solver, SolverOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = generate(Benchmark::Mult4);
+    let def_text = write_def(&original);
+    println!(
+        "serialised {} to {} bytes of DEF; first lines:\n",
+        original.name(),
+        def_text.len()
+    );
+    for line in def_text.lines().take(10) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    let parsed = parse_def(&def_text, CellLibrary::calibrated())?;
+    let (so, sp) = (original.stats(), parsed.stats());
+    assert_eq!(so, sp, "round trip must preserve every statistic");
+    println!(
+        "parsed back: {} gates, {} connections - identical to the original",
+        sp.num_gates, sp.num_connections
+    );
+
+    // Same partition quality either way (identical problem, same seed).
+    let opts = SolverOptions::default();
+    let po = PartitionProblem::from_netlist(&original, 5)?;
+    let pp = PartitionProblem::from_netlist(&parsed, 5)?;
+    let mo = PartitionMetrics::evaluate(&po, &Solver::new(opts.clone()).solve(&po).partition);
+    let mp = PartitionMetrics::evaluate(&pp, &Solver::new(opts).solve(&pp).partition);
+    println!(
+        "partition via original: d<=1 {:.1}%, via DEF round trip: {:.1}%",
+        100.0 * mo.cumulative_fraction(1),
+        100.0 * mp.cumulative_fraction(1)
+    );
+    assert_eq!(mo.distance_histogram, mp.distance_histogram);
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: partition an 8-bit Kogge–Stone adder onto five serially
+//! biased ground planes and print the resulting current-recycling plan.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use current_recycling::circuits::registry::{generate, Benchmark};
+use current_recycling::partition::{PartitionMetrics, PartitionProblem, Solver, SolverOptions};
+use current_recycling::recycle::{render_chip_diagram, RecycleOptions, RecyclingPlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A circuit: generated here; `sfq_def::parse_def` reads your own DEF.
+    let netlist = generate(Benchmark::Ksa8);
+    let stats = netlist.stats();
+    println!(
+        "circuit {}: {} gates, {} connections, B_cir = {:.2}, A_cir = {:.4} mm^2\n",
+        netlist.name(),
+        stats.num_gates,
+        stats.num_connections,
+        stats.total_bias,
+        stats.total_area.as_square_millimeters(),
+    );
+
+    // 2. Partition into K = 5 ground planes.
+    let problem = PartitionProblem::from_netlist(&netlist, 5)?;
+    let result = Solver::new(SolverOptions::default()).solve(&problem);
+    let metrics = PartitionMetrics::evaluate(&problem, &result.partition);
+    println!(
+        "partitioned in {} iterations ({:?}); d<=1: {:.1}%, I_comp: {:.2}%, A_FS: {:.2}%\n",
+        result.iterations,
+        result.stop_reason,
+        100.0 * metrics.cumulative_fraction(1),
+        metrics.i_comp_pct,
+        metrics.a_fs_pct,
+    );
+
+    // 3. The current-recycling plan: serial bias chain + couplers + dummies.
+    let plan = RecyclingPlan::build(&problem, &result.partition, &RecycleOptions::default())?;
+    println!("{}", render_chip_diagram(&plan));
+    println!(
+        "supply {:.2} mA reused {}x instead of feeding {:.2} mA in parallel",
+        plan.supply_current().as_milliamps(),
+        problem.num_planes(),
+        problem.total_bias(),
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Pulse-level simulation: map an adder to SFQ and watch the gate-level
+//! pipeline compute — a new operand pair enters every clock tick, results
+//! emerge `latency` ticks later.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example simulate --release
+//! ```
+
+use current_recycling::cells::CellLibrary;
+use current_recycling::circuits::ksa::kogge_stone_adder;
+use current_recycling::circuits::map::{map_to_sfq, MapOptions};
+use current_recycling::netlist::ConnectivityGraph;
+use current_recycling::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let logic = kogge_stone_adder(n).without_dead_gates();
+    let netlist = map_to_sfq(&logic, CellLibrary::calibrated(), &MapOptions::default());
+
+    // Pipeline latency = clocked depth of the mapped netlist.
+    let graph = ConnectivityGraph::of(&netlist);
+    let order = graph.topological_order().expect("mapped netlists are DAGs");
+    let mut depth = vec![0usize; netlist.num_cells()];
+    let mut latency = 0;
+    for id in order {
+        let d = depth[id.index()] + netlist.cell(id).kind.is_clocked() as usize;
+        latency = latency.max(d);
+        for &succ in graph.fanout(id) {
+            depth[succ.index()] = depth[succ.index()].max(d);
+        }
+    }
+    println!(
+        "KSA{n} mapped to {} SFQ cells, pipeline latency {latency} ticks\n",
+        netlist.stats().num_gates
+    );
+
+    let mut sim = Simulator::new(&netlist)?;
+    let pairs: [(u64, u64); 5] = [(3, 5), (15, 15), (9, 6), (0, 7), (12, 12)];
+    println!("tick  in(a,b)   out(sum)  (answers appear {latency} ticks after their operands)");
+    for tick in 0..pairs.len() + latency {
+        let (a, b) = if tick < pairs.len() { pairs[tick] } else { (0, 0) };
+        let mut bits = Vec::new();
+        for i in 0..n {
+            bits.push((a >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            bits.push((b >> i) & 1 == 1);
+        }
+        sim.set_inputs(&bits);
+        let out = sim.step();
+        let mut sum = 0u64;
+        for (name, pulse) in out.iter() {
+            if pulse {
+                if let Some(i) = name.strip_prefix('s').and_then(|s| s.parse::<u64>().ok()) {
+                    sum |= 1 << i;
+                }
+                if name == "cout" {
+                    sum |= 1 << n;
+                }
+            }
+        }
+        let fed = if tick < pairs.len() {
+            format!("{a:>2}+{b:<2}")
+        } else {
+            "  -  ".to_owned()
+        };
+        println!("{:>4}  {fed}     {sum:>3}", tick + 1);
+    }
+    println!("\nevery tick carries an independent addition: SFQ is gate-level pipelined");
+    Ok(())
+}

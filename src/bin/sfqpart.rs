@@ -1,0 +1,244 @@
+//! `sfqpart` — command-line front end for the current-recycling flow.
+//!
+//! ```text
+//! sfqpart generate <CIRCUIT> [-o out.def]        emit a benchmark as DEF
+//! sfqpart stats    <file.def | CIRCUIT>          netlist statistics
+//! sfqpart partition <file.def | CIRCUIT> -k K    partition + metrics
+//!          [--solver repro|full|paper] [--seed N]
+//! sfqpart plan     <file.def | CIRCUIT> [--limit MA]
+//!                                                min-K plan under a B_max cap
+//! sfqpart diagram  <file.def | CIRCUIT> -k K     Fig.1-style chip diagram
+//! ```
+//!
+//! Inputs ending in `.def` are parsed; anything else is looked up in the
+//! built-in benchmark registry (KSA4..C3540).
+
+use std::process::ExitCode;
+
+use current_recycling::cells::CellLibrary;
+use current_recycling::circuits::registry::{generate, Benchmark};
+use current_recycling::def::{parse_def, write_def};
+use current_recycling::netlist::Netlist;
+use current_recycling::partition::{
+    BiasLimitPlanner, PartitionMetrics, PartitionProblem, Solver, SolverOptions,
+};
+use current_recycling::recycle::{render_chip_diagram, RecycleOptions, RecyclingPlan};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sfqpart generate <CIRCUIT> [-o out.def]
+  sfqpart stats <file.def | CIRCUIT>
+  sfqpart partition <file.def | CIRCUIT> -k K [--solver repro|full|paper] [--seed N] [-o labels.txt]
+  sfqpart plan <file.def | CIRCUIT> [--limit MA]
+  sfqpart diagram <file.def | CIRCUIT> -k K
+circuits: KSA4 KSA8 KSA16 KSA32 MULT4 MULT8 ID4 ID8 C432 C499 C1355 C1908 C3540";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "generate" => cmd_generate(&rest),
+        "stats" => cmd_stats(&rest),
+        "partition" => cmd_partition(&rest),
+        "plan" => cmd_plan(&rest),
+        "diagram" => cmd_diagram(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Fetches the value following a flag.
+fn flag_value<'a>(args: &'a [&String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn load(input: &str) -> Result<Netlist, String> {
+    if input.ends_with(".def") {
+        let text = std::fs::read_to_string(input)
+            .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+        parse_def(&text, CellLibrary::calibrated()).map_err(|e| e.to_string())
+    } else {
+        let bench: Benchmark = input
+            .parse()
+            .map_err(|_| format!("`{input}` is neither a .def file nor a known circuit"))?;
+        Ok(generate(bench))
+    }
+}
+
+fn solver_from(args: &[&String]) -> Result<SolverOptions, String> {
+    let mut options = match flag_value(args, "--solver").unwrap_or("full") {
+        "repro" => SolverOptions::reproduction(),
+        "full" => SolverOptions::tuned(4),
+        "paper" => SolverOptions::paper_exact(),
+        other => return Err(format!("unknown solver `{other}` (repro|full|paper)")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        options.seed = seed
+            .parse()
+            .map_err(|_| format!("invalid seed `{seed}`"))?;
+    }
+    Ok(options)
+}
+
+fn positional<'a>(args: &'a [&String]) -> Result<&'a str, String> {
+    args.iter()
+        .find(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .ok_or_else(|| "missing circuit or .def input".to_owned())
+}
+
+fn k_from(args: &[&String]) -> Result<usize, String> {
+    let k = flag_value(args, "-k").ok_or("missing -k <planes>")?;
+    let k: usize = k.parse().map_err(|_| format!("invalid plane count `{k}`"))?;
+    if k < 2 {
+        return Err("need at least 2 planes".to_owned());
+    }
+    Ok(k)
+}
+
+fn cmd_generate(args: &[&String]) -> Result<(), String> {
+    let name = positional(args)?;
+    let bench: Benchmark = name
+        .parse()
+        .map_err(|_| format!("unknown circuit `{name}`"))?;
+    let netlist = generate(bench);
+    let def_text = write_def(&netlist);
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, &def_text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!(
+                "wrote {} ({} gates, {} connections) to {path}",
+                bench.name(),
+                netlist.stats().num_gates,
+                netlist.stats().num_connections
+            );
+        }
+        None => print!("{def_text}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[&String]) -> Result<(), String> {
+    let netlist = load(positional(args)?)?;
+    print!("{}", netlist.stats());
+    Ok(())
+}
+
+fn cmd_partition(args: &[&String]) -> Result<(), String> {
+    let netlist = load(positional(args)?)?;
+    let k = k_from(args)?;
+    let options = solver_from(args)?;
+    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(|e| e.to_string())?;
+    let result = Solver::new(options).solve(&problem);
+    let m = PartitionMetrics::evaluate(&problem, &result.partition);
+    println!(
+        "{}: G = {}, |E| = {}, K = {k}",
+        netlist.name(),
+        problem.num_gates(),
+        problem.num_edges()
+    );
+    println!(
+        "converged in {} iterations ({:?}), {} refinement moves",
+        result.iterations, result.stop_reason, result.refine_moves
+    );
+    println!(
+        "d<=1: {:.1}%   d<=2: {:.1}%   d<=floor(K/2): {:.1}%",
+        100.0 * m.cumulative_fraction(1),
+        100.0 * m.cumulative_fraction(2),
+        100.0 * m.cumulative_fraction_half_k()
+    );
+    println!(
+        "B_max: {:.2} mA ({:.2}% I_comp)   A_max: {:.4} mm^2 ({:.2}% A_FS)",
+        m.b_max,
+        m.i_comp_pct,
+        m.a_max * 1e-6,
+        m.a_fs_pct
+    );
+    for (plane, (bias, area)) in m.plane_bias.iter().zip(&m.plane_area).enumerate() {
+        println!(
+            "  GP {:>2}: {:>9.2} mA  {:>9.4} mm^2  {} gates",
+            plane + 1,
+            bias,
+            area * 1e-6,
+            result.partition.gates_in_plane(plane).count()
+        );
+    }
+    if let Some(path) = flag_value(args, "-o") {
+        let mut out = String::new();
+        for gate in 0..problem.num_gates() {
+            let cell = problem.gate_cell(gate).expect("problem built from netlist");
+            out.push_str(&format!(
+                "{} {}\n",
+                netlist.cell(cell).name,
+                result.partition.paper_label(gate)
+            ));
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote gate-to-plane assignment to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[&String]) -> Result<(), String> {
+    let netlist = load(positional(args)?)?;
+    let limit: f64 = flag_value(args, "--limit")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|_| "invalid --limit")?;
+    let problem = PartitionProblem::from_netlist(&netlist, 2).map_err(|e| e.to_string())?;
+    let planner = BiasLimitPlanner::new(limit, SolverOptions::tuned(2)).with_galloping(true);
+    let outcome = planner
+        .plan(&problem)
+        .ok_or("no feasible plane count under this limit")?;
+    println!(
+        "{}: B_cir = {:.2} mA, limit = {limit} mA",
+        netlist.name(),
+        problem.total_bias()
+    );
+    println!(
+        "K_LB = {}, K_res = {}, realized B_max = {:.2} mA",
+        outcome.k_lower_bound, outcome.k_result, outcome.metrics.b_max
+    );
+    println!(
+        "bias lines saved vs parallel feed: {}",
+        outcome.bias_lines_saved()
+    );
+    Ok(())
+}
+
+fn cmd_diagram(args: &[&String]) -> Result<(), String> {
+    let netlist = load(positional(args)?)?;
+    let k = k_from(args)?;
+    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(|e| e.to_string())?;
+    let result = Solver::new(SolverOptions::tuned(4)).solve(&problem);
+    let plan = RecyclingPlan::build(
+        &problem,
+        &result.partition,
+        &RecycleOptions {
+            allow_empty_planes: true,
+            ..RecycleOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", render_chip_diagram(&plan));
+    Ok(())
+}

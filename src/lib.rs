@@ -1,0 +1,52 @@
+//! # current-recycling
+//!
+//! Ground-plane partitioning for current recycling of superconducting SFQ
+//! circuits — a Rust reproduction of *Katam, Zhang, Pedram, DATE 2020*.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`cells`] — SFQ cell library (bias currents, areas, JJ counts).
+//! * [`netlist`] — gate-level netlist model and graph utilities.
+//! * [`def`] — DEF subset reader/writer.
+//! * [`circuits`] — benchmark generators (KSA, MULT, ID, ISCAS stand-ins)
+//!   and the SFQ technology-mapping pass.
+//! * [`partition`] — the paper's contribution: the relaxed cost function,
+//!   projected gradient descent, metrics, baselines, and the minimum-K
+//!   planner.
+//! * [`recycle`] — serial-bias planning: dummy structures, inductive
+//!   couplers, floorplan, bias-line savings.
+//! * [`report`] — ASCII tables and the paper's reference values.
+//! * [`sim`] — cycle-accurate pulse-level simulation of mapped netlists.
+//!
+//! # Quick start
+//!
+//! ```
+//! use current_recycling::circuits::registry::{generate, Benchmark};
+//! use current_recycling::partition::{PartitionProblem, Solver, SolverOptions};
+//! use current_recycling::recycle::{RecycleOptions, RecyclingPlan};
+//!
+//! // 1. Get a circuit (or parse your own DEF via `current_recycling::def`).
+//! let netlist = generate(Benchmark::Ksa8);
+//!
+//! // 2. Partition it over 5 serially biased ground planes.
+//! let problem = PartitionProblem::from_netlist(&netlist, 5)?;
+//! let result = Solver::new(SolverOptions::default()).solve(&problem);
+//!
+//! // 3. Turn the partition into a current-recycling plan.
+//! let plan = RecyclingPlan::build(&problem, &result.partition, &RecycleOptions::default())?;
+//! assert!(plan.supply_current().as_milliamps() < netlist.total_bias().as_milliamps());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sfq_cells as cells;
+pub use sfq_circuits as circuits;
+pub use sfq_def as def;
+pub use sfq_netlist as netlist;
+pub use sfq_partition as partition;
+pub use sfq_recycle as recycle;
+pub use sfq_report as report;
+pub use sfq_sim as sim;

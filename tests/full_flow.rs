@@ -1,0 +1,142 @@
+//! End-to-end integration: generate → DEF round trip → partition → recycle
+//! plan, with cross-module consistency checks on every step.
+
+use current_recycling::cells::CellLibrary;
+use current_recycling::circuits::registry::{generate, Benchmark};
+use current_recycling::def::{parse_def, write_def};
+use current_recycling::netlist::ConnectivityGraph;
+use current_recycling::partition::{
+    PartitionMetrics, PartitionProblem, Solver, SolverOptions,
+};
+use current_recycling::recycle::{RecycleOptions, RecyclingPlan};
+
+fn flow(bench: Benchmark, k: usize) {
+    // Generate.
+    let netlist = generate(bench);
+    netlist.validate().expect("generated netlist is valid");
+    let stats = netlist.stats();
+
+    // DEF round trip preserves everything the partitioner consumes.
+    let def_text = write_def(&netlist);
+    let parsed = parse_def(&def_text, CellLibrary::calibrated()).expect("own DEF parses");
+    assert_eq!(parsed.stats(), stats, "{bench:?}: DEF round trip changed stats");
+
+    // Partition.
+    let problem = PartitionProblem::from_netlist(&parsed, k).expect("valid problem");
+    assert_eq!(problem.num_gates(), stats.num_gates);
+    assert_eq!(problem.num_edges(), stats.num_connections);
+    let result = Solver::new(SolverOptions::default()).solve(&problem);
+    let m = PartitionMetrics::evaluate(&problem, &result.partition);
+
+    // Metric identities.
+    let bias_sum: f64 = m.plane_bias.iter().sum();
+    assert!((bias_sum - m.b_cir).abs() < 1e-6, "bias conservation");
+    let area_sum: f64 = m.plane_area.iter().sum();
+    assert!((area_sum - m.a_cir).abs() < 1e-3, "area conservation");
+    let hist_sum: usize = m.distance_histogram.iter().sum();
+    assert_eq!(hist_sum, m.num_connections, "histogram covers all edges");
+    // eq. 11: I_comp = K·B_max − B_cir.
+    assert!(
+        (m.i_comp_ma - (k as f64 * m.b_max - m.b_cir)).abs() < 1e-6,
+        "I_comp identity"
+    );
+
+    // Recycling plan agrees with the metrics.
+    let plan = RecyclingPlan::build(
+        &problem,
+        &result.partition,
+        &RecycleOptions {
+            allow_empty_planes: true,
+            ..RecycleOptions::default()
+        },
+    )
+    .expect("plan builds");
+    assert!((plan.supply_current().as_milliamps() - m.b_max).abs() < 1e-9);
+    assert!((plan.compensation_current().as_milliamps() - m.i_comp_ma).abs() < 1e-6);
+    assert_eq!(plan.coupler_pairs_total(), m.total_coupler_pairs());
+    assert_eq!(plan.planes().len(), k);
+}
+
+#[test]
+fn ksa4_flow() {
+    flow(Benchmark::Ksa4, 5);
+}
+
+#[test]
+fn ksa8_flow() {
+    flow(Benchmark::Ksa8, 5);
+}
+
+#[test]
+fn mult4_flow() {
+    flow(Benchmark::Mult4, 5);
+}
+
+#[test]
+fn id4_flow() {
+    flow(Benchmark::Id4, 4);
+}
+
+#[test]
+fn c499_flow() {
+    flow(Benchmark::C499, 6);
+}
+
+#[test]
+fn mapped_circuits_are_dags_with_unit_fanout() {
+    for bench in [Benchmark::Ksa8, Benchmark::Mult4, Benchmark::Id4] {
+        let netlist = generate(bench);
+        let g = ConnectivityGraph::of(&netlist);
+        assert!(
+            g.topological_order().is_some(),
+            "{bench:?} mapped netlist must be acyclic"
+        );
+        for (id, cell) in netlist.cells() {
+            assert!(
+                g.fanout(id).len() <= cell.kind.num_outputs().max(1),
+                "{bench:?}: {} exceeds fanout capacity",
+                cell.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_suite_circuit_generates_and_validates() {
+    for bench in Benchmark::all() {
+        let netlist = generate(bench);
+        netlist.validate().expect("valid");
+        let stats = netlist.stats();
+        assert!(stats.num_gates > 50, "{bench:?} suspiciously small");
+        assert!(
+            stats.num_connections >= stats.num_gates - stats.num_gates / 10,
+            "{bench:?} under-connected"
+        );
+        // Per-gate averages stay near the calibration targets.
+        let bias = stats.mean_bias_per_gate().as_milliamps();
+        assert!(
+            (0.6..=1.1).contains(&bias),
+            "{bench:?}: mean bias {bias} off the ~0.86 mA target"
+        );
+        let area = stats.mean_area_per_gate().as_square_microns();
+        assert!(
+            (3_400.0..=6_200.0).contains(&area),
+            "{bench:?}: mean area {area} off the ~4840 um^2 target"
+        );
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let a = {
+        let nl = generate(Benchmark::Ksa4);
+        let p = PartitionProblem::from_netlist(&nl, 5).unwrap();
+        Solver::new(SolverOptions::default()).solve(&p).partition
+    };
+    let b = {
+        let nl = generate(Benchmark::Ksa4);
+        let p = PartitionProblem::from_netlist(&nl, 5).unwrap();
+        Solver::new(SolverOptions::default()).solve(&p).partition
+    };
+    assert_eq!(a, b, "same seed, same circuit => same partition");
+}
