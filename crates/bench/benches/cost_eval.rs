@@ -5,12 +5,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::engine::{CostEngine, EngineOptions};
 use sfq_partition::grad::{Gradient, GradientOptions};
 use sfq_partition::{CostModel, CostWeights, PartitionProblem, WeightMatrix};
 
 fn bench_cost_and_grad(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1_inner_loop");
-    for bench in [Benchmark::Ksa4, Benchmark::Ksa8, Benchmark::Ksa16, Benchmark::C432] {
+    for bench in [
+        Benchmark::Ksa4,
+        Benchmark::Ksa8,
+        Benchmark::Ksa16,
+        Benchmark::C432,
+    ] {
         let netlist = generate(bench);
         let problem = PartitionProblem::from_netlist(&netlist, 5).unwrap();
         let model = CostModel::new(&problem, CostWeights::default());
@@ -29,6 +35,24 @@ fn bench_cost_and_grad(c: &mut Criterion) {
             BenchmarkId::new("gradient", bench.name()),
             &(&model, &w),
             |b, (model, w)| b.iter(|| grad.compute(model, w, &mut out)),
+        );
+
+        // The fused engine doing the same work in one pass.
+        let mut engine = CostEngine::new(
+            &problem,
+            CostWeights::default(),
+            4.0,
+            EngineOptions::default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_cost_and_gradient", bench.name()),
+            &w,
+            |b, w| b.iter(|| engine.evaluate_with_gradient(w, &mut out)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_cost_only", bench.name()),
+            &w,
+            |b, w| b.iter(|| engine.evaluate(w)),
         );
     }
     group.finish();

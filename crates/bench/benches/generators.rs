@@ -14,9 +14,11 @@ fn bench_generators(c: &mut Criterion) {
         Benchmark::Id4,
         Benchmark::C432,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, &x| {
-            b.iter(|| generate(x))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, &x| b.iter(|| generate(x)),
+        );
     }
     group.finish();
 }

@@ -14,11 +14,11 @@
 use sfq_bench::{load_circuit, pct, pcts};
 use sfq_circuits::registry::{generate, Benchmark};
 use sfq_netlist::ClockAnalysis;
-use sfq_recycle::clock_impact;
 use sfq_partition::baselines::{self, AnnealingOptions};
 use sfq_partition::multilevel::{multilevel_partition, MultilevelOptions};
 use sfq_partition::spectral::{spectral_partition, SpectralOptions};
 use sfq_partition::{CostWeights, PartitionMetrics, Solver, SolverOptions};
+use sfq_recycle::clock_impact;
 use sfq_report::table::Table;
 
 fn measure(run: &sfq_bench::CircuitRun, options: SolverOptions) -> PartitionMetrics {
@@ -86,7 +86,13 @@ fn main() {
     println!("3. exact vs as-printed gradients:\n{t}");
 
     // 4. Refinement and restarts.
-    let mut t = Table::new(vec!["configuration", "d<=1 %", "d<=2 %", "Icomp %", "Afs %"]);
+    let mut t = Table::new(vec![
+        "configuration",
+        "d<=1 %",
+        "d<=2 %",
+        "Icomp %",
+        "Afs %",
+    ]);
     for (name, restarts, refine) in [
         ("1 restart, no refine", 1, false),
         ("8 restarts, no refine", 8, false),
@@ -137,7 +143,12 @@ fn main() {
     // 6. Clock-frequency impact of partitioning (paper §III-B3: couplers
     //    "decrease the operating frequency of the circuit").
     let mut t = Table::new(vec![
-        "circuit", "f_base GHz", "f_repro GHz", "f_refined GHz", "loss repro %", "loss refined %",
+        "circuit",
+        "f_base GHz",
+        "f_repro GHz",
+        "f_refined GHz",
+        "loss repro %",
+        "loss refined %",
     ]);
     for bench in [Benchmark::Ksa4, Benchmark::Ksa8, Benchmark::Mult4] {
         let netlist = generate(bench);

@@ -1,0 +1,118 @@
+//! Performance snapshot: times representative solves with the reference
+//! (`CostModel` + `Gradient`) and fused (`CostEngine`) inner loops and
+//! writes the numbers to `BENCH_1.json` in the working directory.
+//!
+//! Workloads follow the paper's evaluation: the Kogge–Stone adders at the
+//! table's `K = 5` and the largest ISCAS row (C1908) at a deep `K = 30`
+//! split (the chunked-sweep regime). Usage:
+//!
+//! ```text
+//! cargo run --release -p sfq-bench --bin perfsnap
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::{PartitionProblem, Solver, SolverOptions};
+
+/// One timed workload: a circuit, a plane count, and repetitions.
+struct Workload {
+    bench: Benchmark,
+    planes: usize,
+    reps: usize,
+}
+
+/// Best (minimum) wall-clock seconds over `reps` single-restart solves.
+///
+/// The minimum is the noise-robust estimator for CPU-bound work: external
+/// interference only ever adds time, so the smallest repetition is the
+/// closest to the true compute cost.
+fn time_solve(problem: &PartitionProblem, fused: bool, reps: usize) -> f64 {
+    let options = SolverOptions {
+        fused,
+        restarts: 1,
+        parallel: false,
+        ..SolverOptions::default()
+    };
+    // One warm-up solve, then timed repetitions.
+    let _ = Solver::new(options.clone()).solve(problem);
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let result = Solver::new(options.clone()).solve(problem);
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(result);
+            elapsed
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let workloads = [
+        Workload {
+            bench: Benchmark::Ksa8,
+            planes: 5,
+            reps: 15,
+        },
+        Workload {
+            bench: Benchmark::Ksa16,
+            planes: 5,
+            reps: 15,
+        },
+        Workload {
+            bench: Benchmark::C1908,
+            planes: 30,
+            reps: 5,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        let netlist = generate(workload.bench);
+        let problem =
+            PartitionProblem::from_netlist(&netlist, workload.planes).expect("valid problem");
+        let name = workload.bench.name();
+        eprintln!(
+            "timing {name} @ K={} ({} gates, {} edges)…",
+            workload.planes,
+            problem.num_gates(),
+            problem.num_edges()
+        );
+        let reference_s = time_solve(&problem, false, workload.reps);
+        let fused_s = time_solve(&problem, true, workload.reps);
+        let speedup = reference_s / fused_s;
+        eprintln!("  reference {reference_s:.4} s | fused {fused_s:.4} s | speedup {speedup:.2}×");
+        rows.push((
+            name.to_owned(),
+            workload.planes,
+            problem.num_gates(),
+            problem.num_edges(),
+            reference_s,
+            fused_s,
+            speedup,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"perfsnap\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"restarts\": 1, \"estimator\": \"min over per-workload reps\", \"units\": \"seconds\"}},"
+    );
+    json.push_str("  \"solves\": [\n");
+    for (i, (name, planes, gates, edges, reference_s, fused_s, speedup)) in rows.iter().enumerate()
+    {
+        let _ = write!(
+            json,
+            "    {{\"circuit\": \"{name}\", \"planes\": {planes}, \"gates\": {gates}, \
+             \"edges\": {edges}, \"reference_s\": {reference_s:.6}, \"fused_s\": {fused_s:.6}, \
+             \"speedup\": {speedup:.3}}}"
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_1.json");
+}

@@ -26,9 +26,7 @@ fn main() {
         "circuit", "gates", "conns", "d<=1 %", "d<=2 %", "Bcir mA", "Bmax mA", "Icomp %",
         "Acir mm2", "Amax mm2", "Afs %",
     ]);
-    let mut full = Table::new(vec![
-        "circuit", "d<=1 %", "d<=2 %", "Icomp %", "Afs %",
-    ]);
+    let mut full = Table::new(vec!["circuit", "d<=1 %", "d<=2 %", "Icomp %", "Afs %"]);
 
     let mut sums = [0.0f64; 4]; // repro: d1, d2, icomp, afs
     let mut nonadj = 0.0f64;
@@ -53,14 +51,8 @@ fn main() {
             vs(pcts(m.b_cir, 1), paper.b_cir_ma),
             vs(pcts(m.b_max, 2), paper.b_max_ma),
             vs(pcts(m.i_comp_pct, 2), paper.i_comp_pct),
-            vs(
-                format!("{:.4}", m.a_cir * 1e-6),
-                paper.a_cir_mm2,
-            ),
-            vs(
-                format!("{:.4}", m.a_max * 1e-6),
-                paper.a_max_mm2,
-            ),
+            vs(format!("{:.4}", m.a_cir * 1e-6), paper.a_cir_mm2),
+            vs(format!("{:.4}", m.a_max * 1e-6), paper.a_max_mm2),
             vs(pcts(m.a_fs_pct, 2), paper.a_fs_pct),
         ]);
 

@@ -15,7 +15,13 @@ fn main() {
     println!("cells are `ours (paper)`\n");
 
     let mut table = Table::new(vec![
-        "K", "d<=1 %", "d<=floor(K/2) %", "Bmax mA", "Icomp %", "Amax mm2", "Afs %",
+        "K",
+        "d<=1 %",
+        "d<=floor(K/2) %",
+        "Bmax mA",
+        "Icomp %",
+        "Amax mm2",
+        "Afs %",
     ]);
 
     let mut d_half_sum = 0.0;

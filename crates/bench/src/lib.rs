@@ -48,10 +48,7 @@ pub fn load_circuit(bench: Benchmark, k: usize) -> CircuitRun {
 }
 
 /// Solves `problem` with `options` and evaluates the metrics.
-pub fn solve_and_measure(
-    problem: &PartitionProblem,
-    options: SolverOptions,
-) -> PartitionMetrics {
+pub fn solve_and_measure(problem: &PartitionProblem, options: SolverOptions) -> PartitionMetrics {
     let result = Solver::new(options).solve(problem);
     PartitionMetrics::evaluate(problem, &result.partition)
 }

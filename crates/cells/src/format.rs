@@ -46,7 +46,11 @@ impl ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -83,7 +87,10 @@ pub fn parse_library(text: &str) -> Result<CellLibrary, ParseLibraryError> {
         match tokens.first().copied() {
             Some("library") => {
                 if library.is_some() {
-                    return Err(ParseLibraryError::new(line_no, "duplicate `library` header"));
+                    return Err(ParseLibraryError::new(
+                        line_no,
+                        "duplicate `library` header",
+                    ));
                 }
                 let name = tokens
                     .get(1)
@@ -158,7 +165,8 @@ fn parse_cell(tokens: &[&str], line_no: usize) -> Result<CellSpec, ParseLibraryE
             }
         }
     }
-    let missing = |what: &str| ParseLibraryError::new(line_no, format!("cell `{name}` missing `{what}`"));
+    let missing =
+        |what: &str| ParseLibraryError::new(line_no, format!("cell `{name}` missing `{what}`"));
     Ok(CellSpec::new(
         kind,
         jj.ok_or_else(|| missing("jj"))?,
@@ -213,16 +221,16 @@ mod tests {
 
     #[test]
     fn unknown_cell_rejected() {
-        let err = parse_library("library l ;\ncell NAND9 { jj 1 ; bias 1 ; area 1 ; }\n")
-            .unwrap_err();
+        let err =
+            parse_library("library l ;\ncell NAND9 { jj 1 ; bias 1 ; area 1 ; }\n").unwrap_err();
         assert_eq!(err.line(), 2);
         assert!(err.message().contains("NAND9"));
     }
 
     #[test]
     fn unknown_attribute_rejected() {
-        let err = parse_library("library l ;\ncell JTL { jj 2 ; volts 1 ; area 1 ; }\n")
-            .unwrap_err();
+        let err =
+            parse_library("library l ;\ncell JTL { jj 2 ; volts 1 ; area 1 ; }\n").unwrap_err();
         assert!(err.message().contains("volts"));
     }
 
@@ -250,8 +258,8 @@ mod tests {
 
     #[test]
     fn bad_number_names_attribute() {
-        let err = parse_library("library l ;\ncell JTL { jj two ; bias 0.2 ; area 1 ; }\n")
-            .unwrap_err();
+        let err =
+            parse_library("library l ;\ncell JTL { jj two ; bias 0.2 ; area 1 ; }\n").unwrap_err();
         assert!(err.message().contains("jj"));
         assert!(err.message().contains("two"));
     }

@@ -244,7 +244,12 @@ pub struct CellSpec {
 impl CellSpec {
     /// Builds a spec with the kind's default delay; pin counts and
     /// clockedness are derived from `kind`.
-    pub fn new(kind: CellKind, jj_count: u32, bias_current: MilliAmps, area: SquareMicrons) -> Self {
+    pub fn new(
+        kind: CellKind,
+        jj_count: u32,
+        bias_current: MilliAmps,
+        area: SquareMicrons,
+    ) -> Self {
         CellSpec {
             kind,
             jj_count,

@@ -25,7 +25,10 @@ use crate::logic::{LogicNetwork, NodeId};
 /// assert_eq!(net.num_outputs(), 5);
 /// ```
 pub fn kogge_stone_adder(n: usize) -> LogicNetwork {
-    assert!(n > 0 && n.is_power_of_two(), "KSA width must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "KSA width must be a power of two"
+    );
     let mut net = LogicNetwork::new(format!("KSA{n}"));
 
     let a: Vec<NodeId> = (0..n).map(|i| net.input(format!("a{i}"))).collect();

@@ -200,10 +200,7 @@ impl LogicNetwork {
 
     /// Number of primary inputs.
     pub fn num_inputs(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.op == LogicOp::Input)
-            .count()
+        self.nodes.iter().filter(|n| n.op == LogicOp::Input).count()
     }
 
     /// Number of primary outputs.

@@ -233,7 +233,11 @@ mod tests {
 
     #[test]
     fn mapping_validates_and_has_unit_fanout() {
-        let netlist = map_to_sfq(&xor_tree(), CellLibrary::calibrated(), &MapOptions::default());
+        let netlist = map_to_sfq(
+            &xor_tree(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
         netlist.validate().expect("valid netlist");
         let g = ConnectivityGraph::of(&netlist);
         for (id, cell) in netlist.cells() {
@@ -249,10 +253,21 @@ mod tests {
 
     #[test]
     fn splitters_inserted_for_fanout() {
-        let netlist = map_to_sfq(&xor_tree(), CellLibrary::calibrated(), &MapOptions::default());
+        let netlist = map_to_sfq(
+            &xor_tree(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
         let stats = netlist.stats();
         // ab feeds the top xor and output y -> at least one splitter.
-        assert!(stats.kind_histogram.get(&CellKind::Splitter).copied().unwrap_or(0) >= 1);
+        assert!(
+            stats
+                .kind_histogram
+                .get(&CellKind::Splitter)
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
     }
 
     #[test]
@@ -302,7 +317,11 @@ mod tests {
         // Every path from any input pad to any output pad must cross the
         // same number of clocked cells — the defining property of a fully
         // path-balanced SFQ pipeline.
-        let netlist = map_to_sfq(&xor_tree(), CellLibrary::calibrated(), &MapOptions::default());
+        let netlist = map_to_sfq(
+            &xor_tree(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
         let g = ConnectivityGraph::of(&netlist);
         // Longest/shortest clocked-depth per cell via DP over the DAG.
         let order = g.topological_order().expect("mapped netlist is a DAG");
@@ -336,8 +355,14 @@ mod tests {
 
     #[test]
     fn mapped_netlist_is_a_dag() {
-        let netlist = map_to_sfq(&xor_tree(), CellLibrary::calibrated(), &MapOptions::default());
-        assert!(ConnectivityGraph::of(&netlist).topological_order().is_some());
+        let netlist = map_to_sfq(
+            &xor_tree(),
+            CellLibrary::calibrated(),
+            &MapOptions::default(),
+        );
+        assert!(ConnectivityGraph::of(&netlist)
+            .topological_order()
+            .is_some());
     }
 
     #[test]

@@ -267,7 +267,9 @@ mod tests {
         let spec = SyntheticSpec::new("t", 250, 300, 9);
         let netlist = synthetic_netlist(&spec, CellLibrary::calibrated());
         use sfq_netlist::ConnectivityGraph;
-        assert!(ConnectivityGraph::of(&netlist).topological_order().is_some());
+        assert!(ConnectivityGraph::of(&netlist)
+            .topological_order()
+            .is_some());
     }
 
     #[test]

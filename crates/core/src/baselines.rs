@@ -60,8 +60,7 @@ pub fn round_robin_levelized(problem: &PartitionProblem) -> Partition {
         indeg[v as usize] += 1;
     }
     let mut level = vec![0usize; g];
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..g).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..g).filter(|&i| indeg[i] == 0).collect();
     while let Some(u) = queue.pop_front() {
         for &v in &fanout[u] {
             let vi = v as usize;
@@ -157,7 +156,8 @@ pub fn simulated_annealing(
     let mut rng = StdRng::seed_from_u64(seed);
     let k = problem.num_planes();
     let start = round_robin_levelized(problem);
-    let mut state = crate::refine::MoveState::new(problem, &start, options.weights, options.exponent);
+    let mut state =
+        crate::refine::MoveState::new(problem, &start, options.weights, options.exponent);
     let mut best_cost = state.total_cost();
     let mut best = start;
 
@@ -258,9 +258,7 @@ mod tests {
         let start = round_robin_levelized(&p);
         let w = CostWeights::default();
         let annealed = simulated_annealing(&p, &AnnealingOptions::default(), 3);
-        assert!(
-            discrete_cost(&p, &annealed, w, 4.0) <= discrete_cost(&p, &start, w, 4.0) + 1e-12
-        );
+        assert!(discrete_cost(&p, &annealed, w, 4.0) <= discrete_cost(&p, &start, w, 4.0) + 1e-12);
     }
 
     #[test]

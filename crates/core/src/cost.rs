@@ -118,7 +118,11 @@ impl<'a> CostModel<'a> {
     /// # Panics
     ///
     /// Panics if `exponent < 1`.
-    pub fn with_exponent(problem: &'a PartitionProblem, weights: CostWeights, exponent: f64) -> Self {
+    pub fn with_exponent(
+        problem: &'a PartitionProblem,
+        weights: CostWeights,
+        exponent: f64,
+    ) -> Self {
         assert!(exponent >= 1.0, "distance exponent must be >= 1");
         let k = problem.num_planes() as f64;
         let g = problem.num_gates() as f64;
@@ -253,7 +257,10 @@ impl<'a> CostModel<'a> {
 }
 
 /// Population variance `(1/K)Σ(x − x̄)²`.
-fn variance(xs: &[f64]) -> f64 {
+///
+/// Shared with the fused engine so both paths assemble `F₂`/`F₃` with the
+/// same summation order.
+pub(crate) fn variance(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }

@@ -1,0 +1,934 @@
+//! Fused cost + gradient evaluation engine for the descent inner loop.
+//!
+//! The reference implementations — [`CostModel::evaluate`] and
+//! [`Gradient::compute`](crate::grad::Gradient::compute) — are written for
+//! clarity: the cost does one sweep per term and the gradient re-derives the
+//! labels and plane sums the cost just computed, allocating fresh buffers
+//! along the way. Algorithm 1 calls both every iteration, so a single solve
+//! performs roughly three times the necessary `O(G·K)` work plus thousands
+//! of short-lived allocations.
+//!
+//! [`CostEngine`] removes that overhead without changing the mathematics:
+//!
+//! * **Fusion** — one gate sweep accumulates labels, row sums, per-plane
+//!   bias/area loads, and the `F₄` pressure together; one edge sweep
+//!   accumulates `F₁` and the per-gate interconnect forces; one final gate
+//!   sweep writes the gradient. Cost and gradient come out of a single
+//!   `O(E + G·K)` pass instead of two interleaved `≈3×` passes.
+//! * **Zero allocation** — every buffer is owned by the engine and reused
+//!   across iterations; after [`CostEngine::new`] the descent loop does not
+//!   allocate.
+//! * **Integer-exponent kernels** — label distances go through
+//!   [`kernel::pow_abs`]/[`kernel::pow_grad_abs`] (multiply chains for the
+//!   paper's `p = 4`) instead of transcendental `powf`.
+//! * **Deterministic intra-descent parallelism** — on problems at or above
+//!   [`EngineOptions::chunk_min_items`], sweeps are split into
+//!   [`EngineOptions::num_chunks`] fixed ranges whose partial sums are
+//!   folded in chunk order. The chunk layout depends only on the problem
+//!   size, and the fold order is the same whether chunks run sequentially
+//!   or on scoped threads, so enabling
+//!   [`EngineOptions::intra_parallel`] changes wall-clock time but not a
+//!   single bit of the result.
+//!
+//! Numerical contract: on problems below the chunking threshold the engine
+//! accumulates in exactly the reference order, so it differs from
+//! `CostModel`/`Gradient` only through the power kernels (last-ulp effects;
+//! see [`kernel`]). Chunked folding reorders additions, so chunked results
+//! match the reference within `1e-12` relative rather than bitwise — the
+//! property tests pin both bounds.
+
+use crate::cost::{variance, CostBreakdown, CostModel, CostWeights};
+use crate::grad::GradientOptions;
+use crate::kernel;
+use crate::problem::PartitionProblem;
+use crate::weights::WeightMatrix;
+
+/// Configuration of the fused engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Gradient formula selection (exact vs as-printed), shared with the
+    /// reference [`Gradient`](crate::grad::Gradient).
+    pub gradient: GradientOptions,
+    /// Run chunked sweeps on scoped threads. Only takes effect on problems
+    /// large enough to be chunked; results are bit-identical either way.
+    pub intra_parallel: bool,
+    /// Minimum work-item count (`G·K` for gate sweeps, `|E|` for the edge
+    /// sweep) before a sweep is split into chunks. Below it the engine
+    /// accumulates in exactly the reference order.
+    pub chunk_min_items: usize,
+    /// Number of fixed chunks a gated sweep is split into. Part of the
+    /// numerical contract: changing it changes fold order, so it is a
+    /// configuration constant, never derived from the machine.
+    pub num_chunks: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            gradient: GradientOptions::exact(),
+            intra_parallel: false,
+            chunk_min_items: 8192,
+            num_chunks: 8,
+        }
+    }
+}
+
+/// Fused, allocation-free cost + gradient evaluator over a fixed problem.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::engine::{CostEngine, EngineOptions};
+/// use sfq_partition::{CostModel, CostWeights, PartitionProblem, WeightMatrix};
+/// use sfq_partition::grad::{Gradient, GradientOptions};
+///
+/// let p = PartitionProblem::new(vec![1.0; 4], vec![1.0; 4],
+///                               vec![(0, 1), (1, 2), (2, 3)], 2)?;
+/// let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0,
+///                                  EngineOptions::default());
+/// let w = WeightMatrix::uniform(4, 2);
+/// let mut grad = vec![0.0; 4 * 2];
+/// let cost = engine.evaluate_with_gradient(&w, &mut grad);
+///
+/// // Same numbers as the reference pair, in one fused pass.
+/// let model = CostModel::new(&p, CostWeights::default());
+/// assert!((cost.total - model.evaluate(&w).total).abs() < 1e-12);
+/// let mut reference = Gradient::new(GradientOptions::exact());
+/// let mut expect = vec![0.0; 4 * 2];
+/// reference.compute(&model, &w, &mut expect);
+/// for (a, b) in grad.iter().zip(&expect) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok::<(), sfq_partition::ProblemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostEngine<'a> {
+    model: CostModel<'a>,
+    options: EngineOptions,
+    /// Fixed gate-sweep chunk boundaries (contiguous, covering `0..G`).
+    gate_bounds: Vec<(usize, usize)>,
+    /// Fixed edge-sweep chunk boundaries (contiguous, covering `0..E`).
+    edge_bounds: Vec<(usize, usize)>,
+    labels: Vec<f64>,
+    row_sums: Vec<f64>,
+    force: Vec<f64>,
+    bias_sums: Vec<f64>,
+    area_sums: Vec<f64>,
+    /// Per-chunk partial accumulators for the gate sweep, laid out per chunk
+    /// as `[bias K | area K | f4]`.
+    gate_partials: Vec<f64>,
+    /// Per-chunk `F₁` partials for the edge sweep.
+    f1_partials: Vec<f64>,
+    /// Per-chunk force accumulators (`num_edge_chunks × G`), folded in chunk
+    /// order after the edge sweep.
+    chunk_force: Vec<f64>,
+    /// Per-plane weighted `F₂` gradient coefficients
+    /// (`c₂·2·(B_k − B̄)/(K·N₂)`), recomputed each gradient call.
+    coeff_bias: Vec<f64>,
+    /// Per-plane weighted `F₃` gradient coefficients, analogous to
+    /// [`Self::coeff_bias`].
+    coeff_area: Vec<f64>,
+}
+
+/// Splits `0..len` into `chunks` contiguous ranges of near-equal size.
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1);
+    (0..chunks)
+        .map(|c| (c * len / chunks, (c + 1) * len / chunks))
+        .collect()
+}
+
+/// Splits `buf` into mutable sub-slices matching contiguous `bounds`.
+fn split_by_bounds<'b>(buf: &'b mut [f64], bounds: &[(usize, usize)]) -> Vec<&'b mut [f64]> {
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut rest = buf;
+    for &(start, end) in bounds {
+        let (head, tail) = rest.split_at_mut(end - start);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Gate sweep over one chunk: accumulates labels, row sums, per-plane
+/// bias/area loads, and the raw `F₄` pressure for gates in `start..end`.
+///
+/// `F₄`'s row variance uses the algebraically equivalent
+/// `Σw²/K − (Σw/K)²` so the row is read once; with entries in `[0,1]` the
+/// cancellation error is far below the engine's `1e-12` contract.
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+fn gate_pass_chunk(
+    w: &WeightMatrix,
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    labels: &mut [f64],
+    row_sums: &mut [f64],
+    bias_part: &mut [f64],
+    area_part: &mut [f64],
+    f4_part: &mut f64,
+) {
+    let kf = w.num_planes() as f64;
+    for i in start..end {
+        let row = w.row(i);
+        let bi = bias[i];
+        let ai = area[i];
+        let mut label = 0.0;
+        let mut row_sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut plane = 0.0; // (k+1) as an exact float counter
+        for ((&wk, bp), ap) in row
+            .iter()
+            .zip(bias_part.iter_mut())
+            .zip(area_part.iter_mut())
+        {
+            plane += 1.0;
+            label += plane * wk;
+            row_sum += wk;
+            sum_sq += wk * wk;
+            *bp += bi * wk;
+            *ap += ai * wk;
+        }
+        labels[i - start] = label;
+        row_sums[i - start] = row_sum;
+        let mean = row_sum / kf;
+        let var = sum_sq / kf - mean * mean;
+        let dev = row_sum - 1.0;
+        *f4_part += dev * dev - var;
+    }
+}
+
+/// Edge sweep over one chunk: accumulates raw `F₁` and, when `force` is
+/// present, the per-gate interconnect forces (gradient mode).
+fn edge_pass_chunk(
+    edges: &[(u32, u32)],
+    labels: &[f64],
+    exponent: f64,
+    n1: f64,
+    paper_f1_sign: bool,
+    f1_part: &mut f64,
+    mut force: Option<&mut [f64]>,
+) {
+    for &(u, v) in edges {
+        let delta = labels[u as usize] - labels[v as usize];
+        *f1_part += kernel::pow_abs(delta, exponent);
+        if let Some(force) = force.as_deref_mut() {
+            let magnitude = kernel::pow_grad_abs(delta, exponent) / n1;
+            if paper_f1_sign {
+                force[u as usize] += magnitude;
+                force[v as usize] -= magnitude;
+            } else {
+                let signed = magnitude * delta.signum();
+                force[u as usize] += signed;
+                force[v as usize] -= signed;
+            }
+        }
+    }
+}
+
+/// Weighted per-iteration constants for the gradient write sweep; everything
+/// that does not depend on the gate is folded in here once per call.
+#[derive(Debug, Clone, Copy)]
+struct GradConsts {
+    /// `c₁` (multiplies the per-gate interconnect force).
+    c1: f64,
+    /// `c₄·2/N₄` — multiplies `(Σw − 1)` in the exact `F₄` formula.
+    f4_lin: f64,
+    /// `c₄·2/(N₄·K)` — multiplies `(w − mean)` in the exact `F₄` formula.
+    f4_dev: f64,
+    /// Use the as-printed `F₄` derivative instead of the exact one.
+    paper_f4: bool,
+    /// `c₄·2/N₄·(K + 1/K)` — printed-formula slope.
+    pf: f64,
+    /// `c₄·2/N₄·(K − 1)` — printed-formula constant.
+    pc: f64,
+    /// `K` as a float.
+    kf: f64,
+}
+
+/// Gradient write sweep over one chunk of gates (`start..end`); pure writes,
+/// no cross-gate accumulation. `coeff_bias`/`coeff_area` carry the per-plane
+/// `F₂`/`F₃` coefficients with the term weights already folded in, so the
+/// inner loop is four multiplies and three adds per entry with no bounds
+/// checks.
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+fn grad_pass_chunk(
+    w: &WeightMatrix,
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    row_sums: &[f64],
+    force: &[f64],
+    coeff_bias: &[f64],
+    coeff_area: &[f64],
+    consts: GradConsts,
+    out: &mut [f64],
+) {
+    let k = w.num_planes();
+    for i in start..end {
+        let row = w.row(i);
+        let row_sum = row_sums[i - start];
+        let row_mean = row_sum / consts.kf;
+        let fc1 = consts.c1 * force[i];
+        let bi = bias[i];
+        let ai = area[i];
+        // df4 is affine in w_ik: base − slope·w_ik, for either formula.
+        let (f4_base, f4_slope) = if consts.paper_f4 {
+            (consts.pc + consts.pf * row_mean, consts.pf)
+        } else {
+            (
+                consts.f4_lin * (row_sum - 1.0) + consts.f4_dev * row_mean,
+                consts.f4_dev,
+            )
+        };
+        let base = (i - start) * k;
+        let out_row = &mut out[base..base + k];
+        let mut plane = 0.0; // (k+1) as an exact float counter
+        for (((o, &w_ik), &cb), &ca) in out_row.iter_mut().zip(row).zip(coeff_bias).zip(coeff_area)
+        {
+            plane += 1.0;
+            *o = plane * fc1 + bi * cb + ai * ca + (f4_base - f4_slope * w_ik);
+        }
+    }
+}
+
+impl<'a> CostEngine<'a> {
+    /// Creates an engine over `problem`, pre-sizing every scratch buffer so
+    /// the descent loop runs allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent < 1` (forwarded from [`CostModel`]).
+    pub fn new(
+        problem: &'a PartitionProblem,
+        weights: CostWeights,
+        exponent: f64,
+        options: EngineOptions,
+    ) -> Self {
+        let model = CostModel::with_exponent(problem, weights, exponent);
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let e = problem.num_edges();
+        let gate_chunks = if g * k >= options.chunk_min_items {
+            options.num_chunks.max(1)
+        } else {
+            1
+        };
+        let edge_chunks = if e >= options.chunk_min_items {
+            options.num_chunks.max(1)
+        } else {
+            1
+        };
+        let gate_bounds = chunk_bounds(g, gate_chunks);
+        let edge_bounds = chunk_bounds(e, edge_chunks);
+        CostEngine {
+            model,
+            options,
+            labels: vec![0.0; g],
+            row_sums: vec![0.0; g],
+            force: vec![0.0; g],
+            bias_sums: vec![0.0; k],
+            area_sums: vec![0.0; k],
+            gate_partials: vec![0.0; gate_chunks * (2 * k + 1)],
+            f1_partials: vec![0.0; edge_chunks],
+            chunk_force: vec![0.0; edge_chunks * g],
+            coeff_bias: vec![0.0; k],
+            coeff_area: vec![0.0; k],
+            gate_bounds,
+            edge_bounds,
+        }
+    }
+
+    /// The underlying cost model (normalizations, means, weights).
+    pub fn model(&self) -> &CostModel<'a> {
+        &self.model
+    }
+
+    /// The engine options in use.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Replaces the term weights (the solver's `c₄` warm-up ramp).
+    pub fn set_weights(&mut self, weights: CostWeights) {
+        self.model.set_weights(weights);
+    }
+
+    /// True when at least one sweep is split into multiple chunks.
+    pub fn is_chunked(&self) -> bool {
+        self.gate_bounds.len() > 1 || self.edge_bounds.len() > 1
+    }
+
+    /// Whether chunked sweeps should actually run on threads.
+    fn threaded(&self) -> bool {
+        self.options.intra_parallel && self.is_chunked()
+    }
+
+    /// Fused gate sweep: fills `labels`, `row_sums`, `bias_sums`,
+    /// `area_sums` and returns the raw (unnormalized) `F₄`.
+    fn gate_pass(&mut self, w: &WeightMatrix) -> f64 {
+        let problem = self.model.problem();
+        let bias = problem.bias();
+        let area = problem.area();
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let stride = 2 * k + 1;
+        let threaded = self.threaded();
+
+        self.bias_sums.fill(0.0);
+        self.area_sums.fill(0.0);
+        if self.gate_bounds.len() == 1 {
+            // Fast path: accumulate straight into the engine buffers. Same
+            // addition sequence as a one-chunk fold, minus the partial
+            // buffers, slice splitting, and copies.
+            let mut f4_raw = 0.0;
+            gate_pass_chunk(
+                w,
+                bias,
+                area,
+                0,
+                g,
+                &mut self.labels,
+                &mut self.row_sums,
+                &mut self.bias_sums,
+                &mut self.area_sums,
+                &mut f4_raw,
+            );
+            return f4_raw;
+        }
+
+        self.gate_partials.fill(0.0);
+        let label_chunks = split_by_bounds(&mut self.labels, &self.gate_bounds);
+        let row_sum_chunks = split_by_bounds(&mut self.row_sums, &self.gate_bounds);
+        let partial_chunks: Vec<&mut [f64]> = self.gate_partials.chunks_mut(stride).collect();
+
+        let jobs = self
+            .gate_bounds
+            .iter()
+            .zip(label_chunks)
+            .zip(row_sum_chunks)
+            .zip(partial_chunks);
+        if threaded {
+            crossbeam::thread::scope(|scope| {
+                for (((&(start, end), labels), row_sums), partial) in jobs {
+                    scope.spawn(move |_| {
+                        let (bias_part, rest) = partial.split_at_mut(k);
+                        let (area_part, f4_part) = rest.split_at_mut(k);
+                        gate_pass_chunk(
+                            w,
+                            bias,
+                            area,
+                            start,
+                            end,
+                            labels,
+                            row_sums,
+                            bias_part,
+                            area_part,
+                            &mut f4_part[0],
+                        );
+                    });
+                }
+            })
+            .expect("gate sweep scope panicked");
+        } else {
+            for (((&(start, end), labels), row_sums), partial) in jobs {
+                let (bias_part, rest) = partial.split_at_mut(k);
+                let (area_part, f4_part) = rest.split_at_mut(k);
+                gate_pass_chunk(
+                    w,
+                    bias,
+                    area,
+                    start,
+                    end,
+                    labels,
+                    row_sums,
+                    bias_part,
+                    area_part,
+                    &mut f4_part[0],
+                );
+            }
+        }
+
+        // Fold partials in fixed chunk order.
+        let mut f4_raw = 0.0;
+        for partial in self.gate_partials.chunks(stride) {
+            for (s, &p) in self.bias_sums.iter_mut().zip(&partial[..k]) {
+                *s += p;
+            }
+            for (s, &p) in self.area_sums.iter_mut().zip(&partial[k..2 * k]) {
+                *s += p;
+            }
+            f4_raw += partial[2 * k];
+        }
+        f4_raw
+    }
+
+    /// Fused edge sweep: returns raw `F₁` and, in gradient mode, fills
+    /// `self.force` (folded in fixed chunk order).
+    fn edge_pass(&mut self, with_force: bool) -> f64 {
+        let problem = self.model.problem();
+        let edges = problem.edges();
+        let g = problem.num_gates();
+        let exponent = self.model.exponent();
+        let (n1, ..) = self.model.normalizations();
+        let paper_sign = self.options.gradient.paper_f1_sign;
+        let threaded = self.threaded();
+
+        if self.edge_bounds.len() == 1 {
+            // Fast path: write forces straight into `self.force`. Same
+            // addition sequence as a one-chunk fold, minus the per-chunk
+            // buffer fill and fold copy.
+            let mut f1_raw = 0.0;
+            let force = if with_force {
+                self.force.fill(0.0);
+                Some(&mut self.force[..])
+            } else {
+                None
+            };
+            edge_pass_chunk(
+                edges,
+                &self.labels,
+                exponent,
+                n1,
+                paper_sign,
+                &mut f1_raw,
+                force,
+            );
+            return f1_raw;
+        }
+
+        let labels = &self.labels[..];
+        self.f1_partials.fill(0.0);
+        if with_force {
+            self.chunk_force.fill(0.0);
+        }
+        let force_chunks: Vec<Option<&mut [f64]>> = if with_force {
+            self.chunk_force.chunks_mut(g).map(Some).collect()
+        } else {
+            self.edge_bounds.iter().map(|_| None).collect()
+        };
+
+        let jobs = self
+            .edge_bounds
+            .iter()
+            .zip(self.f1_partials.iter_mut())
+            .zip(force_chunks);
+        if threaded {
+            crossbeam::thread::scope(|scope| {
+                for ((&(start, end), f1_part), force) in jobs {
+                    scope.spawn(move |_| {
+                        edge_pass_chunk(
+                            &edges[start..end],
+                            labels,
+                            exponent,
+                            n1,
+                            paper_sign,
+                            f1_part,
+                            force,
+                        );
+                    });
+                }
+            })
+            .expect("edge sweep scope panicked");
+        } else {
+            for ((&(start, end), f1_part), force) in jobs {
+                edge_pass_chunk(
+                    &edges[start..end],
+                    labels,
+                    exponent,
+                    n1,
+                    paper_sign,
+                    f1_part,
+                    force,
+                );
+            }
+        }
+
+        if with_force {
+            self.force.fill(0.0);
+            for chunk in self.chunk_force.chunks(g) {
+                for (f, &c) in self.force.iter_mut().zip(chunk) {
+                    *f += c;
+                }
+            }
+        }
+        self.f1_partials.iter().sum()
+    }
+
+    /// Assembles the normalized [`CostBreakdown`] from raw term sums.
+    fn breakdown(&self, f1_raw: f64, f4_raw: f64) -> CostBreakdown {
+        let (n1, n2, n3, n4) = self.model.normalizations();
+        let weights = self.model.weights();
+        let f1 = f1_raw / n1;
+        let f2 = variance(&self.bias_sums) / n2;
+        let f3 = variance(&self.area_sums) / n3;
+        let f4 = f4_raw / n4;
+        CostBreakdown {
+            f1,
+            f2,
+            f3,
+            f4,
+            total: weights.c1 * f1 + weights.c2 * f2 + weights.c3 * f3 + weights.c4 * f4,
+        }
+    }
+
+    /// Checks `w` against the problem dimensions.
+    fn check_dims(&self, w: &WeightMatrix) {
+        let problem = self.model.problem();
+        assert_eq!(
+            w.num_gates(),
+            problem.num_gates(),
+            "weight matrix row count mismatch"
+        );
+        assert_eq!(
+            w.num_planes(),
+            problem.num_planes(),
+            "weight matrix column count mismatch"
+        );
+    }
+
+    /// Evaluates all four cost terms at `w` in one fused sweep pair.
+    ///
+    /// Equivalent to [`CostModel::evaluate`] (within kernel/fold tolerance,
+    /// see the module docs) at roughly a third of the memory traffic and
+    /// none of the allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w`'s dimensions do not match the problem.
+    pub fn evaluate(&mut self, w: &WeightMatrix) -> CostBreakdown {
+        self.check_dims(w);
+        let f4_raw = self.gate_pass(w);
+        let f1_raw = self.edge_pass(false);
+        self.breakdown(f1_raw, f4_raw)
+    }
+
+    /// Evaluates the cost **and** writes the weighted gradient `∂F/∂w` into
+    /// `out` (row-major `G×K`) in one fused `O(E + G·K)` pass.
+    ///
+    /// Replaces the reference `model.evaluate(w)` + `gradient.compute(...)`
+    /// pair, which between them sweep the gate and edge sets ≈3×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != G·K` or `w`'s dimensions mismatch.
+    pub fn evaluate_with_gradient(&mut self, w: &WeightMatrix, out: &mut [f64]) -> CostBreakdown {
+        self.check_dims(w);
+        let problem = self.model.problem();
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        assert_eq!(out.len(), g * k, "gradient buffer size mismatch");
+
+        let f4_raw = self.gate_pass(w);
+        let f1_raw = self.edge_pass(true);
+        let cost = self.breakdown(f1_raw, f4_raw);
+
+        let kf = k as f64;
+        let b_mean = self.bias_sums.iter().sum::<f64>() / kf;
+        let a_mean = self.area_sums.iter().sum::<f64>() / kf;
+        let bias = problem.bias();
+        let area = problem.area();
+        let weights = self.model.weights();
+        let (_, n2, n3, n4) = self.model.normalizations();
+
+        // Fold the term weights and normalizations into per-plane (F₂/F₃)
+        // and scalar (F₁/F₄) coefficients once per call, so the per-entry
+        // work below is a handful of fused multiply-adds.
+        let cb = weights.c2 * 2.0 / (kf * n2);
+        for (c, &s) in self.coeff_bias.iter_mut().zip(&self.bias_sums) {
+            *c = cb * (s - b_mean);
+        }
+        let ca = weights.c3 * 2.0 / (kf * n3);
+        for (c, &s) in self.coeff_area.iter_mut().zip(&self.area_sums) {
+            *c = ca * (s - a_mean);
+        }
+        let a4 = weights.c4 * 2.0 / n4;
+        let consts = GradConsts {
+            c1: weights.c1,
+            f4_lin: a4,
+            f4_dev: a4 / kf,
+            paper_f4: self.options.gradient.paper_f4_formula,
+            pf: a4 * (kf + 1.0 / kf),
+            pc: a4 * (kf - 1.0),
+            kf,
+        };
+        let row_sums = &self.row_sums[..];
+        let force = &self.force[..];
+        let coeff_bias = &self.coeff_bias[..];
+        let coeff_area = &self.coeff_area[..];
+
+        if self.gate_bounds.len() == 1 {
+            // Fast path: one write sweep over the whole matrix.
+            grad_pass_chunk(
+                w, bias, area, 0, g, row_sums, force, coeff_bias, coeff_area, consts, out,
+            );
+            return cost;
+        }
+
+        // Pure writes per gate: identical output threaded or not.
+        let scaled_bounds: Vec<(usize, usize)> = self
+            .gate_bounds
+            .iter()
+            .map(|&(s, e)| (s * k, e * k))
+            .collect();
+        let out_chunks = split_by_bounds(out, &scaled_bounds);
+        let jobs = self.gate_bounds.iter().zip(out_chunks);
+        if self.threaded() {
+            crossbeam::thread::scope(|scope| {
+                for (&(start, end), out_chunk) in jobs {
+                    scope.spawn(move |_| {
+                        grad_pass_chunk(
+                            w,
+                            bias,
+                            area,
+                            start,
+                            end,
+                            &row_sums[start..end],
+                            force,
+                            coeff_bias,
+                            coeff_area,
+                            consts,
+                            out_chunk,
+                        );
+                    });
+                }
+            })
+            .expect("gradient sweep scope panicked");
+        } else {
+            for (&(start, end), out_chunk) in jobs {
+                grad_pass_chunk(
+                    w,
+                    bias,
+                    area,
+                    start,
+                    end,
+                    &row_sums[start..end],
+                    force,
+                    coeff_bias,
+                    coeff_area,
+                    consts,
+                    out_chunk,
+                );
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad::Gradient;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(g: usize, k: usize, seed: u64) -> PartitionProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bias: Vec<f64> = (0..g).map(|_| rng.random_range(0.2..2.0)).collect();
+        let area: Vec<f64> = (0..g).map(|_| rng.random_range(1.0..10.0)).collect();
+        let mut edges = Vec::new();
+        for i in 1..g as u32 {
+            let j = rng.random_range(0..i);
+            edges.push((j, i));
+            if rng.random_bool(0.4) {
+                edges.push((rng.random_range(0..i), i));
+            }
+        }
+        PartitionProblem::new(bias, area, edges, k).unwrap()
+    }
+
+    fn reference_pair(
+        problem: &PartitionProblem,
+        w: &WeightMatrix,
+        grad_options: GradientOptions,
+    ) -> (CostBreakdown, Vec<f64>) {
+        let model = CostModel::new(problem, CostWeights::default());
+        let cost = model.evaluate(w);
+        let mut gradient = Gradient::new(grad_options);
+        let mut out = vec![0.0; w.num_gates() * w.num_planes()];
+        gradient.compute(&model, w, &mut out);
+        (cost, out)
+    }
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() / scale < 1e-12, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn fused_matches_reference_unchunked() {
+        for seed in 0..5u64 {
+            let p = random_problem(30, 4, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let w = WeightMatrix::random(30, 4, &mut rng);
+            let mut engine =
+                CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+            let mut grad = vec![0.0; 30 * 4];
+            let cost = engine.evaluate_with_gradient(&w, &mut grad);
+            let (expect_cost, expect_grad) = reference_pair(&p, &w, GradientOptions::exact());
+            assert_close(cost.f1, expect_cost.f1, "f1");
+            assert_close(cost.f2, expect_cost.f2, "f2");
+            assert_close(cost.f3, expect_cost.f3, "f3");
+            assert_close(cost.f4, expect_cost.f4, "f4");
+            assert_close(cost.total, expect_cost.total, "total");
+            for (i, (&a, &b)) in grad.iter().zip(&expect_grad).enumerate() {
+                assert_close(a, b, &format!("grad[{i}]"));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_with_paper_gradients() {
+        let p = random_problem(24, 3, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = WeightMatrix::random(24, 3, &mut rng);
+        let options = EngineOptions {
+            gradient: GradientOptions::as_printed(),
+            ..EngineOptions::default()
+        };
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, options);
+        let mut grad = vec![0.0; 24 * 3];
+        engine.evaluate_with_gradient(&w, &mut grad);
+        let (_, expect_grad) = reference_pair(&p, &w, GradientOptions::as_printed());
+        for (&a, &b) in grad.iter().zip(&expect_grad) {
+            assert_close(a, b, "printed-formula gradient entry");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_unchunked_within_tolerance() {
+        let p = random_problem(60, 5, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = WeightMatrix::random(60, 5, &mut rng);
+        let mut plain = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        // Force chunking on a small problem.
+        let chunked_options = EngineOptions {
+            chunk_min_items: 1,
+            num_chunks: 7,
+            ..EngineOptions::default()
+        };
+        let mut chunked = CostEngine::new(&p, CostWeights::default(), 4.0, chunked_options);
+        assert!(chunked.is_chunked());
+        assert!(!plain.is_chunked());
+        let mut ga = vec![0.0; 60 * 5];
+        let mut gb = vec![0.0; 60 * 5];
+        let ca = plain.evaluate_with_gradient(&w, &mut ga);
+        let cb = chunked.evaluate_with_gradient(&w, &mut gb);
+        assert_close(ca.total, cb.total, "total");
+        for (&a, &b) in ga.iter().zip(&gb) {
+            assert_close(a, b, "gradient entry");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_are_bit_identical_to_sequential_chunks() {
+        let p = random_problem(80, 4, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = WeightMatrix::random(80, 4, &mut rng);
+        let base = EngineOptions {
+            chunk_min_items: 1,
+            num_chunks: 6,
+            ..EngineOptions::default()
+        };
+        let mut sequential = CostEngine::new(&p, CostWeights::default(), 4.0, base);
+        let mut parallel = CostEngine::new(
+            &p,
+            CostWeights::default(),
+            4.0,
+            EngineOptions {
+                intra_parallel: true,
+                ..base
+            },
+        );
+        let mut gs = vec![0.0; 80 * 4];
+        let mut gp = vec![0.0; 80 * 4];
+        let cs = sequential.evaluate_with_gradient(&w, &mut gs);
+        let cp = parallel.evaluate_with_gradient(&w, &mut gp);
+        // Same chunk layout, same fold order: exactly equal, not just close.
+        assert_eq!(cs, cp);
+        assert_eq!(gs, gp);
+        assert_eq!(sequential.evaluate(&w), parallel.evaluate(&w));
+    }
+
+    #[test]
+    fn evaluate_only_agrees_with_evaluate_with_gradient() {
+        let p = random_problem(40, 3, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let w = WeightMatrix::random(40, 3, &mut rng);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        let cost_only = engine.evaluate(&w);
+        let mut grad = vec![0.0; 40 * 3];
+        let cost_both = engine.evaluate_with_gradient(&w, &mut grad);
+        assert_eq!(cost_only, cost_both);
+    }
+
+    #[test]
+    fn repeated_evaluations_are_stable() {
+        // Scratch reuse must not leak state between calls.
+        let p = random_problem(25, 4, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let w1 = WeightMatrix::random(25, 4, &mut rng);
+        let w2 = WeightMatrix::random(25, 4, &mut rng);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        let mut g1 = vec![0.0; 25 * 4];
+        let first = engine.evaluate_with_gradient(&w1, &mut g1);
+        let mut scratch = vec![0.0; 25 * 4];
+        engine.evaluate_with_gradient(&w2, &mut scratch);
+        let mut g1_again = vec![0.0; 25 * 4];
+        let again = engine.evaluate_with_gradient(&w1, &mut g1_again);
+        assert_eq!(first, again);
+        assert_eq!(g1, g1_again);
+    }
+
+    #[test]
+    fn set_weights_tracks_ramp() {
+        let p = random_problem(10, 3, 41);
+        let w = WeightMatrix::uniform(10, 3);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        let base = engine.evaluate(&w);
+        engine.set_weights(CostWeights {
+            c1: 2.0,
+            ..CostWeights::default()
+        });
+        let doubled = engine.evaluate(&w);
+        assert_close(
+            doubled.total - base.total,
+            base.f1,
+            "total responds to weight change",
+        );
+    }
+
+    #[test]
+    fn exponent_two_matches_reference() {
+        let p = random_problem(20, 4, 51);
+        let mut rng = StdRng::seed_from_u64(52);
+        let w = WeightMatrix::random(20, 4, &mut rng);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 2.0, EngineOptions::default());
+        let model = CostModel::with_exponent(&p, CostWeights::default(), 2.0);
+        let fused = engine.evaluate(&w);
+        let reference = model.evaluate(&w);
+        assert_close(fused.total, reference.total, "p=2 total");
+        assert_close(fused.f1, reference.f1, "p=2 f1");
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient buffer size mismatch")]
+    fn wrong_gradient_buffer_panics() {
+        let p = random_problem(6, 2, 61);
+        let w = WeightMatrix::uniform(6, 2);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        let mut out = vec![0.0; 5];
+        engine.evaluate_with_gradient(&w, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn wrong_matrix_dims_panic() {
+        let p = random_problem(6, 2, 62);
+        let w = WeightMatrix::uniform(5, 2);
+        let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
+        engine.evaluate(&w);
+    }
+}

@@ -308,7 +308,10 @@ mod tests {
         // Exact gradient at a one-hot row: d = (sum−1) − (w_k − mean)/K
         // = −(w_k − 1/4)/4 → pushes the hot entry up and the cold ones down,
         // which the [0,1] projection absorbs. Check the signs.
-        assert!(ge[2] < 0.0, "hot entry is pushed further up (descent on −g)");
+        assert!(
+            ge[2] < 0.0,
+            "hot entry is pushed further up (descent on −g)"
+        );
         for kk in [0usize, 1, 3] {
             assert!(ge[kk] > 0.0, "cold entries pushed down");
         }
@@ -329,13 +332,7 @@ mod tests {
 
     #[test]
     fn gradient_zero_at_uniform_for_symmetric_problem() {
-        let p = PartitionProblem::new(
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![(0, 1)],
-            2,
-        )
-        .unwrap();
+        let p = PartitionProblem::new(vec![1.0, 1.0], vec![1.0, 1.0], vec![(0, 1)], 2).unwrap();
         let model = CostModel::new(&p, CostWeights::default());
         let w = WeightMatrix::uniform(2, 2);
         let mut grad = Gradient::new(GradientOptions::exact());

@@ -1,0 +1,135 @@
+//! Scalar power kernels for the distance terms of the cost function.
+//!
+//! The paper fixes the interconnect exponent at `p = 4`, and every hot loop
+//! in this crate — relaxed cost, analytic gradient, discrete move gains —
+//! raises a label distance to that power. `f64::powf` goes through the
+//! transcendental `exp(p·ln d)` path even for integer exponents, which is an
+//! order of magnitude slower than the handful of multiplies actually needed.
+//! This module is the single home of the specialization: integer exponents
+//! `1..=4` become multiply chains, anything else falls back to `powf`.
+//!
+//! The fused engine ([`crate::engine`]), the discrete refiner
+//! ([`crate::refine`]), and the benches all call these kernels, so the
+//! specialization lives in exactly one place.
+//!
+//! Numerical note: `(d·d)·(d·d)` and `d.powf(4.0)` can differ in the last
+//! ulp (two roundings versus one correctly-rounded result), so code that
+//! compares kernel-based results against `powf`-based references must use a
+//! small tolerance rather than bit equality; `1e-12` relative is ample.
+
+/// `|x|^p`, specialized for integer exponents `1..=4`.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::kernel::pow_abs;
+///
+/// assert_eq!(pow_abs(-2.0, 4.0), 16.0);
+/// assert_eq!(pow_abs(3.0, 1.0), 3.0);
+/// assert!((pow_abs(1.7, 2.5) - 1.7f64.powf(2.5)).abs() < 1e-12);
+/// ```
+#[inline]
+#[must_use]
+pub fn pow_abs(x: f64, p: f64) -> f64 {
+    let d = x.abs();
+    if p == 4.0 {
+        let d2 = d * d;
+        d2 * d2
+    } else if p == 2.0 {
+        d * d
+    } else if p == 3.0 {
+        d * d * d
+    } else if p == 1.0 {
+        d
+    } else {
+        d.powf(p)
+    }
+}
+
+/// Magnitude of the derivative of `|x|^p`: `p·|x|^{p−1}`, specialized for
+/// integer exponents `1..=4`.
+///
+/// The caller applies the sign (`signum(x)` for the exact gradient, edge
+/// direction for the paper's as-printed variant).
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::kernel::pow_grad_abs;
+///
+/// assert_eq!(pow_grad_abs(-2.0, 4.0), 32.0); // 4·|−2|³
+/// assert_eq!(pow_grad_abs(5.0, 1.0), 1.0);
+/// ```
+#[inline]
+#[must_use]
+pub fn pow_grad_abs(x: f64, p: f64) -> f64 {
+    let d = x.abs();
+    if p == 4.0 {
+        4.0 * (d * d) * d
+    } else if p == 2.0 {
+        2.0 * d
+    } else if p == 3.0 {
+        3.0 * d * d
+    } else if p == 1.0 {
+        1.0
+    } else {
+        p * d.powf(p - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_powf_on_integer_exponents() {
+        for p in [1.0, 2.0, 3.0, 4.0] {
+            for i in 0..200 {
+                let x = (i as f64 - 100.0) * 0.137;
+                let reference = x.abs().powf(p);
+                let got = pow_abs(x, p);
+                let scale = reference.abs().max(1.0);
+                assert!(
+                    (got - reference).abs() / scale < 1e-12,
+                    "pow_abs({x}, {p}): {got} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matches_analytic_form() {
+        for p in [1.0, 2.0, 3.0, 4.0, 2.5] {
+            for i in 1..100 {
+                let x = i as f64 * 0.217;
+                let reference = p * x.powf(p - 1.0);
+                let got = pow_grad_abs(x, p);
+                let scale = reference.abs().max(1.0);
+                assert!(
+                    (got - reference).abs() / scale < 1e-12,
+                    "pow_grad_abs({x}, {p}): {got} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_is_even_in_x() {
+        assert_eq!(pow_grad_abs(-3.0, 4.0), pow_grad_abs(3.0, 4.0));
+        assert_eq!(pow_abs(-3.0, 3.0), pow_abs(3.0, 3.0));
+    }
+
+    #[test]
+    fn fractional_exponent_falls_back_to_powf() {
+        let x = 2.3f64;
+        assert_eq!(pow_abs(x, 2.5), x.powf(2.5));
+        assert_eq!(pow_grad_abs(x, 2.5), 2.5 * x.powf(1.5));
+    }
+
+    #[test]
+    fn zero_distance_is_zero_cost() {
+        for p in [1.0, 2.0, 3.0, 4.0, 2.5] {
+            assert_eq!(pow_abs(0.0, p), 0.0);
+        }
+    }
+}

@@ -42,6 +42,9 @@
 //! * [`PartitionProblem`] — the `(b_i, a_i, E, K)` instance.
 //! * [`cost`] — `F₁..F₄` with the paper's normalizations (eqs. 4–6, 9).
 //! * [`grad`] — analytic gradients (eq. 10; see the note on the sign erratum).
+//! * [`engine`] — fused, allocation-free cost+gradient evaluation (the
+//!   solver's default inner loop); [`kernel`] holds the shared
+//!   integer-exponent power kernels.
 //! * [`solver`] — Algorithm 1 (projected gradient descent) plus restarts.
 //! * [`refine`] — optional discrete local-move polish.
 //! * [`metrics`] — `d≤x` locality, `B_max`, `I_comp`, `A_max`, `A_FS` (eq. 11).
@@ -54,7 +57,9 @@
 mod assign;
 pub mod baselines;
 pub mod cost;
+pub mod engine;
 pub mod grad;
+pub mod kernel;
 pub mod limit;
 pub mod metrics;
 pub mod multilevel;
@@ -66,6 +71,7 @@ mod weights;
 
 pub use assign::Partition;
 pub use cost::{CostBreakdown, CostModel, CostWeights};
+pub use engine::{CostEngine, EngineOptions};
 pub use limit::{BiasLimitOutcome, BiasLimitPlanner};
 pub use metrics::PartitionMetrics;
 pub use problem::{PartitionProblem, ProblemError};

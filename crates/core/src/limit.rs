@@ -246,7 +246,9 @@ mod tests {
     #[test]
     fn galloping_finds_a_feasible_k_quickly() {
         let p = chain(60, 1.0); // B_cir = 60
-        let linear = BiasLimitPlanner::new(5.0, SolverOptions::default()).plan(&p).unwrap();
+        let linear = BiasLimitPlanner::new(5.0, SolverOptions::default())
+            .plan(&p)
+            .unwrap();
         let gallop = BiasLimitPlanner::new(5.0, SolverOptions::default())
             .with_galloping(true)
             .plan(&p)

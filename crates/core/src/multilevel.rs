@@ -77,10 +77,7 @@ struct Level {
 /// assert!(m.cumulative_fraction(1) > 0.95);
 /// # Ok::<(), sfq_partition::ProblemError>(())
 /// ```
-pub fn multilevel_partition(
-    problem: &PartitionProblem,
-    options: &MultilevelOptions,
-) -> Partition {
+pub fn multilevel_partition(problem: &PartitionProblem, options: &MultilevelOptions) -> Partition {
     let floor = options.coarsest_size.max(4 * problem.num_planes());
 
     // Coarsening phase.
@@ -104,7 +101,9 @@ pub fn multilevel_partition(
             refine(&current, &p, &options.refine).0
         }
         InitialPartitioner::GradientDescent(solver_options) => {
-            Solver::new((**solver_options).clone()).solve(&current).partition
+            Solver::new((**solver_options).clone())
+                .solve(&current)
+                .partition
         }
     };
 
@@ -240,7 +239,11 @@ mod tests {
         let p = chain(500, 5);
         let part = multilevel_partition(&p, &MultilevelOptions::default());
         let m = PartitionMetrics::evaluate(&p, &part);
-        assert!(m.cumulative_fraction(1) > 0.98, "d<=1 {}", m.cumulative_fraction(1));
+        assert!(
+            m.cumulative_fraction(1) > 0.98,
+            "d<=1 {}",
+            m.cumulative_fraction(1)
+        );
         assert!(m.i_comp_pct < 5.0, "I_comp {}", m.i_comp_pct);
     }
 

@@ -235,12 +235,7 @@ impl<'a> MoveState<'a> {
 
     fn dist_pow(&self, a: u32, b: u32) -> f64 {
         let d = (a as i64 - b as i64).unsigned_abs() as f64;
-        if self.exponent == 4.0 {
-            let d2 = d * d;
-            d2 * d2
-        } else {
-            d.powf(self.exponent)
-        }
+        crate::kernel::pow_abs(d, self.exponent)
     }
 
     pub(crate) fn total_cost(&self) -> f64 {
@@ -458,10 +453,7 @@ mod tests {
             ..RefineOptions::default()
         };
         let (single_only, _) = refine(&p, &start, &opts);
-        assert_eq!(
-            single_only, start,
-            "single moves are balance-blocked here"
-        );
+        assert_eq!(single_only, start, "single moves are balance-blocked here");
         let (swapped, moves) = refine_with_swaps(&p, &start, &opts);
         assert!(moves >= 2);
         let m = crate::metrics::PartitionMetrics::evaluate(&p, &swapped);

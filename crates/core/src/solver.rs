@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::assign::Partition;
 use crate::cost::{CostModel, CostWeights};
+use crate::engine::{CostEngine, EngineOptions};
 use crate::grad::{Gradient, GradientOptions};
 use crate::problem::PartitionProblem;
 use crate::refine::{discrete_cost, refine, RefineOptions};
@@ -87,6 +88,18 @@ pub struct SolverOptions {
     pub swap_refine: bool,
     /// Run restarts on parallel threads.
     pub parallel: bool,
+    /// Evaluate cost and gradient through the fused
+    /// [`CostEngine`](crate::engine::CostEngine) (one `O(E + G·K)` pass,
+    /// allocation-free, integer-exponent kernels). Disable to use the
+    /// reference [`CostModel`]/[`Gradient`] pair — same mathematics, kept
+    /// for ablation and as the benchmark baseline.
+    pub fused: bool,
+    /// Split each fused sweep across scoped threads (in addition to the
+    /// one-thread-per-restart parallelism of [`SolverOptions::parallel`]).
+    /// Only engages on problems large enough to chunk, and never changes
+    /// results: chunk layout and fold order are fixed per problem. Ignored
+    /// when `fused` is off.
+    pub intra_parallel: bool,
 }
 
 impl Default for SolverOptions {
@@ -105,6 +118,8 @@ impl Default for SolverOptions {
             refine: true,
             swap_refine: false,
             parallel: false,
+            fused: true,
+            intra_parallel: false,
         }
     }
 }
@@ -255,13 +270,28 @@ impl Solver {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
         let mut w = WeightMatrix::random_spread(g, k, opts.init_spread, &mut rng);
 
-        let mut model = CostModel::with_exponent(problem, opts.weights, opts.exponent);
         let grad_opts = if opts.paper_gradients {
             GradientOptions::as_printed()
         } else {
             GradientOptions::exact()
         };
-        let mut gradient = Gradient::new(grad_opts);
+        let mut backend = if opts.fused {
+            EvalBackend::Fused(CostEngine::new(
+                problem,
+                opts.weights,
+                opts.exponent,
+                EngineOptions {
+                    gradient: grad_opts,
+                    intra_parallel: opts.intra_parallel,
+                    ..EngineOptions::default()
+                },
+            ))
+        } else {
+            EvalBackend::Reference {
+                model: CostModel::with_exponent(problem, opts.weights, opts.exponent),
+                gradient: Gradient::new(grad_opts),
+            }
+        };
         let mut step = vec![0.0; g * k];
 
         let mut history = Vec::new();
@@ -274,13 +304,15 @@ impl Solver {
             // c4 warm-up (continuation).
             if opts.c4_warmup > 0 {
                 let ramp = ((iter as f64) / (opts.c4_warmup as f64)).min(1.0);
-                model.set_weights(CostWeights {
+                backend.set_weights(CostWeights {
                     c4: opts.weights.c4 * ramp,
                     ..opts.weights
                 });
             }
 
-            let cost_new = model.evaluate(&w).total;
+            // The fused engine produces the gradient together with the cost;
+            // the reference backend fills `step` lazily below.
+            let cost_new = backend.cost(&w, &mut step);
             history.push(cost_new);
             iterations = iter + 1;
 
@@ -295,7 +327,7 @@ impl Solver {
                 }
             }
 
-            gradient.compute(&model, &w, &mut step);
+            backend.gradient_into(&w, &mut step);
 
             // Derive / adapt the learning rate.
             if learning_rate == 0.0 {
@@ -317,10 +349,7 @@ impl Solver {
                 break;
             }
 
-            for s in &mut step {
-                *s *= learning_rate;
-            }
-            w.descend(&step);
+            w.descend_scaled(&step, learning_rate);
             cost_old = cost_new;
         }
 
@@ -346,6 +375,48 @@ impl Solver {
             discrete_cost: dc,
             best_restart: restart,
             refine_moves,
+        }
+    }
+}
+
+/// How one descent run evaluates cost and gradient: the fused engine
+/// (default) or the reference `CostModel` + `Gradient` pair (ablation /
+/// benchmark baseline). Both implement the same mathematics; see
+/// [`crate::engine`] for the numerical contract.
+// One stack value per restart, never stored in collections — the size
+// imbalance between the variants is irrelevant here.
+#[allow(clippy::large_enum_variant)]
+enum EvalBackend<'a> {
+    Reference {
+        model: CostModel<'a>,
+        gradient: Gradient,
+    },
+    Fused(CostEngine<'a>),
+}
+
+impl EvalBackend<'_> {
+    fn set_weights(&mut self, weights: CostWeights) {
+        match self {
+            EvalBackend::Reference { model, .. } => model.set_weights(weights),
+            EvalBackend::Fused(engine) => engine.set_weights(weights),
+        }
+    }
+
+    /// Evaluates the total cost at `w`. The fused engine also writes the
+    /// gradient into `step` as a side effect of the same pass.
+    fn cost(&mut self, w: &WeightMatrix, step: &mut [f64]) -> f64 {
+        match self {
+            EvalBackend::Reference { model, .. } => model.evaluate(w).total,
+            EvalBackend::Fused(engine) => engine.evaluate_with_gradient(w, step).total,
+        }
+    }
+
+    /// Ensures `step` holds the gradient at `w` (already true for the fused
+    /// engine after [`EvalBackend::cost`]).
+    fn gradient_into(&mut self, w: &WeightMatrix, step: &mut [f64]) {
+        match self {
+            EvalBackend::Reference { model, gradient } => gradient.compute(model, w, step),
+            EvalBackend::Fused(_) => {}
         }
     }
 }
@@ -409,23 +480,96 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let p = chain(20, 3);
-        let opts = SolverOptions::default();
-        let a = Solver::new(opts.clone()).solve(&p);
-        let b = Solver::new(opts).solve(&p);
-        assert_eq!(a.partition, b.partition);
-        assert_eq!(a.cost_history, b.cost_history);
+        // Every backend combination must reproduce itself bit-for-bit:
+        // fused, fused with intra-descent parallelism, and the reference
+        // path.
+        for (fused, intra_parallel) in [(true, false), (true, true), (false, false)] {
+            let opts = SolverOptions {
+                fused,
+                intra_parallel,
+                ..SolverOptions::default()
+            };
+            let a = Solver::new(opts.clone()).solve(&p);
+            let b = Solver::new(opts).solve(&p);
+            assert_eq!(
+                a.partition, b.partition,
+                "fused={fused} intra={intra_parallel}"
+            );
+            assert_eq!(
+                a.cost_history, b.cost_history,
+                "fused={fused} intra={intra_parallel}"
+            );
+        }
     }
 
     #[test]
     fn parallel_restarts_match_sequential() {
         let p = chain(20, 3);
-        let mut opts = SolverOptions::tuned(3);
-        opts.parallel = false;
-        let seq = Solver::new(opts.clone()).solve(&p);
-        opts.parallel = true;
-        let par = Solver::new(opts).solve(&p);
+        // Restart-level threading must not change the outcome, with and
+        // without the fused engine's intra-descent threading underneath.
+        for intra_parallel in [false, true] {
+            let mut opts = SolverOptions::tuned(3);
+            opts.intra_parallel = intra_parallel;
+            opts.parallel = false;
+            let seq = Solver::new(opts.clone()).solve(&p);
+            opts.parallel = true;
+            let par = Solver::new(opts).solve(&p);
+            assert_eq!(seq.partition, par.partition, "intra={intra_parallel}");
+            assert_eq!(seq.best_restart, par.best_restart, "intra={intra_parallel}");
+            assert_eq!(seq.cost_history, par.cost_history, "intra={intra_parallel}");
+        }
+    }
+
+    #[test]
+    fn fused_engine_matches_reference_backend() {
+        // The fused engine differs from the reference pair only through the
+        // integer-exponent kernels (last-ulp effects). Over a full descent
+        // the bold-driver rate can amplify those ulps slightly, but the
+        // discrete outcome — and the shape of the descent — must agree.
+        for p in [chain(20, 3), chain(40, 4), two_clusters()] {
+            let reference = Solver::new(SolverOptions {
+                fused: false,
+                ..SolverOptions::default()
+            })
+            .solve(&p);
+            let fused = Solver::new(SolverOptions::default()).solve(&p);
+            assert_eq!(reference.partition, fused.partition);
+            assert_eq!(reference.iterations, fused.iterations);
+            assert_eq!(reference.stop_reason, fused.stop_reason);
+            assert_eq!(reference.cost_history.len(), fused.cost_history.len());
+            for (i, (a, b)) in reference
+                .cost_history
+                .iter()
+                .zip(&fused.cost_history)
+                .enumerate()
+            {
+                let rel = ((a - b) / a.abs().max(1e-12)).abs();
+                assert!(rel < 1e-4, "iteration {i}: {a} vs {b} (rel {rel:.3e})");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_parallel_is_bit_identical_on_chunked_problems() {
+        // 2048 gates × 4 planes = 8192 entries: exactly at the chunking
+        // threshold, so the fused sweeps split into fixed chunks and (with
+        // `intra_parallel`) run on scoped threads. Fold order is fixed per
+        // problem, so threading must not change a single bit.
+        let p = chain(2048, 4);
+        let base = SolverOptions {
+            max_iterations: 60,
+            refine: false,
+            ..SolverOptions::default()
+        };
+        let seq = Solver::new(base.clone()).solve(&p);
+        let par = Solver::new(SolverOptions {
+            intra_parallel: true,
+            ..base
+        })
+        .solve(&p);
         assert_eq!(seq.partition, par.partition);
-        assert_eq!(seq.best_restart, par.best_restart);
+        assert_eq!(seq.cost_history, par.cost_history);
+        assert_eq!(seq.discrete_cost, par.discrete_cost);
     }
 
     #[test]

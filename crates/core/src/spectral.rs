@@ -80,7 +80,11 @@ pub fn fiedler_order(problem: &PartitionProblem, options: &SpectralOptions) -> V
 /// Cuts an explicit gate order into `K` consecutive chunks holding
 /// (approximately) `B_cir/K` of bias each.
 pub fn chunk_by_bias(problem: &PartitionProblem, order: &[usize]) -> Partition {
-    assert_eq!(order.len(), problem.num_gates(), "order must cover all gates");
+    assert_eq!(
+        order.len(),
+        problem.num_gates(),
+        "order must cover all gates"
+    );
     let k = problem.num_planes();
     let target = problem.total_bias() / k as f64;
     let mut labels = vec![0u32; problem.num_gates()];

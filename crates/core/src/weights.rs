@@ -217,6 +217,18 @@ impl WeightMatrix {
             *w = (*w - s).clamp(0.0, 1.0);
         }
     }
+
+    /// Applies `w ← w − rate·step` element-wise, clamping to `[0, 1]`.
+    ///
+    /// Equivalent to scaling `step` by `rate` in place and then calling
+    /// [`Self::descend`], without the extra sweep over the step buffer —
+    /// and bit-identical to it, since `rate·s` is rounded once either way.
+    pub fn descend_scaled(&mut self, step: &[f64], rate: f64) {
+        assert_eq!(step.len(), self.data.len());
+        for (w, &s) in self.data.iter_mut().zip(step) {
+            *w = (*w - rate * s).clamp(0.0, 1.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +343,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "spread must be non-negative")]
     fn random_spread_rejects_negative() {
-        let _ =
-            WeightMatrix::random_spread(2, 2, -0.1, &mut StdRng::seed_from_u64(0));
+        let _ = WeightMatrix::random_spread(2, 2, -0.1, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -37,7 +37,11 @@ impl DefError {
 
 impl fmt::Display for DefError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DEF parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "DEF parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

@@ -147,7 +147,11 @@ mod tests {
     use super::*;
 
     fn words(text: &str) -> Vec<Token> {
-        tokenize(text).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

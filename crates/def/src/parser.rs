@@ -106,9 +106,9 @@ impl Parser {
                     self.next();
                     let name = self.expect_word("component name")?;
                     let kind_name = self.expect_word("component model")?;
-                    let kind: CellKind = kind_name
-                        .parse()
-                        .map_err(|_| self.err_at(&spanned, format!("unknown cell `{kind_name}`")))?;
+                    let kind: CellKind = kind_name.parse().map_err(|_| {
+                        self.err_at(&spanned, format!("unknown cell `{kind_name}`"))
+                    })?;
                     if by_name.contains_key(&name) {
                         return Err(self.err_at(&spanned, format!("duplicate component `{name}`")));
                     }
@@ -169,9 +169,7 @@ impl Parser {
                                 self.next(); // tolerate stray operands
                             }
                             None => {
-                                return Err(
-                                    self.err_here("unexpected end of file inside a pin")
-                                );
+                                return Err(self.err_here("unexpected end of file inside a pin"));
                             }
                         }
                     }
@@ -233,8 +231,7 @@ impl Parser {
                                     let id = *by_name.get(&pad).ok_or_else(|| {
                                         self.err_at(&spanned, format!("unknown pin `{pad}`"))
                                     })?;
-                                    let is_out =
-                                        netlist.cell(id).kind == CellKind::InputPad;
+                                    let is_out = netlist.cell(id).kind == CellKind::InputPad;
                                     (id, is_out, 0usize)
                                 } else {
                                     let pin_name = self.expect_word("pin name")?;
@@ -277,9 +274,7 @@ impl Parser {
                                 break;
                             }
                             _ => {
-                                return Err(
-                                    self.err_at(&spanned, "expected ( connection ) or `;`")
-                                );
+                                return Err(self.err_at(&spanned, "expected ( connection ) or `;`"));
                             }
                         }
                     }
@@ -321,7 +316,10 @@ impl Parser {
     }
 
     fn err_here(&self, message: impl Into<String>) -> DefError {
-        match self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))) {
+        match self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+        {
             Some(s) => DefError::new(s.line, s.column, message),
             None => DefError::new(0, 0, message),
         }

@@ -47,10 +47,7 @@ fn write_def_impl(netlist: &Netlist, positions: Option<&[Option<(f64, f64)>]>) -
     let _ = writeln!(out, "DIEAREA ( 0 0 ) ( {side_db} {side_db} ) ;");
 
     // Components: non-pad cells.
-    let components: Vec<_> = netlist
-        .cells()
-        .filter(|(_, c)| !c.kind.is_pad())
-        .collect();
+    let components: Vec<_> = netlist.cells().filter(|(_, c)| !c.kind.is_pad()).collect();
     let _ = writeln!(out, "COMPONENTS {} ;", components.len());
     for (id, cell) in &components {
         match positions.and_then(|p| p[id.index()]) {
@@ -182,7 +179,10 @@ mod tests {
         let u1 = nl.find_cell("u1").unwrap();
         positions[u1.index()] = Some((12.5, 80.0));
         let text = write_def_placed(&nl, &positions);
-        assert!(text.contains("- u1 DFF + PLACED ( 12500 80000 ) N ;"), "{text}");
+        assert!(
+            text.contains("- u1 DFF + PLACED ( 12500 80000 ) N ;"),
+            "{text}"
+        );
         // Unplaced cells stay bare.
         assert!(text.contains("- u2 SPLIT ;"));
         // Round trip still parses (placement ignored).

@@ -98,7 +98,10 @@ impl fmt::Display for NetlistError {
                 "input pin {pin} out of range for cell {cell:?} ({available} inputs)"
             ),
             NetlistError::InputPinDoublyDriven { cell, pin } => {
-                write!(f, "input pin {pin} of cell {cell:?} driven by multiple nets")
+                write!(
+                    f,
+                    "input pin {pin} of cell {cell:?} driven by multiple nets"
+                )
             }
             NetlistError::OutputPinDoublyUsed { cell, pin } => {
                 write!(f, "output pin {pin} of cell {cell:?} drives multiple nets")

@@ -303,9 +303,8 @@ impl Netlist {
     /// perimeter pad cell (paper §III-B3: pads share the common ground and do
     /// not constrain the partition).
     pub fn connections_between_gates(&self) -> impl Iterator<Item = Connection> + '_ {
-        self.connections().filter(move |c| {
-            !self.cell(c.from).kind.is_pad() && !self.cell(c.to).kind.is_pad()
-        })
+        self.connections()
+            .filter(move |c| !self.cell(c.from).kind.is_pad() && !self.cell(c.to).kind.is_pad())
     }
 
     /// Bias current of cell `id` from the attached library.
@@ -391,7 +390,10 @@ impl Netlist {
                     available: dkind.num_outputs(),
                 });
             }
-            if driving.insert((net.driver.cell, net.driver.pin), ()).is_some() {
+            if driving
+                .insert((net.driver.cell, net.driver.pin), ())
+                .is_some()
+            {
                 return Err(NetlistError::OutputPinDoublyUsed {
                     cell: net.driver.cell,
                     pin: net.driver.pin,
@@ -474,9 +476,8 @@ mod tests {
             + lib.bias_current(CellKind::Splitter)
             + lib.bias_current(CellKind::And2);
         assert_eq!(nl.total_bias(), expect);
-        let expect_area = lib.area(CellKind::Dff)
-            + lib.area(CellKind::Splitter)
-            + lib.area(CellKind::And2);
+        let expect_area =
+            lib.area(CellKind::Dff) + lib.area(CellKind::Splitter) + lib.area(CellKind::And2);
         assert_eq!(nl.total_area(), expect_area);
     }
 
@@ -486,7 +487,10 @@ mod tests {
         let a = nl.add_cell("a", CellKind::Dff);
         let b = nl.add_cell("b", CellKind::Dff);
         let err = nl.connect("n", a, 1, &[(b, 0)]).unwrap_err();
-        assert!(matches!(err, NetlistError::OutputPinOutOfRange { pin: 1, .. }));
+        assert!(matches!(
+            err,
+            NetlistError::OutputPinOutOfRange { pin: 1, .. }
+        ));
     }
 
     #[test]
@@ -495,7 +499,10 @@ mod tests {
         let a = nl.add_cell("a", CellKind::Dff);
         let b = nl.add_cell("b", CellKind::Dff);
         let err = nl.connect("n", a, 0, &[(b, 3)]).unwrap_err();
-        assert!(matches!(err, NetlistError::InputPinOutOfRange { pin: 3, .. }));
+        assert!(matches!(
+            err,
+            NetlistError::InputPinOutOfRange { pin: 3, .. }
+        ));
     }
 
     #[test]

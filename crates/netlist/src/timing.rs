@@ -124,7 +124,10 @@ mod tests {
         nl.connect("n1", d1, 0, &[(d2, 0)]).unwrap();
         nl.connect("n2", d2, 0, &[(o, 0)]).unwrap();
         let t = ClockAnalysis::of(&nl);
-        assert!((t.min_period_ps - 10.0).abs() < 1e-9, "5 launch + 5 capture");
+        assert!(
+            (t.min_period_ps - 10.0).abs() < 1e-9,
+            "5 launch + 5 capture"
+        );
         assert!((t.max_frequency_ghz - 100.0).abs() < 1e-6);
     }
 
@@ -144,7 +147,11 @@ mod tests {
         nl.connect("n3", s, 0, &[(d2, 0)]).unwrap();
         nl.connect("n4", s, 1, &[(d3, 0)]).unwrap();
         let t = ClockAnalysis::of(&nl);
-        assert!((t.min_period_ps - 20.0).abs() < 1e-9, "got {}", t.min_period_ps);
+        assert!(
+            (t.min_period_ps - 20.0).abs() < 1e-9,
+            "got {}",
+            t.min_period_ps
+        );
         assert!(t.critical_endpoint.is_some());
     }
 

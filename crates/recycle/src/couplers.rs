@@ -85,8 +85,8 @@ pub fn insert_couplers(
             let from_plane = plane_of_cell[driver.cell.index()] as i64;
             let to_plane = plane_of_cell[sink.cell.index()] as i64;
             // Pads share the perimeter common ground: no couplers needed.
-            let skip = netlist.cell(driver.cell).kind.is_pad()
-                || netlist.cell(sink.cell).kind.is_pad();
+            let skip =
+                netlist.cell(driver.cell).kind.is_pad() || netlist.cell(sink.cell).kind.is_pad();
             let distance = (from_plane - to_plane).unsigned_abs() as usize;
             if skip || distance == 0 {
                 direct_sinks.push((sink.cell, sink.pin));
@@ -108,13 +108,8 @@ pub fn insert_couplers(
                 match upstream_rx {
                     None => direct_sinks.push((tx, 0)),
                     Some(prev_rx) => {
-                        out.connect(
-                            format!("chain{coupler_id}_{hop}"),
-                            prev_rx,
-                            0,
-                            &[(tx, 0)],
-                        )
-                        .expect("rx pin 0 exists");
+                        out.connect(format!("chain{coupler_id}_{hop}"), prev_rx, 0, &[(tx, 0)])
+                            .expect("rx pin 0 exists");
                     }
                 }
                 upstream_rx = Some(rx);

@@ -227,7 +227,11 @@ pub fn clock_impact(
     }
     let pair_delay = {
         let lib = netlist.library();
-        let d = |k: CellKind| lib.get(k).map(|s| s.delay_ps).unwrap_or_else(|| k.default_delay_ps());
+        let d = |k: CellKind| {
+            lib.get(k)
+                .map(|s| s.delay_ps)
+                .unwrap_or_else(|| k.default_delay_ps())
+        };
         d(CellKind::PtlTx) + d(CellKind::PtlRx)
     };
 

@@ -42,9 +42,9 @@ mod placement;
 mod plan;
 
 pub use couplers::{insert_couplers, CoupledNetlist};
+pub use diagram::render_chip_diagram;
 pub use dummies::{insert_dummies, DummiedNetlist};
 pub use electrical::{clock_impact, ClockImpact, ElectricalOptions, ElectricalReport};
-pub use diagram::render_chip_diagram;
 pub use placement::{place_in_strips, PackOrder, PlacementOptions, StripPlacement, ROW_HEIGHT_UM};
 pub use plan::{
     BoundaryReport, Floorplan, PlaneReport, RecycleError, RecycleOptions, RecyclingPlan,

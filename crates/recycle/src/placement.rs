@@ -167,7 +167,10 @@ pub fn place_in_strips(
         .map(|i| {
             let (row, x) = row_and_x[i];
             let plane = partition.plane_of(i);
-            (x, plane as f64 * strip_height + row as f64 * options.row_height_um)
+            (
+                x,
+                plane as f64 * strip_height + row as f64 * options.row_height_um,
+            )
         })
         .collect();
 
@@ -216,11 +219,7 @@ mod tests {
     #[test]
     fn no_overlaps_within_a_row() {
         let p = problem(40, 2);
-        let part = Partition::from_labels(
-            (0..40).map(|i| (i % 2) as u32).collect(),
-            2,
-        )
-        .unwrap();
+        let part = Partition::from_labels((0..40).map(|i| (i % 2) as u32).collect(), 2).unwrap();
         let placement = place_in_strips(&p, &part, &PlacementOptions::default()).unwrap();
         // Group by (plane,row) and check x-intervals are disjoint.
         let width = 4_800.0 / PlacementOptions::default().row_height_um;
@@ -245,8 +244,7 @@ mod tests {
         let p = problem(60, 3);
         let contiguous =
             Partition::from_labels((0..60).map(|i| (i / 20) as u32).collect(), 3).unwrap();
-        let striped =
-            Partition::from_labels((0..60).map(|i| (i % 3) as u32).collect(), 3).unwrap();
+        let striped = Partition::from_labels((0..60).map(|i| (i % 3) as u32).collect(), 3).unwrap();
         let opts = PlacementOptions::default();
         let wl_contig = place_in_strips(&p, &contiguous, &opts)
             .unwrap()
@@ -276,13 +274,8 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..n - 1)
             .map(|p| (gate_at[p as usize], gate_at[(p + 1) as usize]))
             .collect();
-        let p = PartitionProblem::new(
-            vec![1.0; n as usize],
-            vec![4_800.0; n as usize],
-            edges,
-            2,
-        )
-        .unwrap();
+        let p = PartitionProblem::new(vec![1.0; n as usize], vec![4_800.0; n as usize], edges, 2)
+            .unwrap();
         // Both gates of a pair in the same plane: plane by chain half.
         let labels: Vec<u32> = (0..n).map(|g| (pos[g as usize] / 30) as u32).collect();
         let part = Partition::from_labels(labels, 2).unwrap();
@@ -310,12 +303,9 @@ mod tests {
     #[test]
     fn chip_dimensions_cover_all_planes() {
         let p = problem(30, 3);
-        let part =
-            Partition::from_labels((0..30).map(|i| (i / 10) as u32).collect(), 3).unwrap();
+        let part = Partition::from_labels((0..30).map(|i| (i / 10) as u32).collect(), 3).unwrap();
         let placement = place_in_strips(&p, &part, &PlacementOptions::default()).unwrap();
-        assert!(
-            (placement.chip_height_um() - 3.0 * placement.strip_height_um()).abs() < 1e-9
-        );
+        assert!((placement.chip_height_um() - 3.0 * placement.strip_height_um()).abs() < 1e-9);
         assert!(placement.chip_width_um() > 0.0);
     }
 }

@@ -55,7 +55,10 @@ impl fmt::Display for RecycleError {
         match self {
             RecycleError::Mismatch { detail } => write!(f, "partition/problem mismatch: {detail}"),
             RecycleError::EmptyPlane { plane } => {
-                write!(f, "plane {plane} received no gates; the serial chain degenerates")
+                write!(
+                    f,
+                    "plane {plane} received no gates; the serial chain degenerates"
+                )
             }
         }
     }

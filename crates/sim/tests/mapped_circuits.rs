@@ -67,7 +67,10 @@ fn decode(outputs: &[(String, bool)], prefix: char) -> u64 {
         if !pulse {
             continue;
         }
-        if let Some(idx) = name.strip_prefix(prefix).and_then(|s| s.parse::<u64>().ok()) {
+        if let Some(idx) = name
+            .strip_prefix(prefix)
+            .and_then(|s| s.parse::<u64>().ok())
+        {
             value |= 1 << idx;
         }
     }
@@ -148,10 +151,12 @@ fn pipelining_streams_different_operands_every_tick() {
         };
         sim.set_inputs(&operand_bits(4, a, b));
         let out = sim.step();
-        let mut sorted: Vec<(String, bool)> =
-            out.iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        let mut sorted: Vec<(String, bool)> = out.iter().map(|(n, v)| (n.to_owned(), v)).collect();
         sorted.sort();
-        results.push((decode(&sorted, 's'), sorted.iter().any(|(n, v)| n == "cout" && *v)));
+        results.push((
+            decode(&sorted, 's'),
+            sorted.iter().any(|(n, v)| n == "cout" && *v),
+        ));
     }
     for (i, &(a, b)) in pairs.iter().enumerate() {
         let (sum, cout) = results[i + latency - 1];

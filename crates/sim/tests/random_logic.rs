@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use sfq_cells::CellLibrary;
-use sfq_circuits::logic::{LogicNetwork, LogicOp, NodeId};
+use sfq_circuits::logic::{LogicNetwork, NodeId};
 use sfq_circuits::map::{map_to_sfq, MapOptions};
 use sfq_netlist::ConnectivityGraph;
 use sfq_sim::Simulator;

@@ -11,8 +11,8 @@
 use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::partition::baselines::{self, AnnealingOptions};
 use current_recycling::partition::multilevel::{multilevel_partition, MultilevelOptions};
-use current_recycling::partition::spectral::{spectral_partition, SpectralOptions};
 use current_recycling::partition::refine::discrete_cost;
+use current_recycling::partition::spectral::{spectral_partition, SpectralOptions};
 use current_recycling::partition::{
     CostWeights, Partition, PartitionMetrics, PartitionProblem, Solver, SolverOptions,
 };
@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut table = Table::new(vec![
-        "method", "d<=1 %", "d<=2 %", "Icomp %", "Afs %", "objective",
+        "method",
+        "d<=1 %",
+        "d<=2 %",
+        "Icomp %",
+        "Afs %",
+        "objective",
     ]);
     let mut add = |name: &str, part: &Partition| {
         let m = PartitionMetrics::evaluate(&problem, part);
@@ -46,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     add("random", &baselines::random(&problem, 7));
-    add("levelized chunking", &baselines::round_robin_levelized(&problem));
+    add(
+        "levelized chunking",
+        &baselines::round_robin_levelized(&problem),
+    );
     add("balance-only greedy", &baselines::greedy_balance(&problem));
     add(
         "simulated annealing",
@@ -62,11 +70,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     add(
         "GD (paper config)",
-        &Solver::new(SolverOptions::reproduction()).solve(&problem).partition,
+        &Solver::new(SolverOptions::reproduction())
+            .solve(&problem)
+            .partition,
     );
     add(
         "GD + refine",
-        &Solver::new(SolverOptions::tuned(4)).solve(&problem).partition,
+        &Solver::new(SolverOptions::tuned(4))
+            .solve(&problem)
+            .partition,
     );
 
     println!("{table}");

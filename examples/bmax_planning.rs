@@ -18,9 +18,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("planning under a {limit_ma} mA bias-pad limit\n");
 
     let mut table = Table::new(vec![
-        "circuit", "B_cir mA", "K_LB", "K_res", "B_max mA", "couplers", "lines saved",
+        "circuit",
+        "B_cir mA",
+        "K_LB",
+        "K_res",
+        "B_max mA",
+        "couplers",
+        "lines saved",
     ]);
-    for bench in [Benchmark::Ksa8, Benchmark::Ksa16, Benchmark::Mult4, Benchmark::Id4] {
+    for bench in [
+        Benchmark::Ksa8,
+        Benchmark::Ksa16,
+        Benchmark::Mult4,
+        Benchmark::Id4,
+    ] {
         let netlist = generate(bench);
         let problem = PartitionProblem::from_netlist(&netlist, 2)?;
         let planner = BiasLimitPlanner::new(limit_ma, SolverOptions::tuned(4));

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pairs: [(u64, u64); 5] = [(3, 5), (15, 15), (9, 6), (0, 7), (12, 12)];
     println!("tick  in(a,b)   out(sum)  (answers appear {latency} ticks after their operands)");
     for tick in 0..pairs.len() + latency {
-        let (a, b) = if tick < pairs.len() { pairs[tick] } else { (0, 0) };
+        let (a, b) = if tick < pairs.len() {
+            pairs[tick]
+        } else {
+            (0, 0)
+        };
         let mut bits = Vec::new();
         for i in 0..n {
             bits.push((a >> i) & 1 == 1);

@@ -73,8 +73,8 @@ fn flag_value<'a>(args: &'a [&String], flag: &str) -> Option<&'a str> {
 
 fn load(input: &str) -> Result<Netlist, String> {
     if input.ends_with(".def") {
-        let text = std::fs::read_to_string(input)
-            .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
         parse_def(&text, CellLibrary::calibrated()).map_err(|e| e.to_string())
     } else {
         let bench: Benchmark = input
@@ -92,9 +92,7 @@ fn solver_from(args: &[&String]) -> Result<SolverOptions, String> {
         other => return Err(format!("unknown solver `{other}` (repro|full|paper)")),
     };
     if let Some(seed) = flag_value(args, "--seed") {
-        options.seed = seed
-            .parse()
-            .map_err(|_| format!("invalid seed `{seed}`"))?;
+        options.seed = seed.parse().map_err(|_| format!("invalid seed `{seed}`"))?;
     }
     Ok(options)
 }
@@ -108,7 +106,9 @@ fn positional<'a>(args: &'a [&String]) -> Result<&'a str, String> {
 
 fn k_from(args: &[&String]) -> Result<usize, String> {
     let k = flag_value(args, "-k").ok_or("missing -k <planes>")?;
-    let k: usize = k.parse().map_err(|_| format!("invalid plane count `{k}`"))?;
+    let k: usize = k
+        .parse()
+        .map_err(|_| format!("invalid plane count `{k}`"))?;
     if k < 2 {
         return Err("need at least 2 planes".to_owned());
     }

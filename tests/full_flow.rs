@@ -5,9 +5,7 @@ use current_recycling::cells::CellLibrary;
 use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::def::{parse_def, write_def};
 use current_recycling::netlist::ConnectivityGraph;
-use current_recycling::partition::{
-    PartitionMetrics, PartitionProblem, Solver, SolverOptions,
-};
+use current_recycling::partition::{PartitionMetrics, PartitionProblem, Solver, SolverOptions};
 use current_recycling::recycle::{RecycleOptions, RecyclingPlan};
 
 fn flow(bench: Benchmark, k: usize) {
@@ -19,7 +17,11 @@ fn flow(bench: Benchmark, k: usize) {
     // DEF round trip preserves everything the partitioner consumes.
     let def_text = write_def(&netlist);
     let parsed = parse_def(&def_text, CellLibrary::calibrated()).expect("own DEF parses");
-    assert_eq!(parsed.stats(), stats, "{bench:?}: DEF round trip changed stats");
+    assert_eq!(
+        parsed.stats(),
+        stats,
+        "{bench:?}: DEF round trip changed stats"
+    );
 
     // Partition.
     let problem = PartitionProblem::from_netlist(&parsed, k).expect("valid problem");

@@ -46,7 +46,12 @@ fn non_adjacent_connections_near_thirty_percent() {
     // ground planes". Check the suite subset stays in a generous band
     // around it (we tend to do slightly better).
     let mut total = 0.0;
-    let circuits = [Benchmark::Ksa4, Benchmark::Ksa8, Benchmark::Mult4, Benchmark::C499];
+    let circuits = [
+        Benchmark::Ksa4,
+        Benchmark::Ksa8,
+        Benchmark::Mult4,
+        Benchmark::C499,
+    ];
     for b in circuits {
         total += reproduce(b, 5).non_adjacent_fraction();
     }

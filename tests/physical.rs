@@ -6,12 +6,10 @@ use current_recycling::cells::CellLibrary;
 use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::def::{parse_def, write_def_placed};
 use current_recycling::netlist::sweep_dangling;
+use current_recycling::netlist::ClockAnalysis;
 use current_recycling::partition::multilevel::{multilevel_partition, MultilevelOptions};
 use current_recycling::partition::spectral::{spectral_partition, SpectralOptions};
-use current_recycling::partition::{
-    PartitionMetrics, PartitionProblem, Solver, SolverOptions,
-};
-use current_recycling::netlist::ClockAnalysis;
+use current_recycling::partition::{PartitionMetrics, PartitionProblem, Solver, SolverOptions};
 use current_recycling::recycle::{
     clock_impact, insert_couplers, insert_dummies, place_in_strips, ElectricalOptions,
     ElectricalReport, PlacementOptions, RecycleOptions, RecyclingPlan,
@@ -105,11 +103,19 @@ fn spectral_and_multilevel_handle_real_circuits() {
 
     let sp = spectral_partition(&problem, &SpectralOptions::default());
     let ms = PartitionMetrics::evaluate(&problem, &sp);
-    assert!(ms.cumulative_fraction(1) > 0.8, "spectral d<=1 {}", ms.cumulative_fraction(1));
+    assert!(
+        ms.cumulative_fraction(1) > 0.8,
+        "spectral d<=1 {}",
+        ms.cumulative_fraction(1)
+    );
 
     let ml = multilevel_partition(&problem, &MultilevelOptions::default());
     let mm = PartitionMetrics::evaluate(&problem, &ml);
-    assert!(mm.cumulative_fraction(1) > 0.9, "multilevel d<=1 {}", mm.cumulative_fraction(1));
+    assert!(
+        mm.cumulative_fraction(1) > 0.9,
+        "multilevel d<=1 {}",
+        mm.cumulative_fraction(1)
+    );
     assert!(mm.i_comp_pct < 10.0);
 }
 

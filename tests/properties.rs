@@ -4,6 +4,7 @@
 use current_recycling::cells::CellLibrary;
 use current_recycling::circuits::synthetic::{synthetic_netlist, SyntheticSpec};
 use current_recycling::def::{parse_def, write_def};
+use current_recycling::partition::engine::{CostEngine, EngineOptions};
 use current_recycling::partition::grad::{Gradient, GradientOptions};
 use current_recycling::partition::refine::{discrete_cost, refine, RefineOptions};
 use current_recycling::partition::{
@@ -116,6 +117,78 @@ proptest! {
                 numeric
             );
         }
+    }
+
+    #[test]
+    fn fused_engine_matches_reference_cost_and_gradient(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+    ) {
+        // The fused engine must reproduce the reference CostModel + Gradient
+        // pair within 1e-12 relative — in its plain layout, and in the
+        // chunked layout used for intra-descent parallelism.
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = WeightMatrix::random(g, k, &mut rng);
+
+        let model = CostModel::new(&problem, CostWeights::default());
+        let expect_cost = model.evaluate(&w);
+        let mut reference = Gradient::new(GradientOptions::exact());
+        let mut expect_grad = vec![0.0; g * k];
+        reference.compute(&model, &w, &mut expect_grad);
+
+        let close = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1.0) < 1e-12;
+        let layouts = [
+            EngineOptions::default(),
+            // Forced chunking exercises the fixed-fold partial sums.
+            EngineOptions { chunk_min_items: 1, num_chunks: 5, ..EngineOptions::default() },
+        ];
+        for options in layouts {
+            let mut engine =
+                CostEngine::new(&problem, CostWeights::default(), 4.0, options);
+            let mut grad = vec![0.0; g * k];
+            let cost = engine.evaluate_with_gradient(&w, &mut grad);
+            prop_assert!(close(cost.f1, expect_cost.f1), "f1 {} vs {}", cost.f1, expect_cost.f1);
+            prop_assert!(close(cost.f2, expect_cost.f2), "f2 {} vs {}", cost.f2, expect_cost.f2);
+            prop_assert!(close(cost.f3, expect_cost.f3), "f3 {} vs {}", cost.f3, expect_cost.f3);
+            prop_assert!(close(cost.f4, expect_cost.f4), "f4 {} vs {}", cost.f4, expect_cost.f4);
+            prop_assert!(close(cost.total, expect_cost.total));
+            for (i, (&a, &b)) in grad.iter().zip(&expect_grad).enumerate() {
+                prop_assert!(close(a, b), "grad[{}]: {} vs {}", i, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_intra_parallelism_is_bit_exact(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+    ) {
+        // With identical chunk layouts, threading the sweeps must not change
+        // one bit of cost or gradient.
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = WeightMatrix::random(g, k, &mut rng);
+        let chunked = EngineOptions {
+            chunk_min_items: 1,
+            num_chunks: 4,
+            ..EngineOptions::default()
+        };
+        let mut sequential = CostEngine::new(&problem, CostWeights::default(), 4.0, chunked);
+        let mut parallel = CostEngine::new(
+            &problem,
+            CostWeights::default(),
+            4.0,
+            EngineOptions { intra_parallel: true, ..chunked },
+        );
+        let mut gs = vec![0.0; g * k];
+        let mut gp = vec![0.0; g * k];
+        let cs = sequential.evaluate_with_gradient(&w, &mut gs);
+        let cp = parallel.evaluate_with_gradient(&w, &mut gp);
+        prop_assert_eq!(cs, cp);
+        prop_assert_eq!(gs, gp);
     }
 
     #[test]

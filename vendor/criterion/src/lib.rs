@@ -1,0 +1,240 @@
+//! Offline mini-criterion.
+//!
+//! A self-contained wall-clock benchmark harness exposing the subset of the
+//! `criterion` 0.5 API the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_with_input`,
+//! `bench_function`, [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up (~0.3 s), an
+//! iterations-per-sample count is chosen so one sample costs ≥ ~2 ms, then
+//! `sample_size` samples are collected and the per-iteration min / median /
+//! mean are printed. No plots, no statistics beyond that — the numbers are
+//! honest wall-clock medians, which is what the perf acceptance criteria
+//! compare.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments cargo passes to bench binaries.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under an id within the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` and records per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run for ~0.3 s to stabilize caches/branch predictors and
+        // learn the per-call cost.
+        let warmup = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = start.elapsed().as_secs_f64() / calls as f64;
+
+        // Choose iterations per sample so a sample costs ≥ ~2 ms.
+        let iters = ((2e-3 / per_call).ceil() as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+/// Formats seconds with an auto-scaled unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(label: &str, sample_size: usize, f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no samples — closure never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{label:<60} time: [min {} | median {} | mean {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean)
+    );
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "p").label, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

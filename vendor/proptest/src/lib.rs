@@ -1,0 +1,403 @@
+//! Offline mini-proptest.
+//!
+//! Re-implements the subset of the `proptest` 1.x surface this workspace
+//! uses — the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! `any::<T>()`, ranges, tuples, [`strategy::Just`], [`prop_oneof!`],
+//! [`collection::vec`], a `.{a,b}`-style string pattern, `prop_assert!` /
+//! `prop_assert_eq!`, and [`test_runner::ProptestConfig::with_cases`] — on a
+//! deterministic per-test RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with its inputs via the assert
+//!   message; cases are reproducible because the seed is a pure function of
+//!   the test name and case index.
+//! * **No persistence files**, no forking, no timeout handling.
+//!
+//! That is exactly the contract the workspace's property tests rely on.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// The generator driving every strategy (vendored xoshiro256++).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// FNV-1a of the test name: the per-test base seed.
+    pub fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Derives the RNG for one `(test, case)` pair.
+    pub fn case_rng(base: u64, case: u32) -> TestRng {
+        use rand::SeedableRng;
+        TestRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, SampleUniform};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given generator closures.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            (self.options[idx])(rng)
+        }
+    }
+
+    /// Types with a canonical full-range strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draws a value from the type's full range.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<bool>()
+        }
+    }
+
+    /// The `any::<T>()` strategy object.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+    }
+
+    /// String pattern strategy: supports the `.{lo,hi}` form ("any string of
+    /// `lo..=hi` chars"); any other pattern generates itself literally.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_repeat_any(self) {
+                Some((lo, hi)) => {
+                    let len = rng.random_range(lo..hi + 1);
+                    (0..len).map(|_| random_char(rng)).collect()
+                }
+                None => (*self).to_owned(),
+            }
+        }
+    }
+
+    /// Parses `.{lo,hi}` into `(lo, hi)`.
+    fn parse_repeat_any(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Adversarial character mix: mostly printable ASCII, some structural
+    /// whitespace, occasionally multi-byte Unicode.
+    fn random_char(rng: &mut TestRng) -> char {
+        match rng.random_range(0..10u32) {
+            0 => ['\n', '\t', '\r', ' '][rng.random_range(0..4usize)],
+            1 => ['λ', 'Ω', '本', '\u{2028}', 'é'][rng.random_range(0..5usize)],
+            _ => char::from(rng.random_range(0x20u8..0x7f)),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property-test functions: each `name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(base, case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message on
+/// failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure, like
+/// `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among strategies (all arms must yield the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut opts: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let s = $strat;
+            opts.push(::std::boxed::Box::new(
+                move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                },
+            ));
+        })+
+        $crate::strategy::Union::new(opts)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in crate::collection::vec((any::<u8>(), 1usize..5), 2..9),
+            s in (1usize..4, 10usize..14).prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for &(_, n) in &v {
+                prop_assert!((1..5).contains(&n));
+            }
+            prop_assert!((11..17).contains(&s));
+        }
+
+        #[test]
+        fn string_pattern_generates_lengths(text in ".{0,40}") {
+            prop_assert!(text.chars().count() <= 40);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_eventually(
+            picks in crate::collection::vec(
+                prop_oneof![Just("a".to_owned()), Just("b".to_owned())],
+                30..31,
+            )
+        ) {
+            prop_assert!(picks.iter().all(|p| p == "a" || p == "b"));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let base = crate::test_runner::fnv1a("x");
+        let mut a = crate::test_runner::case_rng(base, 3);
+        let mut b = crate::test_runner::case_rng(base, 3);
+        use crate::strategy::Strategy;
+        assert_eq!(
+            (0usize..100).generate(&mut a),
+            (0usize..100).generate(&mut b)
+        );
+    }
+}

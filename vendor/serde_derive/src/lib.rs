@@ -1,0 +1,67 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The vendored [`serde`](../serde) crate defines `Serialize` and
+//! `Deserialize` as marker traits (nothing in this workspace serializes
+//! through serde at runtime; the derives only have to type-check). These
+//! proc macros parse just enough of the item — the identifier following
+//! `struct`/`enum`/`union` — to emit the matching marker impl.
+//!
+//! Generic items are intentionally unsupported: no type in this workspace
+//! derives serde with generics, and a loud compile error beats a silently
+//! wrong impl if one ever appears.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier right after `struct`/`enum`/`union`,
+/// skipping attributes and visibility. Returns `None` for generic items.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(name) => name.to_string(),
+                    _ => return None,
+                };
+                // Reject generics: the next token would be `<`.
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return None;
+                    }
+                }
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => "compile_error!(\"stub serde_derive supports only non-generic items\");"
+            .parse()
+            .expect("valid error tokens"),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => "compile_error!(\"stub serde_derive supports only non-generic items\");"
+            .parse()
+            .expect("valid error tokens"),
+    }
+}
