@@ -41,7 +41,8 @@ pub fn random(problem: &PartitionProblem, seed: u64) -> Partition {
     let labels = (0..problem.num_gates())
         .map(|_| rng.random_range(0..k))
         .collect();
-    Partition::from_labels(labels, problem.num_planes()).expect("labels in range")
+    Partition::from_labels(labels, problem.num_planes())
+        .unwrap_or_else(|_| unreachable!("generated labels are in range"))
 }
 
 /// Levelized contiguous chunking: order gates by topological level (Kahn;
@@ -86,7 +87,8 @@ pub fn round_robin_levelized(problem: &PartitionProblem) -> Partition {
             plane += 1;
         }
     }
-    Partition::from_labels(labels, k).expect("labels in range")
+    Partition::from_labels(labels, k)
+        .unwrap_or_else(|_| unreachable!("generated labels are in range"))
 }
 
 /// Longest-processing-time greedy balance on bias, ignoring connectivity:
@@ -98,20 +100,20 @@ pub fn greedy_balance(problem: &PartitionProblem) -> Partition {
     let mut order: Vec<usize> = (0..g).collect();
     order.sort_by(|&a, &b| {
         problem.bias()[b]
-            .partial_cmp(&problem.bias()[a])
-            .expect("finite bias")
+            .total_cmp(&problem.bias()[a])
             .then(a.cmp(&b))
     });
     let mut load = vec![0.0f64; k];
     let mut labels = vec![0u32; g];
     for &i in &order {
         let lightest = (0..k)
-            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite load"))
-            .expect("k >= 2");
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+            .unwrap_or(0);
         labels[i] = lightest as u32;
         load[lightest] += problem.bias()[i];
     }
-    Partition::from_labels(labels, k).expect("labels in range")
+    Partition::from_labels(labels, k)
+        .unwrap_or_else(|_| unreachable!("generated labels are in range"))
 }
 
 /// Options for [`simulated_annealing`].

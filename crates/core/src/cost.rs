@@ -74,6 +74,22 @@ pub struct CostBreakdown {
     pub total: f64,
 }
 
+impl CostBreakdown {
+    /// True when every term and the total are finite.
+    ///
+    /// The total alone can mask a non-finite term: a zero weight multiplied
+    /// by an infinite term contributes `0·∞ = NaN` only to the total, while
+    /// a NaN term with zero weight vanishes from it entirely. The solver's
+    /// divergence detection therefore checks the full breakdown.
+    pub fn is_finite(&self) -> bool {
+        self.f1.is_finite()
+            && self.f2.is_finite()
+            && self.f3.is_finite()
+            && self.f4.is_finite()
+            && self.total.is_finite()
+    }
+}
+
 /// Evaluator for the relaxed cost over a fixed [`PartitionProblem`].
 ///
 /// Construction precomputes the normalization constants `N₁..N₄` and the

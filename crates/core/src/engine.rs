@@ -431,7 +431,7 @@ impl<'a> CostEngine<'a> {
                     });
                 }
             })
-            .expect("gate sweep scope panicked");
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         } else {
             for (((&(start, end), labels), row_sums), partial) in jobs {
                 let (bias_part, rest) = partial.split_at_mut(k);
@@ -531,7 +531,7 @@ impl<'a> CostEngine<'a> {
                     });
                 }
             })
-            .expect("edge sweep scope panicked");
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         } else {
             for ((&(start, end), f1_part), force) in jobs {
                 edge_pass_chunk(
@@ -695,7 +695,7 @@ impl<'a> CostEngine<'a> {
                     });
                 }
             })
-            .expect("gradient sweep scope panicked");
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         } else {
             for (&(start, end), out_chunk) in jobs {
                 grad_pass_chunk(

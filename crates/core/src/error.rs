@@ -1,0 +1,87 @@
+//! Typed errors for the solve pipeline.
+//!
+//! [`Solver::try_solve`](crate::Solver::try_solve) never panics on bad
+//! input: problem defects surface as [`SolveError::InvalidProblem`]
+//! (wrapping the constructor-level [`ProblemError`]), unusable
+//! configurations as [`SolveError::InvalidOptions`], and terminal numerical
+//! divergence of every restart as [`SolveError::AllRestartsDiverged`]. The
+//! error chain is navigable through [`std::error::Error::source`], so a CLI
+//! or service layer can classify failures without string matching.
+
+use std::fmt;
+
+use crate::problem::ProblemError;
+
+/// Why [`Solver::try_solve`](crate::Solver::try_solve) could not produce a
+/// partition.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The problem instance failed [`validate`](crate::PartitionProblem::validate).
+    InvalidProblem(ProblemError),
+    /// The solver options are unusable (zero restarts, non-finite step or
+    /// margin, an exponent below 1, a zero iteration budget, …).
+    InvalidOptions {
+        /// What is wrong with the options.
+        detail: String,
+    },
+    /// Every restart diverged to non-finite cost or gradient values and no
+    /// finite candidate survived to be returned.
+    AllRestartsDiverged {
+        /// Number of restarts that were attempted.
+        restarts: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidProblem(e) => write!(f, "invalid problem: {e}"),
+            SolveError::InvalidOptions { detail } => {
+                write!(f, "invalid solver options: {detail}")
+            }
+            SolveError::AllRestartsDiverged { restarts } => write!(
+                f,
+                "all {restarts} restart(s) diverged to non-finite values; \
+                 no finite partition survived"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::InvalidProblem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for SolveError {
+    fn from(e: ProblemError) -> Self {
+        SolveError::InvalidProblem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = SolveError::from(ProblemError::Empty);
+        assert!(e.to_string().contains("invalid problem"));
+        assert!(e.source().is_some(), "wraps the ProblemError as source");
+
+        let e = SolveError::InvalidOptions {
+            detail: "restarts must be > 0".into(),
+        };
+        assert!(e.to_string().contains("restarts"));
+        assert!(e.source().is_none());
+
+        let e = SolveError::AllRestartsDiverged { restarts: 3 };
+        assert!(e.to_string().contains("3 restart"));
+    }
+}

@@ -53,11 +53,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate failures, never abort the process on them;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod assign;
 pub mod baselines;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod grad;
 pub mod kernel;
 pub mod limit;
@@ -72,8 +76,9 @@ mod weights;
 pub use assign::Partition;
 pub use cost::{CostBreakdown, CostModel, CostWeights};
 pub use engine::{CostEngine, EngineOptions};
+pub use error::SolveError;
 pub use limit::{BiasLimitOutcome, BiasLimitPlanner};
 pub use metrics::PartitionMetrics;
 pub use problem::{PartitionProblem, ProblemError};
-pub use solver::{SolveResult, Solver, SolverOptions, StopReason};
+pub use solver::{FaultInjection, SolveResult, Solver, SolverOptions, StopReason};
 pub use weights::WeightMatrix;

@@ -148,7 +148,9 @@ impl BiasLimitPlanner {
             if k > problem.num_gates() {
                 return None; // Cannot split finer than one gate per plane.
             }
-            let sized = problem.with_planes(k).expect("k >= 2");
+            let Ok(sized) = problem.with_planes(k) else {
+                return None; // k < 2 cannot happen past the lower bound.
+            };
             let result = Solver::new(options.clone()).solve(&sized);
             let metrics = PartitionMetrics::evaluate(&sized, &result.partition);
             if metrics.b_max <= self.limit_ma {

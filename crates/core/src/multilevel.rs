@@ -121,7 +121,7 @@ pub fn multilevel_partition(problem: &PartitionProblem, options: &MultilevelOpti
             .map(|&c| partition.labels()[c as usize])
             .collect();
         let projected = Partition::from_labels(labels, problem.num_planes())
-            .expect("projected labels stay in range");
+            .unwrap_or_else(|_| unreachable!("projected labels stay in range"));
         partition = refine(fine_problem, &projected, &options.refine).0;
     }
     partition
@@ -190,7 +190,7 @@ fn coarsen_once(problem: &PartitionProblem) -> Option<Level> {
         .collect();
 
     let coarse = PartitionProblem::new(bias, area, edges, problem.num_planes())
-        .expect("coarse problem inherits validity");
+        .unwrap_or_else(|_| unreachable!("coarse problem inherits validity"));
     Some(Level { coarse, map })
 }
 

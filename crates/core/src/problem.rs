@@ -35,6 +35,23 @@ pub enum ProblemError {
         /// Gate index of the bad entry.
         gate: usize,
     },
+    /// More planes than gates: at least one plane is guaranteed to stay
+    /// empty, which degenerates the serial bias chain. Only reported by
+    /// [`PartitionProblem::validate`]; construction still permits it for
+    /// exploratory use.
+    TooManyPlanes {
+        /// The requested plane count.
+        k: usize,
+        /// Number of gates available.
+        num_gates: usize,
+    },
+    /// An edge connects a gate to itself. [`PartitionProblem::new`] drops
+    /// self-loops silently; [`PartitionProblem::validate`] reports one that
+    /// entered through another path (e.g. deserialization).
+    SelfLoop {
+        /// The offending gate index.
+        gate: u32,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -55,6 +72,14 @@ impl fmt::Display for ProblemError {
             ),
             ProblemError::InvalidQuantity { gate } => {
                 write!(f, "gate {gate} has a negative or non-finite bias/area")
+            }
+            ProblemError::TooManyPlanes { k, num_gates } => write!(
+                f,
+                "{k} planes requested for only {num_gates} gates; at least one \
+                 plane would stay empty"
+            ),
+            ProblemError::SelfLoop { gate } => {
+                write!(f, "edge connects gate {gate} to itself")
             }
         }
     }
@@ -176,6 +201,61 @@ impl PartitionProblem {
         let mut problem = PartitionProblem::new(bias, area, edges, k)?;
         problem.gate_cells = Some(gate_cells);
         Ok(problem)
+    }
+
+    /// Re-checks every instance invariant, including those a constructor
+    /// cannot guarantee for values that arrived through other paths
+    /// (deserialization, FFI, hand-assembled fixtures).
+    ///
+    /// Checks, in order: vector-length agreement, non-emptiness, `K ≥ 2`,
+    /// `K ≤ G` (a plane with no possible gate degenerates the serial bias
+    /// chain), finite non-negative bias/area entries, in-range edge
+    /// endpoints, and absence of self-loops.
+    ///
+    /// [`Solver::try_solve`](crate::Solver::try_solve) runs this before
+    /// descending; `solve` does not, preserving its historical permissive
+    /// behaviour (e.g. exploratory `K > G` instances).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ProblemError`].
+    pub fn validate(&self) -> Result<(), ProblemError> {
+        if self.bias.len() != self.area.len() {
+            return Err(ProblemError::MismatchedVectors {
+                bias_len: self.bias.len(),
+                area_len: self.area.len(),
+            });
+        }
+        if self.bias.is_empty() {
+            return Err(ProblemError::Empty);
+        }
+        if self.k < 2 {
+            return Err(ProblemError::TooFewPlanes { k: self.k });
+        }
+        if self.k > self.bias.len() {
+            return Err(ProblemError::TooManyPlanes {
+                k: self.k,
+                num_gates: self.bias.len(),
+            });
+        }
+        for (i, (&b, &a)) in self.bias.iter().zip(&self.area).enumerate() {
+            if !(b.is_finite() && a.is_finite() && b >= 0.0 && a >= 0.0) {
+                return Err(ProblemError::InvalidQuantity { gate: i });
+            }
+        }
+        let n = self.bias.len();
+        for &(u, v) in &self.edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(ProblemError::EdgeOutOfRange {
+                    edge: (u, v),
+                    num_gates: n,
+                });
+            }
+            if u == v {
+                return Err(ProblemError::SelfLoop { gate: u });
+            }
+        }
+        Ok(())
     }
 
     /// Returns a copy of the instance with a different plane count.
@@ -319,6 +399,38 @@ mod tests {
         assert_eq!(p.edges()[0], (0, 1));
         assert_eq!(p.gate_cell(0), Some(a));
         assert_eq!(p.gate_cell(1), Some(b));
+    }
+
+    #[test]
+    fn validate_accepts_constructed_instances() {
+        let p = PartitionProblem::new(vec![1.0, 1.0], vec![1.0, 1.0], vec![(0, 1)], 2).unwrap();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_more_planes_than_gates() {
+        // Construction permits K > G (exploratory use); validate flags it.
+        let p = PartitionProblem::new(vec![1.0, 1.0], vec![1.0, 1.0], vec![(0, 1)], 5).unwrap();
+        assert_eq!(
+            p.validate(),
+            Err(ProblemError::TooManyPlanes { k: 5, num_gates: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_flags_k_grown_past_gates_via_with_planes() {
+        let p = PartitionProblem::new(vec![1.0; 3], vec![1.0; 3], vec![(0, 1)], 2).unwrap();
+        let q = p.with_planes(4).unwrap();
+        assert!(matches!(
+            q.validate(),
+            Err(ProblemError::TooManyPlanes { k: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_error_displays_gate() {
+        let e = ProblemError::SelfLoop { gate: 7 };
+        assert!(e.to_string().contains("gate 7"));
     }
 
     #[test]

@@ -323,11 +323,13 @@ impl<'a> MoveState<'a> {
     /// Clones the current labels into a [`Partition`] without consuming the
     /// state (used by the annealing baseline's best-so-far snapshots).
     pub(crate) fn snapshot_partition(&self) -> Partition {
-        Partition::from_labels(self.labels.clone(), self.k).expect("labels stay in range")
+        Partition::from_labels(self.labels.clone(), self.k)
+            .unwrap_or_else(|_| unreachable!("labels stay in range"))
     }
 
     pub(crate) fn into_partition(self) -> Partition {
-        Partition::from_labels(self.labels, self.k).expect("labels stay in range")
+        Partition::from_labels(self.labels, self.k)
+            .unwrap_or_else(|_| unreachable!("labels stay in range"))
     }
 }
 

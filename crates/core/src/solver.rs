@@ -24,18 +24,54 @@
 //!
 //! Every deviation can be switched off to reproduce the paper's literal
 //! Algorithm 1; the `ablations` bench in `sfq-bench` quantifies each one.
+//!
+//! # Failure modes & recovery
+//!
+//! The quartic `F₁` term and the bold-driver rate can overflow to `Inf`/`NaN`
+//! on adversarial inputs. The descent loop therefore checks every cost
+//! breakdown and gradient for finiteness; on a non-finite evaluation it rolls
+//! the weights back to the last finite iterate and retries that iteration
+//! with a halved learning rate (up to [`MAX_RECOVERIES`] halvings). A run
+//! that cannot be rescued stops with [`StopReason::NonFinite`], rolled back
+//! to its last finite weights, and loses the restart selection to any
+//! surviving run — [`Solver::solve`] and [`Solver::try_solve`] never return
+//! a partition derived from non-finite weights.
+//!
+//! Budgets ([`SolverOptions::deadline_ms`], [`SolverOptions::iteration_budget`])
+//! truncate restarts with [`StopReason::BudgetExhausted`] but never reorder
+//! or alter per-restart arithmetic: the iteration budget is pre-allocated to
+//! restarts in index order before any of them runs, so parallel and
+//! sequential execution still agree bit-for-bit. A wall-clock deadline is
+//! inherently racy against the scheduler and may truncate at a different
+//! iteration from run to run; the iterations it does complete are unchanged.
+//!
+//! [`Solver::try_solve`] is the non-panicking entry point: it validates the
+//! options and the problem up front and reports failures as
+//! [`SolveError`](crate::SolveError) values.
+
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::assign::Partition;
-use crate::cost::{CostModel, CostWeights};
+use crate::cost::{CostBreakdown, CostModel, CostWeights};
 use crate::engine::{CostEngine, EngineOptions};
+use crate::error::SolveError;
 use crate::grad::{Gradient, GradientOptions};
 use crate::problem::PartitionProblem;
 use crate::refine::{discrete_cost, refine, RefineOptions};
 use crate::weights::WeightMatrix;
+
+/// Maximum step-halving retries per iteration before a run is declared
+/// terminally divergent. Sixty halvings scale a step by 2⁻⁶⁰ ≈ 10⁻¹⁸ — past
+/// the [`StepVanished`](StopReason::StepVanished) floor, so further retries
+/// cannot help.
+pub const MAX_RECOVERIES: usize = 60;
+
+/// Learning-rate floor below which the step is considered vanished.
+const MIN_LEARNING_RATE: f64 = 1e-18;
 
 /// Why the descent loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +82,64 @@ pub enum StopReason {
     MaxIterations,
     /// The adaptive step size collapsed to zero.
     StepVanished,
+    /// The run produced non-finite cost or gradient values and step halving
+    /// could not rescue it; its weights were rolled back to the last finite
+    /// iterate before snapping.
+    NonFinite,
+    /// A solve-wide budget ([`SolverOptions::deadline_ms`] or
+    /// [`SolverOptions::iteration_budget`]) truncated the run before its own
+    /// [`SolverOptions::max_iterations`] cap.
+    BudgetExhausted,
+}
+
+/// Scripted fault plan for the test-only fault-injecting evaluation backend.
+///
+/// When [`SolverOptions::fault_injection`] is set, every descent run wraps
+/// its evaluation backend in a counter that poisons scripted evaluations
+/// with `NaN`/`Inf` — this is how the divergence-recovery machinery is
+/// exercised deterministically from tests. Indices count *backend cost
+/// calls* within one run (recovery retries advance the counter too), so a
+/// one-shot fault at call `n` is rescued by the retry at call `n + 1`.
+///
+/// Production code should leave this `None`; it exists so that tests can
+/// reach every recovery path without depending on adversarial inputs to
+/// overflow in a particular way.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Cost calls (0-based) that report `NaN` in place of the true cost.
+    pub nan_cost_at: Vec<usize>,
+    /// Cost calls that report `+Inf` in place of the true cost.
+    pub inf_cost_at: Vec<usize>,
+    /// Cost calls whose subsequent gradient is poisoned with `NaN`.
+    pub nan_grad_at: Vec<usize>,
+    /// From this cost call onward, *every* cost and gradient is poisoned —
+    /// models terminal divergence that no retry can rescue.
+    pub poison_from: Option<usize>,
+    /// Restrict the plan to one restart index (`None` = every restart).
+    pub restart: Option<usize>,
+}
+
+impl FaultInjection {
+    /// The poison value (if any) for cost call `call`.
+    fn cost_poison(&self, call: usize) -> Option<f64> {
+        if self.poison_from.is_some_and(|p| call >= p) || self.nan_cost_at.contains(&call) {
+            Some(f64::NAN)
+        } else if self.inf_cost_at.contains(&call) {
+            Some(f64::INFINITY)
+        } else {
+            None
+        }
+    }
+
+    /// True when the gradient belonging to cost call `call` is poisoned.
+    fn poisons_gradient(&self, call: usize) -> bool {
+        self.poison_from.is_some_and(|p| call >= p) || self.nan_grad_at.contains(&call)
+    }
+
+    /// True when the plan applies to restart `restart`.
+    fn applies_to(&self, restart: usize) -> bool {
+        self.restart.is_none_or(|r| r == restart)
+    }
 }
 
 /// Solver configuration.
@@ -100,6 +194,22 @@ pub struct SolverOptions {
     /// results: chunk layout and fold order are fixed per problem. Ignored
     /// when `fused` is off.
     pub intra_parallel: bool,
+    /// Wall-clock deadline for the whole solve (all restarts), in
+    /// milliseconds. A run that overshoots stops gracefully with
+    /// [`StopReason::BudgetExhausted`] and the best result so far wins.
+    /// Unlike the iteration budget this is inherently nondeterministic in
+    /// *where* it truncates; the iterations it completes are unchanged.
+    pub deadline_ms: Option<u64>,
+    /// Total-iteration budget shared by all restarts. The budget is
+    /// pre-allocated to restarts in index order (each takes up to
+    /// `max_iterations` from what remains; restarts left with zero are
+    /// skipped), which keeps parallel and sequential execution bit-identical
+    /// under truncation. Truncated runs stop with
+    /// [`StopReason::BudgetExhausted`].
+    pub iteration_budget: Option<usize>,
+    /// Test-only scripted fault plan; see [`FaultInjection`]. Leave `None`
+    /// in production.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl Default for SolverOptions {
@@ -120,6 +230,9 @@ impl Default for SolverOptions {
             parallel: false,
             fused: true,
             intra_parallel: false,
+            deadline_ms: None,
+            iteration_budget: None,
+            fault_injection: None,
         }
     }
 }
@@ -169,6 +282,47 @@ impl SolverOptions {
             ..SolverOptions::default()
         }
     }
+
+    /// Checks that the options describe a runnable configuration.
+    fn validate(&self) -> Result<(), SolveError> {
+        fn bad(detail: impl Into<String>) -> Result<(), SolveError> {
+            Err(SolveError::InvalidOptions {
+                detail: detail.into(),
+            })
+        }
+        if self.restarts == 0 {
+            return bad("restarts must be > 0");
+        }
+        if !self.exponent.is_finite() || self.exponent < 1.0 {
+            return bad(format!(
+                "exponent must be finite and >= 1, got {}",
+                self.exponent
+            ));
+        }
+        if !self.margin.is_finite() {
+            return bad(format!("margin must be finite, got {}", self.margin));
+        }
+        if !self.initial_step.is_finite() || self.initial_step <= 0.0 {
+            return bad(format!(
+                "initial_step must be finite and > 0, got {}",
+                self.initial_step
+            ));
+        }
+        if !self.init_spread.is_finite() || self.init_spread < 0.0 {
+            return bad(format!(
+                "init_spread must be finite and >= 0, got {}",
+                self.init_spread
+            ));
+        }
+        let cw = &self.weights;
+        if ![cw.c1, cw.c2, cw.c3, cw.c4].iter().all(|c| c.is_finite()) {
+            return bad("cost weights c1..c4 must all be finite");
+        }
+        if self.iteration_budget == Some(0) {
+            return bad("iteration_budget must be > 0 when set (use deadline_ms: Some(0) to probe the budget path)");
+        }
+        Ok(())
+    }
 }
 
 /// Result of [`Solver::solve`].
@@ -188,6 +342,10 @@ pub struct SolveResult {
     pub best_restart: usize,
     /// Moves applied by the refinement pass (0 if refinement disabled).
     pub refine_moves: usize,
+    /// How many restarts ended in terminal divergence
+    /// ([`StopReason::NonFinite`]) or produced a non-finite discrete cost
+    /// and were excluded from the selection.
+    pub diverged_restarts: usize,
 }
 
 impl SolveResult {
@@ -230,40 +388,139 @@ impl Solver {
     /// Partitions `problem` into its `K` planes.
     ///
     /// Runs [`SolverOptions::restarts`] independent descents and returns the
-    /// partition with the lowest discrete objective.
+    /// partition with the lowest discrete objective. For the non-panicking
+    /// variant with up-front validation, use [`Solver::try_solve`].
     ///
     /// # Panics
     ///
-    /// Panics if `restarts == 0`.
+    /// Panics if `restarts == 0`, or if every restart diverges terminally —
+    /// an outcome [`Solver::try_solve`] reports as
+    /// [`SolveError::AllRestartsDiverged`] instead.
     pub fn solve(&self, problem: &PartitionProblem) -> SolveResult {
         assert!(self.options.restarts > 0, "need at least one restart");
-        let runs: Vec<SolveResult> = if self.options.parallel && self.options.restarts > 1 {
+        match self.run_restarts(problem) {
+            Ok(result) => result,
+            Err(e) => panic!("solve failed: {e}"),
+        }
+    }
+
+    /// Non-panicking [`Solver::solve`]: validates the options and the
+    /// problem, then runs the restarts with full divergence recovery.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InvalidOptions`] — unusable configuration (zero
+    ///   restarts, non-finite margin or step, exponent < 1, zero iteration
+    ///   budget, …).
+    /// * [`SolveError::InvalidProblem`] — the instance fails
+    ///   [`PartitionProblem::validate`] (degenerate circuit, `K` out of
+    ///   bounds, non-finite or negative bias/area, self-loops).
+    /// * [`SolveError::AllRestartsDiverged`] — every restart hit terminal
+    ///   non-finite values and no finite candidate survived.
+    ///
+    /// On success the returned partition is always finite and valid: runs
+    /// that stop with [`StopReason::NonFinite`] are rolled back to their
+    /// last finite weights and lose the selection to any surviving run.
+    pub fn try_solve(&self, problem: &PartitionProblem) -> Result<SolveResult, SolveError> {
+        self.options.validate()?;
+        problem.validate()?;
+        self.run_restarts(problem)
+    }
+
+    /// Runs all restarts and selects the winner.
+    fn run_restarts(&self, problem: &PartitionProblem) -> Result<SolveResult, SolveError> {
+        let opts = &self.options;
+        let deadline = opts
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+        // Pre-allocate the iteration budget to restarts in index order.
+        // This is what keeps budgets deterministic: restart r's cap depends
+        // only on the options, never on how fast other threads progress.
+        let mut caps = Vec::with_capacity(opts.restarts);
+        let mut remaining = opts.iteration_budget;
+        for _ in 0..opts.restarts {
+            let cap = match remaining.as_mut() {
+                None => opts.max_iterations,
+                Some(rem) => {
+                    let cap = opts.max_iterations.min(*rem);
+                    *rem -= cap;
+                    cap
+                }
+            };
+            caps.push(cap);
+        }
+        // A restart whose allocation is zero never runs (unless the per-run
+        // cap itself is zero, where running it is free and preserves the
+        // unbudgeted behavior).
+        let planned: Vec<(usize, usize)> = caps
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, cap)| cap > 0 || opts.max_iterations == 0)
+            .collect();
+
+        let runs: Vec<SolveResult> = if opts.parallel && planned.len() > 1 {
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.options.restarts)
-                    .map(|r| scope.spawn(move |_| self.run_once(problem, r)))
+                let handles: Vec<_> = planned
+                    .iter()
+                    .map(|&(r, cap)| scope.spawn(move |_| self.run_once(problem, r, cap, deadline)))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("restart thread panicked"))
+                    .map(|h| match h.join() {
+                        Ok(run) => run,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
-            .expect("restart scope panicked")
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
         } else {
-            (0..self.options.restarts)
-                .map(|r| self.run_once(problem, r))
+            planned
+                .iter()
+                .map(|&(r, cap)| self.run_once(problem, r, cap, deadline))
                 .collect()
         };
-        runs.into_iter()
-            .min_by(|a, b| {
-                a.discrete_cost
-                    .partial_cmp(&b.discrete_cost)
-                    .expect("costs are finite")
-            })
-            .expect("at least one restart ran")
+
+        // Selection: a run only qualifies with a finite discrete cost, and
+        // terminally diverged runs lose to any clean survivor.
+        let diverged = runs
+            .iter()
+            .filter(|r| r.stop_reason == StopReason::NonFinite || !r.discrete_cost.is_finite())
+            .count();
+        let finite = |r: &&SolveResult| r.discrete_cost.is_finite();
+        let clean = runs
+            .iter()
+            .filter(finite)
+            .filter(|r| r.stop_reason != StopReason::NonFinite);
+        let best = match clean.min_by(|a, b| a.discrete_cost.total_cmp(&b.discrete_cost)) {
+            Some(best) => best,
+            None => match runs
+                .iter()
+                .filter(finite)
+                .min_by(|a, b| a.discrete_cost.total_cmp(&b.discrete_cost))
+            {
+                Some(best) => best,
+                None => {
+                    return Err(SolveError::AllRestartsDiverged {
+                        restarts: opts.restarts,
+                    })
+                }
+            },
+        };
+        let mut best = best.clone();
+        best.diverged_restarts = diverged;
+        Ok(best)
     }
 
-    /// One gradient-descent run from the `restart`-th random start.
-    fn run_once(&self, problem: &PartitionProblem, restart: usize) -> SolveResult {
+    /// One gradient-descent run from the `restart`-th random start, capped
+    /// at `iter_cap` iterations (its share of any solve-wide budget).
+    fn run_once(
+        &self,
+        problem: &PartitionProblem,
+        restart: usize,
+        iter_cap: usize,
+        deadline: Option<Instant>,
+    ) -> SolveResult {
         let opts = &self.options;
         let g = problem.num_gates();
         let k = problem.num_planes();
@@ -292,15 +549,40 @@ impl Solver {
                 gradient: Gradient::new(grad_opts),
             }
         };
+        if let Some(plan) = &opts.fault_injection {
+            if plan.applies_to(restart) {
+                backend = EvalBackend::FaultInjecting {
+                    inner: Box::new(backend),
+                    plan: plan.clone(),
+                    calls: 0,
+                };
+            }
+        }
         let mut step = vec![0.0; g * k];
+        // Rollback state for divergence recovery: the weights and gradient
+        // step of the last completed (finite) iteration. The clamp in
+        // `descend_scaled` is not invertible, so the pre-descent weights
+        // must be kept explicitly.
+        let mut w_prev = w.clone();
+        let mut prev_step = vec![0.0; g * k];
 
         let mut history = Vec::new();
         let mut learning_rate = 0.0f64;
         let mut cost_old = f64::INFINITY;
-        let mut stop_reason = StopReason::MaxIterations;
+        let budget_limited = iter_cap < opts.max_iterations;
+        let mut stop_reason = if budget_limited {
+            StopReason::BudgetExhausted
+        } else {
+            StopReason::MaxIterations
+        };
         let mut iterations = 0usize;
 
-        for iter in 0..opts.max_iterations {
+        for iter in 0..iter_cap {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                stop_reason = StopReason::BudgetExhausted;
+                break;
+            }
+
             // c4 warm-up (continuation).
             if opts.c4_warmup > 0 {
                 let ramp = ((iter as f64) / (opts.c4_warmup as f64)).min(1.0);
@@ -311,8 +593,46 @@ impl Solver {
             }
 
             // The fused engine produces the gradient together with the cost;
-            // the reference backend fills `step` lazily below.
-            let cost_new = backend.cost(&w, &mut step);
+            // the reference backend fills `step` in `gradient_into`. Both are
+            // evaluated up front so divergence is caught before the step is
+            // applied.
+            let mut breakdown = backend.cost(&w, &mut step);
+            backend.gradient_into(&w, &mut step);
+
+            // Divergence recovery: on a non-finite cost or gradient, roll
+            // back to the last finite iterate and retry its step at half the
+            // rate. `iter == 0` has no finite iterate to retry from, and a
+            // rate below the vanish floor cannot move anywhere — both are
+            // terminal.
+            if !eval_is_finite(&breakdown, &step) {
+                let mut recovered = false;
+                if iter > 0 {
+                    for _ in 0..MAX_RECOVERIES {
+                        learning_rate *= 0.5;
+                        if learning_rate < MIN_LEARNING_RATE {
+                            break;
+                        }
+                        w.as_mut_slice().copy_from_slice(w_prev.as_slice());
+                        w.descend_scaled(&prev_step, learning_rate);
+                        breakdown = backend.cost(&w, &mut step);
+                        backend.gradient_into(&w, &mut step);
+                        if w.all_finite() && eval_is_finite(&breakdown, &step) {
+                            recovered = true;
+                            break;
+                        }
+                    }
+                }
+                if !recovered {
+                    stop_reason = StopReason::NonFinite;
+                    if iter > 0 {
+                        // Snap from the last finite weights, not the
+                        // diverged ones.
+                        w.as_mut_slice().copy_from_slice(w_prev.as_slice());
+                    }
+                    break;
+                }
+            }
+            let cost_new = breakdown.total;
             history.push(cost_new);
             iterations = iter + 1;
 
@@ -326,8 +646,6 @@ impl Solver {
                     break;
                 }
             }
-
-            backend.gradient_into(&w, &mut step);
 
             // Derive / adapt the learning rate.
             if learning_rate == 0.0 {
@@ -344,15 +662,18 @@ impl Solver {
                     learning_rate *= 0.5;
                 }
             }
-            if learning_rate < 1e-18 {
+            if learning_rate < MIN_LEARNING_RATE {
                 stop_reason = StopReason::StepVanished;
                 break;
             }
 
+            w_prev.as_mut_slice().copy_from_slice(w.as_slice());
+            prev_step.copy_from_slice(&step);
             w.descend_scaled(&step, learning_rate);
             cost_old = cost_new;
         }
 
+        debug_assert!(w.all_finite(), "descent loop leaked non-finite weights");
         let snapped = Partition::from_weights(&w);
         let refine_options = RefineOptions {
             weights: opts.weights,
@@ -375,14 +696,21 @@ impl Solver {
             discrete_cost: dc,
             best_restart: restart,
             refine_moves,
+            diverged_restarts: 0,
         }
     }
 }
 
+/// True when the cost breakdown and every gradient component are finite.
+fn eval_is_finite(breakdown: &CostBreakdown, step: &[f64]) -> bool {
+    breakdown.is_finite() && step.iter().all(|s| s.is_finite())
+}
+
 /// How one descent run evaluates cost and gradient: the fused engine
-/// (default) or the reference `CostModel` + `Gradient` pair (ablation /
-/// benchmark baseline). Both implement the same mathematics; see
-/// [`crate::engine`] for the numerical contract.
+/// (default), the reference `CostModel` + `Gradient` pair (ablation /
+/// benchmark baseline), or either of those wrapped in the test-only fault
+/// injector. All implement the same mathematics; see [`crate::engine`] for
+/// the numerical contract.
 // One stack value per restart, never stored in collections — the size
 // imbalance between the variants is irrelevant here.
 #[allow(clippy::large_enum_variant)]
@@ -392,6 +720,11 @@ enum EvalBackend<'a> {
         gradient: Gradient,
     },
     Fused(CostEngine<'a>),
+    FaultInjecting {
+        inner: Box<EvalBackend<'a>>,
+        plan: FaultInjection,
+        calls: usize,
+    },
 }
 
 impl EvalBackend<'_> {
@@ -399,15 +732,26 @@ impl EvalBackend<'_> {
         match self {
             EvalBackend::Reference { model, .. } => model.set_weights(weights),
             EvalBackend::Fused(engine) => engine.set_weights(weights),
+            EvalBackend::FaultInjecting { inner, .. } => inner.set_weights(weights),
         }
     }
 
-    /// Evaluates the total cost at `w`. The fused engine also writes the
+    /// Evaluates the cost breakdown at `w`. The fused engine also writes the
     /// gradient into `step` as a side effect of the same pass.
-    fn cost(&mut self, w: &WeightMatrix, step: &mut [f64]) -> f64 {
+    fn cost(&mut self, w: &WeightMatrix, step: &mut [f64]) -> CostBreakdown {
         match self {
-            EvalBackend::Reference { model, .. } => model.evaluate(w).total,
-            EvalBackend::Fused(engine) => engine.evaluate_with_gradient(w, step).total,
+            EvalBackend::Reference { model, .. } => model.evaluate(w),
+            EvalBackend::Fused(engine) => engine.evaluate_with_gradient(w, step),
+            EvalBackend::FaultInjecting { inner, plan, calls } => {
+                let call = *calls;
+                *calls += 1;
+                let mut breakdown = inner.cost(w, step);
+                if let Some(poison) = plan.cost_poison(call) {
+                    breakdown.f1 = poison;
+                    breakdown.total = poison;
+                }
+                breakdown
+            }
         }
     }
 
@@ -417,6 +761,14 @@ impl EvalBackend<'_> {
         match self {
             EvalBackend::Reference { model, gradient } => gradient.compute(model, w, step),
             EvalBackend::Fused(_) => {}
+            EvalBackend::FaultInjecting { inner, plan, calls } => {
+                inner.gradient_into(w, step);
+                if plan.poisons_gradient(calls.saturating_sub(1)) {
+                    if let Some(first) = step.first_mut() {
+                        *first = f64::NAN;
+                    }
+                }
+            }
         }
     }
 }
@@ -642,5 +994,167 @@ mod tests {
             ..SolverOptions::default()
         };
         let _ = Solver::new(opts).solve(&p);
+    }
+
+    #[test]
+    fn try_solve_matches_solve_on_clean_input() {
+        let p = chain(20, 3);
+        let solver = Solver::new(SolverOptions::default());
+        let a = solver.solve(&p);
+        let b = solver.try_solve(&p).expect("clean input solves");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_solve_rejects_bad_options() {
+        let p = chain(10, 2);
+        for opts in [
+            SolverOptions {
+                restarts: 0,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                initial_step: f64::NAN,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                initial_step: -1.0,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                margin: f64::INFINITY,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                exponent: 0.5,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                init_spread: -0.5,
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                iteration_budget: Some(0),
+                ..SolverOptions::default()
+            },
+            SolverOptions {
+                weights: CostWeights {
+                    c1: f64::NAN,
+                    ..CostWeights::default()
+                },
+                ..SolverOptions::default()
+            },
+        ] {
+            let err = Solver::new(opts.clone()).try_solve(&p).unwrap_err();
+            assert!(
+                matches!(err, SolveError::InvalidOptions { .. }),
+                "{opts:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_solve_rejects_invalid_problem() {
+        let p = chain(4, 2).with_planes(8).unwrap(); // more planes than gates
+        let err = Solver::new(SolverOptions::default())
+            .try_solve(&p)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidProblem(_)), "{err:?}");
+    }
+
+    #[test]
+    fn iteration_budget_truncates_deterministically() {
+        let p = chain(20, 3);
+        let mut opts = SolverOptions::tuned(3);
+        opts.parallel = false;
+        opts.iteration_budget = Some(opts.max_iterations + 50);
+        let seq = Solver::new(opts.clone()).try_solve(&p).expect("solves");
+        opts.parallel = true;
+        let par = Solver::new(opts.clone()).try_solve(&p).expect("solves");
+        assert_eq!(seq.partition, par.partition);
+        assert_eq!(seq.best_restart, par.best_restart);
+        assert_eq!(seq.cost_history, par.cost_history);
+        // Restart 0 runs in full; restart 1 gets 50 iterations; restart 2
+        // is skipped entirely. The winner ran under the same arithmetic as
+        // an unbudgeted run of the same restart.
+        let unbudgeted = Solver::new(SolverOptions {
+            iteration_budget: None,
+            parallel: false,
+            ..opts
+        })
+        .try_solve(&p)
+        .expect("solves");
+        if seq.best_restart == unbudgeted.best_restart {
+            assert_eq!(seq.cost_history, unbudgeted.cost_history);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_budget_gracefully() {
+        let p = chain(20, 3);
+        let opts = SolverOptions {
+            deadline_ms: Some(0),
+            ..SolverOptions::default()
+        };
+        let result = Solver::new(opts)
+            .try_solve(&p)
+            .expect("still yields best-so-far");
+        assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.partition.num_gates(), 20);
+    }
+
+    #[test]
+    fn fault_injection_single_nan_recovers() {
+        let p = chain(20, 3);
+        let opts = SolverOptions {
+            fault_injection: Some(FaultInjection {
+                nan_cost_at: vec![10],
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        };
+        let result = Solver::new(opts).try_solve(&p).expect("recovers");
+        assert_ne!(result.stop_reason, StopReason::NonFinite);
+        assert!(result.discrete_cost.is_finite());
+        assert!(result.cost_history.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn fault_injection_terminal_divergence_falls_back_to_survivor() {
+        let p = chain(20, 3);
+        let mut opts = SolverOptions::tuned(3);
+        opts.parallel = false;
+        opts.fault_injection = Some(FaultInjection {
+            poison_from: Some(0),
+            restart: Some(0),
+            ..FaultInjection::default()
+        });
+        let result = Solver::new(opts).try_solve(&p).expect("survivors exist");
+        assert_ne!(result.best_restart, 0, "poisoned restart must lose");
+        assert_eq!(result.diverged_restarts, 1);
+        assert!(result.discrete_cost.is_finite());
+    }
+
+    #[test]
+    fn fault_injection_everywhere_reports_all_diverged_or_survives() {
+        // Poisoning every call of every restart leaves each run stopped at
+        // NonFinite with its initial (finite) weights — still a valid
+        // fallback partition, reported as diverged.
+        let p = chain(10, 2);
+        let opts = SolverOptions {
+            fault_injection: Some(FaultInjection {
+                poison_from: Some(0),
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        };
+        let result = Solver::new(opts)
+            .try_solve(&p)
+            .expect("initial weights are finite");
+        assert_eq!(result.stop_reason, StopReason::NonFinite);
+        assert_eq!(result.diverged_restarts, 1);
+        assert!(result.discrete_cost.is_finite());
+        assert_eq!(result.partition.num_gates(), 10);
     }
 }

@@ -68,12 +68,7 @@ pub fn spectral_partition(problem: &PartitionProblem, options: &SpectralOptions)
 pub fn fiedler_order(problem: &PartitionProblem, options: &SpectralOptions) -> Vec<usize> {
     let fiedler = fiedler_vector(problem, options);
     let mut order: Vec<usize> = (0..problem.num_gates()).collect();
-    order.sort_by(|&a, &b| {
-        fiedler[a]
-            .partial_cmp(&fiedler[b])
-            .expect("fiedler entries are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| fiedler[a].total_cmp(&fiedler[b]).then(a.cmp(&b)));
     order
 }
 
@@ -97,7 +92,8 @@ pub fn chunk_by_bias(problem: &PartitionProblem, order: &[usize]) -> Partition {
             plane += 1;
         }
     }
-    Partition::from_labels(labels, k).expect("labels in range")
+    Partition::from_labels(labels, k)
+        .unwrap_or_else(|_| unreachable!("generated labels are in range"))
 }
 
 /// Computes (an approximation of) the Fiedler vector of the connection

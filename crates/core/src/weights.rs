@@ -46,7 +46,8 @@ impl WeightMatrix {
     /// to one (Algorithm 1 lines 3–11).
     pub fn random<R: Rng + ?Sized>(num_gates: usize, num_planes: usize, rng: &mut R) -> Self {
         assert!(num_planes > 0, "need at least one plane");
-        let dist = Uniform::new(0.0f64, 1.0).expect("valid range");
+        let dist =
+            Uniform::new(0.0f64, 1.0).unwrap_or_else(|_| unreachable!("0..1 is a valid range"));
         let mut data = Vec::with_capacity(num_gates * num_planes);
         for _ in 0..num_gates {
             let start = data.len();
@@ -197,6 +198,12 @@ impl WeightMatrix {
             }
         }
         best
+    }
+
+    /// True when every entry is a finite number — the invariant the solver's
+    /// divergence-recovery path maintains before snapping to a partition.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|w| w.is_finite())
     }
 
     /// Clamps every entry to `[0,1]` (Algorithm 1 lines 21–23).

@@ -1,0 +1,180 @@
+//! Divergence-recovery matrix: injected NaN/Inf at scripted evaluations
+//! must be rescued (or cleanly abandoned) on every backend combination —
+//! {fused, reference} × {serial, intra-parallel} — and the solver must
+//! never return a partition derived from non-finite weights.
+
+use sfq_partition::{FaultInjection, PartitionProblem, Solver, SolverOptions, StopReason};
+
+fn chain(n: u32, k: usize) -> PartitionProblem {
+    PartitionProblem::new(
+        vec![1.0; n as usize],
+        vec![10.0; n as usize],
+        (0..n - 1).map(|i| (i, i + 1)).collect(),
+        k,
+    )
+    .unwrap()
+}
+
+/// The backend matrix; `intra_parallel` is a no-op for the reference
+/// backend but must still be accepted and produce identical results.
+const MATRIX: [(bool, bool); 4] = [(true, false), (true, true), (false, false), (false, true)];
+
+fn base_options(fused: bool, intra_parallel: bool) -> SolverOptions {
+    SolverOptions {
+        fused,
+        intra_parallel,
+        margin: -1.0, // never stop early: every injection point is reached
+        max_iterations: 260,
+        refine: false,
+        ..SolverOptions::default()
+    }
+}
+
+fn assert_finite_and_valid(result: &sfq_partition::SolveResult, gates: usize, k: usize) {
+    assert_eq!(result.partition.num_gates(), gates);
+    assert_eq!(result.partition.num_planes(), k);
+    assert!(result.partition.labels().iter().all(|&l| (l as usize) < k));
+    assert!(result.discrete_cost.is_finite());
+    assert!(
+        result.cost_history.iter().all(|c| c.is_finite()),
+        "history must only record finite (possibly recovered) costs"
+    );
+}
+
+#[test]
+fn single_nan_recovers_at_any_iteration_on_every_backend() {
+    let p = chain(30, 3);
+    for (fused, intra) in MATRIX {
+        for inject_at in [1usize, 5, 50, 230] {
+            let opts = SolverOptions {
+                fault_injection: Some(FaultInjection {
+                    nan_cost_at: vec![inject_at],
+                    ..FaultInjection::default()
+                }),
+                ..base_options(fused, intra)
+            };
+            let result = Solver::new(opts).try_solve(&p).expect("recovers");
+            assert_ne!(
+                result.stop_reason,
+                StopReason::NonFinite,
+                "fused={fused} intra={intra} inject_at={inject_at}"
+            );
+            assert_finite_and_valid(&result, 30, 3);
+        }
+    }
+}
+
+#[test]
+fn single_inf_and_nan_gradient_recover_too() {
+    let p = chain(30, 3);
+    for (fused, intra) in MATRIX {
+        for plan in [
+            FaultInjection {
+                inf_cost_at: vec![7],
+                ..FaultInjection::default()
+            },
+            FaultInjection {
+                nan_grad_at: vec![7],
+                ..FaultInjection::default()
+            },
+        ] {
+            let opts = SolverOptions {
+                fault_injection: Some(plan.clone()),
+                ..base_options(fused, intra)
+            };
+            let result = Solver::new(opts).try_solve(&p).expect("recovers");
+            assert_ne!(
+                result.stop_reason,
+                StopReason::NonFinite,
+                "fused={fused} intra={intra} plan={plan:?}"
+            );
+            assert_finite_and_valid(&result, 30, 3);
+        }
+    }
+}
+
+#[test]
+fn injection_at_iteration_zero_is_terminal_but_still_finite() {
+    // No finite iterate exists to retry from, so the run is abandoned — but
+    // the snapped initial weights are still a valid, finite partition.
+    let p = chain(30, 3);
+    for (fused, intra) in MATRIX {
+        let opts = SolverOptions {
+            fault_injection: Some(FaultInjection {
+                nan_cost_at: vec![0],
+                ..FaultInjection::default()
+            }),
+            ..base_options(fused, intra)
+        };
+        let result = Solver::new(opts).try_solve(&p).expect("fallback exists");
+        assert_eq!(result.stop_reason, StopReason::NonFinite);
+        assert_eq!(result.diverged_restarts, 1);
+        assert_finite_and_valid(&result, 30, 3);
+    }
+}
+
+#[test]
+fn recovery_is_deterministic_per_backend() {
+    let p = chain(30, 3);
+    for (fused, intra) in MATRIX {
+        let opts = SolverOptions {
+            fault_injection: Some(FaultInjection {
+                nan_cost_at: vec![20],
+                ..FaultInjection::default()
+            }),
+            ..base_options(fused, intra)
+        };
+        let a = Solver::new(opts.clone()).try_solve(&p).unwrap();
+        let b = Solver::new(opts).try_solve(&p).unwrap();
+        assert_eq!(a, b, "fused={fused} intra={intra}");
+    }
+}
+
+#[test]
+fn intra_parallel_recovery_is_bit_identical_on_chunked_problems() {
+    // 2048×4 = 8192 weight entries: at the fused engine's chunking
+    // threshold, so the intra-parallel sweeps genuinely run on threads.
+    // Injected divergence and its recovery must not change a single bit
+    // between serial and threaded sweeps.
+    let p = chain(2048, 4);
+    let base = SolverOptions {
+        max_iterations: 40,
+        refine: false,
+        fault_injection: Some(FaultInjection {
+            nan_cost_at: vec![10],
+            ..FaultInjection::default()
+        }),
+        ..SolverOptions::default()
+    };
+    let seq = Solver::new(base.clone()).try_solve(&p).unwrap();
+    let par = Solver::new(SolverOptions {
+        intra_parallel: true,
+        ..base
+    })
+    .try_solve(&p)
+    .unwrap();
+    assert_eq!(seq.partition, par.partition);
+    assert_eq!(seq.cost_history, par.cost_history);
+    assert_eq!(seq.discrete_cost, par.discrete_cost);
+}
+
+#[test]
+fn poisoned_restart_loses_selection_in_serial_and_parallel() {
+    let p = chain(30, 3);
+    for parallel in [false, true] {
+        let opts = SolverOptions {
+            restarts: 3,
+            parallel,
+            fault_injection: Some(FaultInjection {
+                poison_from: Some(0),
+                restart: Some(1),
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        };
+        let result = Solver::new(opts).try_solve(&p).expect("two clean restarts");
+        assert_ne!(result.best_restart, 1, "parallel={parallel}");
+        assert_eq!(result.diverged_restarts, 1, "parallel={parallel}");
+        assert_finite_and_valid(&result, 30, 3);
+    }
+}

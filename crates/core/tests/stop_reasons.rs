@@ -1,0 +1,139 @@
+//! Every [`StopReason`] variant must be reachable deterministically, and
+//! each termination path must leave a finite, valid result behind.
+
+use sfq_partition::{
+    CostWeights, FaultInjection, PartitionProblem, Solver, SolverOptions, StopReason,
+};
+
+fn chain(n: u32, k: usize) -> PartitionProblem {
+    PartitionProblem::new(
+        vec![1.0; n as usize],
+        vec![10.0; n as usize],
+        (0..n - 1).map(|i| (i, i + 1)).collect(),
+        k,
+    )
+    .unwrap()
+}
+
+fn assert_valid(result: &sfq_partition::SolveResult, gates: usize, k: usize) {
+    assert_eq!(result.partition.num_gates(), gates);
+    assert_eq!(result.partition.num_planes(), k);
+    assert!(
+        result.partition.labels().iter().all(|&l| (l as usize) < k),
+        "labels in range"
+    );
+    assert!(result.discrete_cost.is_finite());
+}
+
+#[test]
+fn margin_stop_on_easy_problem() {
+    let p = chain(20, 2);
+    let result = Solver::new(SolverOptions::default()).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::Margin);
+    assert_valid(&result, 20, 2);
+}
+
+#[test]
+fn max_iterations_stop_when_margin_unreachable() {
+    let p = chain(20, 2);
+    let opts = SolverOptions {
+        margin: -1.0, // |relative change| is never <= -1
+        max_iterations: 30,
+        c4_warmup: 0,
+        refine: false,
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::MaxIterations);
+    assert_eq!(result.iterations, 30);
+    assert_valid(&result, 20, 2);
+}
+
+#[test]
+fn step_vanishes_with_zero_cost_weights() {
+    let p = chain(10, 2);
+    let opts = SolverOptions {
+        weights: CostWeights {
+            c1: 0.0,
+            c2: 0.0,
+            c3: 0.0,
+            c4: 0.0,
+        },
+        c4_warmup: 0,
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::StepVanished);
+    assert_valid(&result, 10, 2);
+}
+
+#[test]
+fn budget_exhausted_by_iteration_budget() {
+    let p = chain(20, 2);
+    let opts = SolverOptions {
+        margin: -1.0,
+        iteration_budget: Some(5),
+        refine: false,
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
+    assert_eq!(result.iterations, 5);
+    assert_valid(&result, 20, 2);
+}
+
+#[test]
+fn budget_exhausted_by_deadline() {
+    let p = chain(20, 2);
+    let opts = SolverOptions {
+        deadline_ms: Some(0),
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
+    assert_eq!(result.iterations, 0);
+    assert_valid(&result, 20, 2);
+}
+
+#[test]
+fn non_finite_stop_under_terminal_poisoning() {
+    let p = chain(20, 2);
+    let opts = SolverOptions {
+        fault_injection: Some(FaultInjection {
+            poison_from: Some(0),
+            ..FaultInjection::default()
+        }),
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert_eq!(result.stop_reason, StopReason::NonFinite);
+    // Terminal divergence still rolls back to finite weights.
+    assert_valid(&result, 20, 2);
+}
+
+#[test]
+fn iteration_budget_spans_restarts_in_index_order() {
+    let p = chain(20, 3);
+    // Budget covers restart 0 fully (margin stops it well under the cap is
+    // prevented with margin: -1) plus 7 iterations of restart 1; restart 2
+    // never runs.
+    let opts = SolverOptions {
+        margin: -1.0,
+        max_iterations: 40,
+        c4_warmup: 0,
+        refine: false,
+        restarts: 3,
+        iteration_budget: Some(47),
+        ..SolverOptions::default()
+    };
+    let result = Solver::new(opts).try_solve(&p).unwrap();
+    assert!(result.best_restart < 2, "restart 2 must not run");
+    match result.best_restart {
+        0 => assert_eq!(result.stop_reason, StopReason::MaxIterations),
+        1 => {
+            assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
+            assert_eq!(result.iterations, 7);
+        }
+        _ => unreachable!(),
+    }
+}

@@ -33,14 +33,27 @@ pub(crate) struct Spanned {
 /// Indices are byte offsets but always advance by whole characters, so
 /// non-ASCII input (invalid in DEF proper) tokenizes into words rather than
 /// breaking string slicing.
-pub(crate) fn tokenize(text: &str) -> Result<Vec<Spanned>, DefError> {
+///
+/// `max_tokens` caps the token stream; the token that crosses the cap is
+/// reported as a positioned [`DefError`]. This bounds the memory an
+/// attacker-controlled input can make the lexer allocate.
+pub(crate) fn tokenize(text: &str, max_tokens: usize) -> Result<Vec<Spanned>, DefError> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line_no = lineno + 1;
         let mut i = 0usize;
         while i < line.len() {
-            let c = line[i..].chars().next().expect("i sits on a char boundary");
+            let Some(c) = line[i..].chars().next() else {
+                break; // i == line.len() cannot happen, but never panic on input
+            };
             let col = i + 1;
+            if out.len() >= max_tokens && !c.is_whitespace() && c != '#' {
+                return Err(DefError::new(
+                    line_no,
+                    col,
+                    format!("token limit exceeded ({max_tokens} tokens)"),
+                ));
+            }
             match c {
                 '#' => break, // comment
                 c if c.is_whitespace() => {
@@ -147,7 +160,7 @@ mod tests {
     use super::*;
 
     fn words(text: &str) -> Vec<Token> {
-        tokenize(text)
+        tokenize(text, usize::MAX)
             .unwrap()
             .into_iter()
             .map(|s| s.token)
@@ -202,9 +215,30 @@ mod tests {
 
     #[test]
     fn unterminated_string_errors() {
-        let err = tokenize("BUSBITCHARS \"[]").unwrap_err();
+        let err = tokenize("BUSBITCHARS \"[]", usize::MAX).unwrap_err();
         assert!(err.message().contains("unterminated"));
         assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn token_cap_errors_with_position() {
+        let err = tokenize("a b c\nd e f", 4).unwrap_err();
+        assert!(err.message().contains("token limit"), "{err}");
+        assert_eq!((err.line(), err.column()), (2, 3));
+    }
+
+    #[test]
+    fn token_cap_ignores_trailing_whitespace_and_comments() {
+        // Exactly at the cap with only whitespace/comments after: fine.
+        assert_eq!(words2("a b  # trailing", 2).len(), 2);
+    }
+
+    fn words2(text: &str, cap: usize) -> Vec<Token> {
+        tokenize(text, cap)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -222,7 +256,7 @@ mod tests {
 
     #[test]
     fn positions_are_one_based() {
-        let toks = tokenize("a b").unwrap();
+        let toks = tokenize("a b", usize::MAX).unwrap();
         assert_eq!((toks[0].line, toks[0].column), (1, 1));
         assert_eq!((toks[1].line, toks[1].column), (1, 3));
     }

@@ -36,6 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate failures, never abort the process on them;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod lexer;
@@ -43,7 +46,7 @@ mod parser;
 mod writer;
 
 pub use error::DefError;
-pub use parser::parse_def;
+pub use parser::{parse_def, parse_def_with_limits, DefLimits};
 pub use writer::{write_def, write_def_placed};
 
 use sfq_cells::CellKind;

@@ -9,7 +9,42 @@ use crate::error::DefError;
 use crate::lexer::{tokenize, Spanned, Token};
 use crate::resolve_pin;
 
-/// Parses DEF `text` into a netlist backed by `library`.
+/// Input-size caps for [`parse_def_with_limits`].
+///
+/// DEF files are attacker-controlled input in a batch flow; the caps bound
+/// the memory the lexer and parser can be made to allocate before any
+/// structural validation runs. The defaults are far above any real
+/// benchmark (the SPORT-lab suite is a few MiB) while still making
+/// pathological inputs fail fast with a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefLimits {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum number of lexical tokens.
+    pub max_tokens: usize,
+}
+
+impl Default for DefLimits {
+    fn default() -> Self {
+        DefLimits {
+            max_bytes: 64 * 1024 * 1024,
+            max_tokens: 4_000_000,
+        }
+    }
+}
+
+impl DefLimits {
+    /// No caps at all (the pre-hardening behavior).
+    pub fn unbounded() -> Self {
+        DefLimits {
+            max_bytes: usize::MAX,
+            max_tokens: usize::MAX,
+        }
+    }
+}
+
+/// Parses DEF `text` into a netlist backed by `library`, under the default
+/// [`DefLimits`].
 ///
 /// Accepts the subset produced by [`write_def`](crate::write_def) plus
 /// common variations: placement attributes on components (ignored),
@@ -20,9 +55,36 @@ use crate::resolve_pin;
 ///
 /// Returns a [`DefError`] with a source position for lexical errors,
 /// malformed sections, unknown cell kinds, unknown component references,
-/// pin-name violations, nets without a driver, and count mismatches.
+/// pin-name violations, nets without a driver, count mismatches, and
+/// inputs exceeding the default size caps.
 pub fn parse_def(text: &str, library: CellLibrary) -> Result<Netlist, DefError> {
-    let tokens = tokenize(text)?;
+    parse_def_with_limits(text, library, DefLimits::default())
+}
+
+/// [`parse_def`] with explicit input-size caps.
+///
+/// # Errors
+///
+/// As [`parse_def`]; an input longer than `limits.max_bytes` or lexing to
+/// more than `limits.max_tokens` tokens fails with a positioned
+/// [`DefError`] before any netlist is built.
+pub fn parse_def_with_limits(
+    text: &str,
+    library: CellLibrary,
+    limits: DefLimits,
+) -> Result<Netlist, DefError> {
+    if text.len() > limits.max_bytes {
+        return Err(DefError::new(
+            1,
+            1,
+            format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            ),
+        ));
+    }
+    let tokens = tokenize(text, limits.max_tokens)?;
     Parser {
         tokens,
         pos: 0,

@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 use sfq_cells::CellLibrary;
 use sfq_circuits::registry::{generate, Benchmark};
-use sfq_def::{parse_def, write_def};
+use sfq_def::{parse_def, parse_def_with_limits, write_def, DefLimits};
 
 /// KSA4's DEF, generated once (debug-mode generation is slow enough to
 /// dominate the proptest loop otherwise).
@@ -58,6 +58,20 @@ proptest! {
         // Truncate on a char boundary (DEF output is ASCII, so always is).
         let _ = parse_def(&full[..cut], CellLibrary::calibrated());
     }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // Raw byte strings reach the parser through lossy UTF-8 decoding —
+        // exactly what a CLI reading an arbitrary file does.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_def(&text, CellLibrary::calibrated());
+    }
+
+    #[test]
+    fn tight_limits_error_instead_of_panicking(cap in 0usize..64) {
+        let limits = DefLimits { max_bytes: usize::MAX, max_tokens: cap };
+        let _ = parse_def_with_limits(ksa4_def(), CellLibrary::calibrated(), limits);
+    }
 }
 
 #[test]
@@ -73,4 +87,39 @@ fn truncation_yields_errors_not_false_successes() {
             "cut at {cut} must not parse"
         );
     }
+}
+
+#[test]
+fn byte_limit_yields_positioned_error() {
+    let full = ksa4_def();
+    let limits = DefLimits {
+        max_bytes: 100,
+        max_tokens: usize::MAX,
+    };
+    let err = parse_def_with_limits(full, CellLibrary::calibrated(), limits)
+        .expect_err("oversized input must be rejected");
+    assert!(err.message().contains("byte"), "{err}");
+}
+
+#[test]
+fn token_limit_yields_positioned_error() {
+    let full = ksa4_def();
+    let limits = DefLimits {
+        max_bytes: usize::MAX,
+        max_tokens: 16,
+    };
+    let err = parse_def_with_limits(full, CellLibrary::calibrated(), limits)
+        .expect_err("token soup must be rejected");
+    assert!(err.message().contains("token limit"), "{err}");
+    assert!(err.line() >= 1 && err.column() >= 1);
+}
+
+#[test]
+fn unbounded_limits_match_parse_def() {
+    let full = ksa4_def();
+    let bounded = parse_def(full, CellLibrary::calibrated()).expect("valid DEF");
+    let unbounded = parse_def_with_limits(full, CellLibrary::calibrated(), DefLimits::unbounded())
+        .expect("valid DEF");
+    assert_eq!(bounded.num_cells(), unbounded.num_cells());
+    assert_eq!(bounded.num_nets(), unbounded.num_nets());
 }

@@ -91,7 +91,7 @@ pub fn sweep_dangling(netlist: &Netlist) -> (Netlist, usize) {
             net.driver.pin,
             &sinks,
         )
-        .expect("remapped pins stay valid");
+        .unwrap_or_else(|e| unreachable!("remapped pins stay valid: {e}"));
     }
     (out, removed)
 }

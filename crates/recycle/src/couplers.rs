@@ -109,20 +109,22 @@ pub fn insert_couplers(
                     None => direct_sinks.push((tx, 0)),
                     Some(prev_rx) => {
                         out.connect(format!("chain{coupler_id}_{hop}"), prev_rx, 0, &[(tx, 0)])
-                            .expect("rx pin 0 exists");
+                            .map_err(|source| RecycleError::Rewire { source })?;
                     }
                 }
                 upstream_rx = Some(rx);
                 plane += step;
                 pairs_inserted += 1;
             }
+            let last_rx =
+                upstream_rx.unwrap_or_else(|| unreachable!("distance >= 1 built a chain"));
             out.connect(
                 format!("final{coupler_id}"),
-                upstream_rx.expect("distance >= 1 built a chain"),
+                last_rx,
                 0,
                 &[(sink.cell, sink.pin)],
             )
-            .expect("sink pin unchanged");
+            .map_err(|source| RecycleError::Rewire { source })?;
             coupler_id += 1;
         }
         out.connect(
@@ -131,7 +133,7 @@ pub fn insert_couplers(
             driver.pin,
             &direct_sinks,
         )
-        .expect("copied pins stay valid");
+        .map_err(|source| RecycleError::Rewire { source })?;
     }
 
     debug_assert!(out.validate().is_ok());

@@ -85,7 +85,7 @@ pub fn insert_dummies(
     for (_, net) in netlist.nets() {
         let sinks: Vec<_> = net.sinks.iter().map(|s| (s.cell, s.pin)).collect();
         out.connect(net.name.clone(), net.driver.cell, net.driver.pin, &sinks)
-            .expect("copied pins stay valid");
+            .map_err(|source| RecycleError::Rewire { source })?;
     }
 
     let mut dummies_per_plane = vec![0usize; k];

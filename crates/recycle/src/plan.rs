@@ -48,6 +48,12 @@ pub enum RecycleError {
         /// 0-based plane index.
         plane: usize,
     },
+    /// Rewriting the netlist (coupler or dummy insertion) produced an
+    /// invalid connection.
+    Rewire {
+        /// The underlying netlist error.
+        source: sfq_netlist::NetlistError,
+    },
 }
 
 impl fmt::Display for RecycleError {
@@ -60,11 +66,21 @@ impl fmt::Display for RecycleError {
                     "plane {plane} received no gates; the serial chain degenerates"
                 )
             }
+            RecycleError::Rewire { source } => {
+                write!(f, "netlist rewrite failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for RecycleError {}
+impl std::error::Error for RecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecycleError::Rewire { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Per-plane slice of the plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

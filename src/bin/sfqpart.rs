@@ -5,6 +5,7 @@
 //! sfqpart stats    <file.def | CIRCUIT>          netlist statistics
 //! sfqpart partition <file.def | CIRCUIT> -k K    partition + metrics
 //!          [--solver repro|full|paper] [--seed N]
+//!          [--budget ITERS] [--deadline-ms MS]
 //! sfqpart plan     <file.def | CIRCUIT> [--limit MA]
 //!                                                min-K plan under a B_max cap
 //! sfqpart diagram  <file.def | CIRCUIT> -k K     Fig.1-style chip diagram
@@ -12,6 +13,12 @@
 //!
 //! Inputs ending in `.def` are parsed; anything else is looked up in the
 //! built-in benchmark registry (KSA4..C3540).
+//!
+//! Failures are classified, not dumped as usage text: a bad invocation
+//! prints the usage and exits 2, a bad input (malformed DEF, unknown
+//! circuit, unreadable file) prints the typed error — with line/column for
+//! DEF — and exits 3, and a solve-stage failure exits 4. One bad netlist in
+//! a batch sweep therefore fails that run alone, identifiably.
 
 use std::process::ExitCode;
 
@@ -20,19 +27,61 @@ use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::def::{parse_def, write_def};
 use current_recycling::netlist::Netlist;
 use current_recycling::partition::{
-    BiasLimitPlanner, PartitionMetrics, PartitionProblem, Solver, SolverOptions,
+    BiasLimitPlanner, PartitionMetrics, PartitionProblem, SolveError, Solver, SolverOptions,
 };
 use current_recycling::recycle::{render_chip_diagram, RecycleOptions, RecyclingPlan};
+
+/// Classified CLI failure; the variant decides the exit code and whether
+/// the usage text is shown.
+enum CliError {
+    /// The invocation itself is wrong (unknown command, bad flag value).
+    /// Prints the usage; exit code 2.
+    Usage(String),
+    /// The input is wrong (unreadable file, malformed DEF, unknown
+    /// circuit). Prints the typed error only; exit code 3.
+    Input(String),
+    /// The solve or planning stage failed. Exit code 4.
+    Solve(String),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    fn input(message: impl ToString) -> Self {
+        CliError::Input(message.to_string())
+    }
+}
+
+/// Maps solver errors onto the CLI taxonomy: a rejected problem is an input
+/// defect, everything else is a solve-stage failure.
+impl From<SolveError> for CliError {
+    fn from(e: SolveError) -> Self {
+        match e {
+            SolveError::InvalidProblem(_) => CliError::Input(e.to_string()),
+            _ => CliError::Solve(e.to_string()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Input(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Solve(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(4)
         }
     }
 }
@@ -40,14 +89,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sfqpart generate <CIRCUIT> [-o out.def]
   sfqpart stats <file.def | CIRCUIT>
-  sfqpart partition <file.def | CIRCUIT> -k K [--solver repro|full|paper] [--seed N] [-o labels.txt]
+  sfqpart partition <file.def | CIRCUIT> -k K [--solver repro|full|paper] [--seed N]
+           [--budget ITERS] [--deadline-ms MS] [-o labels.txt]
   sfqpart plan <file.def | CIRCUIT> [--limit MA]
   sfqpart diagram <file.def | CIRCUIT> -k K
-circuits: KSA4 KSA8 KSA16 KSA32 MULT4 MULT8 ID4 ID8 C432 C499 C1355 C1908 C3540";
+circuits: KSA4 KSA8 KSA16 KSA32 MULT4 MULT8 ID4 ID8 C432 C499 C1355 C1908 C3540
+exit codes: 2 usage error, 3 input error, 4 solve error";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
-    let command = it.next().ok_or("missing command")?;
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::usage("missing command"))?;
     let rest: Vec<&String> = it.collect();
     match command.as_str() {
         "generate" => cmd_generate(&rest),
@@ -59,7 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -71,60 +124,81 @@ fn flag_value<'a>(args: &'a [&String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn load(input: &str) -> Result<Netlist, String> {
+fn load(input: &str) -> Result<Netlist, CliError> {
     if input.ends_with(".def") {
-        let text =
-            std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
-        parse_def(&text, CellLibrary::calibrated()).map_err(|e| e.to_string())
+        let text = std::fs::read_to_string(input)
+            .map_err(|e| CliError::Input(format!("cannot read `{input}`: {e}")))?;
+        parse_def(&text, CellLibrary::calibrated()).map_err(CliError::input)
     } else {
-        let bench: Benchmark = input
-            .parse()
-            .map_err(|_| format!("`{input}` is neither a .def file nor a known circuit"))?;
+        let bench: Benchmark = input.parse().map_err(|_| {
+            CliError::Input(format!(
+                "`{input}` is neither a .def file nor a known circuit"
+            ))
+        })?;
         Ok(generate(bench))
     }
 }
 
-fn solver_from(args: &[&String]) -> Result<SolverOptions, String> {
+fn solver_from(args: &[&String]) -> Result<SolverOptions, CliError> {
     let mut options = match flag_value(args, "--solver").unwrap_or("full") {
         "repro" => SolverOptions::reproduction(),
         "full" => SolverOptions::tuned(4),
         "paper" => SolverOptions::paper_exact(),
-        other => return Err(format!("unknown solver `{other}` (repro|full|paper)")),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown solver `{other}` (repro|full|paper)"
+            )))
+        }
     };
     if let Some(seed) = flag_value(args, "--seed") {
-        options.seed = seed.parse().map_err(|_| format!("invalid seed `{seed}`"))?;
+        options.seed = seed
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid seed `{seed}`")))?;
+    }
+    if let Some(budget) = flag_value(args, "--budget") {
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid iteration budget `{budget}`")))?;
+        options.iteration_budget = Some(budget);
+    }
+    if let Some(deadline) = flag_value(args, "--deadline-ms") {
+        let deadline: u64 = deadline
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid deadline `{deadline}`")))?;
+        options.deadline_ms = Some(deadline);
     }
     Ok(options)
 }
 
-fn positional<'a>(args: &'a [&String]) -> Result<&'a str, String> {
+fn positional<'a>(args: &'a [&String]) -> Result<&'a str, CliError> {
     args.iter()
         .find(|a| !a.starts_with('-'))
         .map(|s| s.as_str())
-        .ok_or_else(|| "missing circuit or .def input".to_owned())
+        .ok_or_else(|| CliError::usage("missing circuit or .def input"))
 }
 
-fn k_from(args: &[&String]) -> Result<usize, String> {
-    let k = flag_value(args, "-k").ok_or("missing -k <planes>")?;
+fn k_from(args: &[&String]) -> Result<usize, CliError> {
+    let k = flag_value(args, "-k").ok_or_else(|| CliError::usage("missing -k <planes>"))?;
     let k: usize = k
         .parse()
-        .map_err(|_| format!("invalid plane count `{k}`"))?;
+        .map_err(|_| CliError::usage(format!("invalid plane count `{k}`")))?;
     if k < 2 {
-        return Err("need at least 2 planes".to_owned());
+        return Err(CliError::usage("need at least 2 planes"));
     }
     Ok(k)
 }
 
-fn cmd_generate(args: &[&String]) -> Result<(), String> {
+fn cmd_generate(args: &[&String]) -> Result<(), CliError> {
     let name = positional(args)?;
     let bench: Benchmark = name
         .parse()
-        .map_err(|_| format!("unknown circuit `{name}`"))?;
+        .map_err(|_| CliError::Input(format!("unknown circuit `{name}`")))?;
     let netlist = generate(bench);
     let def_text = write_def(&netlist);
     match flag_value(args, "-o") {
         Some(path) => {
-            std::fs::write(path, &def_text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            std::fs::write(path, &def_text)
+                .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
             eprintln!(
                 "wrote {} ({} gates, {} connections) to {path}",
                 bench.name(),
@@ -137,18 +211,18 @@ fn cmd_generate(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[&String]) -> Result<(), String> {
+fn cmd_stats(args: &[&String]) -> Result<(), CliError> {
     let netlist = load(positional(args)?)?;
     print!("{}", netlist.stats());
     Ok(())
 }
 
-fn cmd_partition(args: &[&String]) -> Result<(), String> {
+fn cmd_partition(args: &[&String]) -> Result<(), CliError> {
     let netlist = load(positional(args)?)?;
     let k = k_from(args)?;
     let options = solver_from(args)?;
-    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(|e| e.to_string())?;
-    let result = Solver::new(options).solve(&problem);
+    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(CliError::input)?;
+    let result = Solver::new(options).try_solve(&problem)?;
     let m = PartitionMetrics::evaluate(&problem, &result.partition);
     println!(
         "{}: G = {}, |E| = {}, K = {k}",
@@ -160,6 +234,12 @@ fn cmd_partition(args: &[&String]) -> Result<(), String> {
         "converged in {} iterations ({:?}), {} refinement moves",
         result.iterations, result.stop_reason, result.refine_moves
     );
+    if result.diverged_restarts > 0 {
+        eprintln!(
+            "warning: {} restart(s) diverged and were excluded",
+            result.diverged_restarts
+        );
+    }
     println!(
         "d<=1: {:.1}%   d<=2: {:.1}%   d<=floor(K/2): {:.1}%",
         100.0 * m.cumulative_fraction(1),
@@ -185,30 +265,33 @@ fn cmd_partition(args: &[&String]) -> Result<(), String> {
     if let Some(path) = flag_value(args, "-o") {
         let mut out = String::new();
         for gate in 0..problem.num_gates() {
-            let cell = problem.gate_cell(gate).expect("problem built from netlist");
+            let cell = problem
+                .gate_cell(gate)
+                .ok_or_else(|| CliError::Input("problem lost its netlist mapping".to_owned()))?;
             out.push_str(&format!(
                 "{} {}\n",
                 netlist.cell(cell).name,
                 result.partition.paper_label(gate)
             ));
         }
-        std::fs::write(path, out).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, out)
+            .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
         eprintln!("wrote gate-to-plane assignment to {path}");
     }
     Ok(())
 }
 
-fn cmd_plan(args: &[&String]) -> Result<(), String> {
+fn cmd_plan(args: &[&String]) -> Result<(), CliError> {
     let netlist = load(positional(args)?)?;
     let limit: f64 = flag_value(args, "--limit")
         .unwrap_or("100")
         .parse()
-        .map_err(|_| "invalid --limit")?;
-    let problem = PartitionProblem::from_netlist(&netlist, 2).map_err(|e| e.to_string())?;
+        .map_err(|_| CliError::usage("invalid --limit"))?;
+    let problem = PartitionProblem::from_netlist(&netlist, 2).map_err(CliError::input)?;
     let planner = BiasLimitPlanner::new(limit, SolverOptions::tuned(2)).with_galloping(true);
     let outcome = planner
         .plan(&problem)
-        .ok_or("no feasible plane count under this limit")?;
+        .ok_or_else(|| CliError::Solve("no feasible plane count under this limit".to_owned()))?;
     println!(
         "{}: B_cir = {:.2} mA, limit = {limit} mA",
         netlist.name(),
@@ -225,11 +308,11 @@ fn cmd_plan(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diagram(args: &[&String]) -> Result<(), String> {
+fn cmd_diagram(args: &[&String]) -> Result<(), CliError> {
     let netlist = load(positional(args)?)?;
     let k = k_from(args)?;
-    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(|e| e.to_string())?;
-    let result = Solver::new(SolverOptions::tuned(4)).solve(&problem);
+    let problem = PartitionProblem::from_netlist(&netlist, k).map_err(CliError::input)?;
+    let result = Solver::new(SolverOptions::tuned(4)).try_solve(&problem)?;
     let plan = RecyclingPlan::build(
         &problem,
         &result.partition,
@@ -238,7 +321,7 @@ fn cmd_diagram(args: &[&String]) -> Result<(), String> {
             ..RecycleOptions::default()
         },
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Solve(e.to_string()))?;
     println!("{}", render_chip_diagram(&plan));
     Ok(())
 }
