@@ -14,6 +14,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate failures, never abort the process on them;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use sfq_circuits::registry::{generate, Benchmark};
 use sfq_netlist::{Netlist, NetlistStats};
@@ -39,7 +42,8 @@ pub struct CircuitRun {
 pub fn load_circuit(bench: Benchmark, k: usize) -> CircuitRun {
     let netlist: Netlist = generate(bench);
     let stats = netlist.stats();
-    let problem = PartitionProblem::from_netlist(&netlist, k).expect("suite circuits are valid");
+    let problem = PartitionProblem::from_netlist(&netlist, k)
+        .unwrap_or_else(|e| unreachable!("suite circuits are valid by construction: {e}"));
     CircuitRun {
         bench,
         stats,

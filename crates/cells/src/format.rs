@@ -139,7 +139,9 @@ fn parse_cell(tokens: &[&str], line_no: usize) -> Result<CellSpec, ParseLibraryE
     let mut jj: Option<u32> = None;
     let mut bias: Option<f64> = None;
     let mut area: Option<f64> = None;
-    let body = &tokens[3..tokens.len() - 1];
+    // The braces checked above guarantee at least 4 tokens, so the range is
+    // always valid; `.get` keeps the parser panic-free anyway.
+    let body = tokens.get(3..tokens.len() - 1).unwrap_or(&[]);
     let mut it = body.iter();
     while let Some(&attr) = it.next() {
         let value = it

@@ -32,6 +32,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate failures, never abort the process on them;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod format;
 mod library;

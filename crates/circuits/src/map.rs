@@ -130,7 +130,10 @@ pub fn map_to_sfq(logic: &LogicNetwork, library: CellLibrary, options: &MapOptio
             continue;
         }
         entries.sort_unstable();
-        let max_tap = entries.last().expect("non-empty").0;
+        let max_tap = entries
+            .last()
+            .unwrap_or_else(|| unreachable!("emptiness checked above"))
+            .0;
         // rung[0] = the driver itself; rung[t] = t-th DFF.
         let mut rungs: Vec<u32> = Vec::with_capacity(max_tap + 1);
         rungs.push(driver as u32);
@@ -202,7 +205,7 @@ pub fn map_to_sfq(logic: &LogicNetwork, library: CellLibrary, options: &MapOptio
                     out_pin,
                     &[(ids[sink as usize], pin)],
                 )
-                .expect("mapping produces in-range pins");
+                .unwrap_or_else(|e| unreachable!("mapping produces in-range pins: {e}"));
             net_counter += 1;
         }
     }

@@ -83,7 +83,9 @@ pub fn array_multiplier(n: usize) -> LogicNetwork {
             let (s, c) = add3(&mut net, Some(pp[j][i]), acc[i], carry);
             carry = c;
             if i == 0 {
-                outputs.push(s.expect("pp bit present"));
+                outputs.push(
+                    s.unwrap_or_else(|| unreachable!("add3 with pp[j][i] present yields a sum")),
+                );
             } else {
                 next.push(s);
             }

@@ -48,7 +48,8 @@ pub fn ripple_carry_adder(n: usize) -> LogicNetwork {
     for (i, s) in sums.into_iter().enumerate() {
         net.output(format!("s{i}"), s);
     }
-    net.output("cout", carry.expect("n > 0"));
+    let carry = carry.unwrap_or_else(|| unreachable!("n > 0 asserted at entry"));
+    net.output("cout", carry);
     net
 }
 

@@ -167,9 +167,9 @@ pub fn generate_with_library(bench: Benchmark, library: CellLibrary) -> Netlist 
         Benchmark::Id4 => map(restoring_divider(4), library),
         Benchmark::Id8 => map(restoring_divider(8), library),
         synthetic => {
-            let (gates, connections) = synthetic
-                .synthetic_targets()
-                .expect("synthetic benchmarks carry targets");
+            let (gates, connections) = synthetic.synthetic_targets().unwrap_or_else(|| {
+                unreachable!("non-synthetic benchmarks are matched by the arms above")
+            });
             // Seed derived from the name (FNV-1a) so every circuit is
             // distinct but reproducible.
             let seed = synthetic

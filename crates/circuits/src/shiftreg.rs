@@ -40,13 +40,13 @@ pub fn shift_register(width: usize, depth: usize, library: CellLibrary) -> Netli
             let dff = netlist.add_cell(format!("r{lane}_{stage}"), CellKind::Dff);
             netlist
                 .connect(format!("n{lane}_{stage}"), prev, 0, &[(dff, 0)])
-                .expect("pins in range");
+                .unwrap_or_else(|e| unreachable!("pins in range by construction: {e}"));
             prev = dff;
         }
         let output = netlist.add_cell(format!("out{lane}"), CellKind::OutputPad);
         netlist
             .connect(format!("no{lane}"), prev, 0, &[(output, 0)])
-            .expect("pins in range");
+            .unwrap_or_else(|e| unreachable!("pins in range by construction: {e}"));
     }
     debug_assert!(netlist.validate().is_ok());
     netlist

@@ -160,7 +160,7 @@ pub fn synthetic_netlist(spec: &SyntheticSpec, library: CellLibrary) -> Netlist 
         let pad = netlist.add_cell(format!("in{s}"), CellKind::InputPad);
         netlist
             .connect(format!("pi{s}"), pad, 0, &[(ids[s], 0)])
-            .expect("source pin 0 exists");
+            .unwrap_or_else(|e| unreachable!("source pin 0 exists: {e}"));
     }
 
     // Recency-biased wiring: `open[j]` = (node, output pin) slots still free.
@@ -182,7 +182,7 @@ pub fn synthetic_netlist(spec: &SyntheticSpec, library: CellLibrary) -> Netlist 
                     pin,
                     &[(ids[i], next_in[i])],
                 )
-                .expect("pins tracked in range");
+                .unwrap_or_else(|e| unreachable!("pins tracked in range by `open`: {e}"));
             net_counter += 1;
             next_in[i] += 1;
         }
@@ -196,7 +196,7 @@ pub fn synthetic_netlist(spec: &SyntheticSpec, library: CellLibrary) -> Netlist 
         let pad = netlist.add_cell(format!("out{o}"), CellKind::OutputPad);
         netlist
             .connect(format!("po{o}"), ids[driver], pin, &[(pad, 0)])
-            .expect("pad pin 0 exists");
+            .unwrap_or_else(|e| unreachable!("pad pin 0 exists: {e}"));
     }
     debug_assert!(netlist.validate().is_ok());
     netlist

@@ -170,7 +170,8 @@ pub fn simulated_annealing(
             let gate = rng.random_range(0..g);
             let target = rng.random_range(0..k) as u32;
             let delta = state.move_gain(gate, target);
-            if delta == 0.0 {
+            // Exact: a bit-for-bit zero gain means the move is a no-op.
+            if crate::float::exactly(delta, 0.0) {
                 continue;
             }
             let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();

@@ -1,0 +1,79 @@
+//! Wall-clock solve budgets — the only module that reads the clock.
+//!
+//! Determinism rule D2 (enforced by `sfqlint`) confines every
+//! nondeterministic source — `Instant::now`, `SystemTime`, entropy — to this
+//! module. The rest of the solver handles time exclusively through the
+//! opaque [`Deadline`] type, so a reviewer can audit "what can make two runs
+//! differ" by reading this one file.
+//!
+//! A wall-clock deadline is *inherently* nondeterministic: a budgeted solve
+//! may truncate at a different iteration from run to run depending on
+//! machine load. What stays deterministic is everything else — the
+//! iterations that do complete are bit-identical, which is why clock reads
+//! must not leak into any arithmetic path.
+
+use std::time::{Duration, Instant};
+
+/// An optional wall-clock cutoff for a solve.
+///
+/// Constructed once per solve from
+/// [`SolverOptions::deadline_ms`](crate::SolverOptions::deadline_ms) and
+/// passed by value (it is `Copy`) into every restart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No cutoff: [`Deadline::expired`] is always `false`.
+    #[must_use]
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// A cutoff `ms` milliseconds from now, or [`Deadline::none`] for
+    /// `None`. `Some(0)` yields a deadline that is already due — useful for
+    /// probing the budget path deterministically.
+    #[must_use]
+    pub fn after_ms(ms: Option<u64>) -> Self {
+        Deadline(ms.map(|ms| Instant::now() + Duration::from_millis(ms)))
+    }
+
+    /// Whether the cutoff has passed. Unbounded deadlines never expire.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether this deadline has no cutoff at all.
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unbounded());
+        assert!(!d.expired());
+        assert!(Deadline::after_ms(None).is_unbounded());
+        assert!(Deadline::default().is_unbounded());
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_due() {
+        let d = Deadline::after_ms(Some(0));
+        assert!(!d.is_unbounded());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn generous_budget_is_not_yet_due() {
+        // 10 minutes: long enough that the test cannot flake on a loaded
+        // machine, short enough to construct instantly.
+        assert!(!Deadline::after_ms(Some(600_000)).expired());
+    }
+}

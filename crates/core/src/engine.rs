@@ -717,6 +717,40 @@ impl<'a> CostEngine<'a> {
     }
 }
 
+/// Maps `f` over `items` on scoped threads, one per item, collecting results
+/// in item order.
+///
+/// Thread-confinement rule D3 (enforced by `sfqlint`) restricts thread
+/// creation to this module so that chunking and fold order — the two things
+/// that can silently reorder float accumulation — are auditable in one
+/// place. Restart-level parallelism in the solver goes through this helper
+/// instead of opening its own scope. Results are joined in spawn order, so
+/// the output is positionally identical to a serial `items.iter().map(f)`.
+///
+/// Panics in a worker are re-raised on the calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| scope.spawn(move |_| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,78 @@
+//! Intent-revealing floating-point comparisons (lint rule F1).
+//!
+//! A raw `==`/`!=` against a float literal is banned by `sfqlint`'s F1 rule:
+//! at the call site a reader cannot tell a deliberate bit-exact sentinel
+//! check from a sloppy tolerance. These helpers spell the intent out.
+//!
+//! * [`exactly`] is a plain `==`. Use it where the compared value is a
+//!   sentinel *written by this codebase* (a learning rate initialised to
+//!   `0.0`, an integer-valued exponent stored in an `f64`) and introducing
+//!   any epsilon would change behavior.
+//! * [`approx_eq`] is an absolute-tolerance comparison for genuinely
+//!   computed quantities.
+
+/// Deliberate bit-exact float equality.
+///
+/// Semantically identical to `a == b`; the name exists so the exactness is
+/// visibly intentional. Reserve it for sentinel values this codebase stores
+/// itself — never for the result of arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::float::exactly;
+///
+/// assert!(exactly(4.0, 4.0));
+/// assert!(!exactly(4.0, 4.0 + f64::EPSILON * 4.0));
+/// ```
+#[inline]
+#[must_use]
+pub fn exactly(a: f64, b: f64) -> bool {
+    a == b
+}
+
+/// Absolute-tolerance comparison: `|a − b| ≤ tol`.
+///
+/// Returns `false` when either operand is NaN (any comparison with NaN is
+/// false), and `true` for equal infinities (their difference underflows the
+/// subtraction to NaN — guarded explicitly).
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::float::approx_eq;
+///
+/// assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+/// assert!(!approx_eq(1.0, 1.1, 1e-12));
+/// ```
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        // Covers equal infinities, where `a - b` would be NaN.
+        return true;
+    }
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_is_bit_exact() {
+        assert!(exactly(0.0, 0.0));
+        assert!(exactly(0.0, -0.0)); // IEEE: +0 == -0
+        assert!(!exactly(f64::NAN, f64::NAN));
+        assert!(!exactly(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn approx_eq_tolerance_edges() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1e300));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+        assert!(approx_eq(3.0, 3.0 + 5e-13, 1e-12));
+    }
+}

@@ -17,6 +17,10 @@
 //! compares kernel-based results against `powf`-based references must use a
 //! small tolerance rather than bit equality; `1e-12` relative is ample.
 
+// Exact: the exponent is a caller-supplied constant (`4.0`, `2.0`, …), not
+// a computed value; the dispatch must not fuzzy-match nearby exponents.
+use crate::float::exactly;
+
 /// `|x|^p`, specialized for integer exponents `1..=4`.
 ///
 /// # Example
@@ -32,14 +36,14 @@
 #[must_use]
 pub fn pow_abs(x: f64, p: f64) -> f64 {
     let d = x.abs();
-    if p == 4.0 {
+    if exactly(p, 4.0) {
         let d2 = d * d;
         d2 * d2
-    } else if p == 2.0 {
+    } else if exactly(p, 2.0) {
         d * d
-    } else if p == 3.0 {
+    } else if exactly(p, 3.0) {
         d * d * d
-    } else if p == 1.0 {
+    } else if exactly(p, 1.0) {
         d
     } else {
         d.powf(p)
@@ -64,13 +68,13 @@ pub fn pow_abs(x: f64, p: f64) -> f64 {
 #[must_use]
 pub fn pow_grad_abs(x: f64, p: f64) -> f64 {
     let d = x.abs();
-    if p == 4.0 {
+    if exactly(p, 4.0) {
         4.0 * (d * d) * d
-    } else if p == 2.0 {
+    } else if exactly(p, 2.0) {
         2.0 * d
-    } else if p == 3.0 {
+    } else if exactly(p, 3.0) {
         3.0 * d * d
-    } else if p == 1.0 {
+    } else if exactly(p, 1.0) {
         1.0
     } else {
         p * d.powf(p - 1.0)

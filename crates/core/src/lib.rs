@@ -59,9 +59,11 @@
 
 mod assign;
 pub mod baselines;
+pub mod budget;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod float;
 pub mod grad;
 pub mod kernel;
 pub mod limit;

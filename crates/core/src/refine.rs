@@ -115,8 +115,11 @@ pub fn refine_with_swaps(
         // connectivity mattered? Gates wishing to cross the same boundary
         // in opposite directions are swap partners.
         let f1_view = MoveState::new(problem, &current, connectivity_only, options.exponent);
-        let mut wishes: std::collections::HashMap<(u32, u32), Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: `pairs` below is built by iterating this
+        // map, and swap order decides which trades win — hash order would
+        // make the refined partition differ run to run (rule D1).
+        let mut wishes: std::collections::BTreeMap<(u32, u32), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for gate in 0..problem.num_gates() {
             if let Some((target, gain)) = f1_view.best_move(gate) {
                 if gain < -1e-15 {

@@ -49,16 +49,16 @@
 //! options and the problem up front and reports failures as
 //! [`SolveError`](crate::SolveError) values.
 
-use std::time::{Duration, Instant};
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::assign::Partition;
+use crate::budget::Deadline;
 use crate::cost::{CostBreakdown, CostModel, CostWeights};
 use crate::engine::{CostEngine, EngineOptions};
 use crate::error::SolveError;
+use crate::float;
 use crate::grad::{Gradient, GradientOptions};
 use crate::problem::PartitionProblem;
 use crate::refine::{discrete_cost, refine, RefineOptions};
@@ -430,9 +430,7 @@ impl Solver {
     /// Runs all restarts and selects the winner.
     fn run_restarts(&self, problem: &PartitionProblem) -> Result<SolveResult, SolveError> {
         let opts = &self.options;
-        let deadline = opts
-            .deadline_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let deadline = Deadline::after_ms(opts.deadline_ms);
 
         // Pre-allocate the iteration budget to restarts in index order.
         // This is what keeps budgets deterministic: restart r's cap depends
@@ -460,20 +458,11 @@ impl Solver {
             .collect();
 
         let runs: Vec<SolveResult> = if opts.parallel && planned.len() > 1 {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = planned
-                    .iter()
-                    .map(|&(r, cap)| scope.spawn(move |_| self.run_once(problem, r, cap, deadline)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(run) => run,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    })
-                    .collect()
+            // Thread creation is confined to the engine (rule D3); results
+            // come back in restart order, matching the serial branch.
+            crate::engine::parallel_map(&planned, |&(r, cap)| {
+                self.run_once(problem, r, cap, deadline)
             })
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
         } else {
             planned
                 .iter()
@@ -519,7 +508,7 @@ impl Solver {
         problem: &PartitionProblem,
         restart: usize,
         iter_cap: usize,
-        deadline: Option<Instant>,
+        deadline: Deadline,
     ) -> SolveResult {
         let opts = &self.options;
         let g = problem.num_gates();
@@ -578,7 +567,7 @@ impl Solver {
         let mut iterations = 0usize;
 
         for iter in 0..iter_cap {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.expired() {
                 stop_reason = StopReason::BudgetExhausted;
                 break;
             }
@@ -648,7 +637,8 @@ impl Solver {
             }
 
             // Derive / adapt the learning rate.
-            if learning_rate == 0.0 {
+            // Exact: 0.0 is this loop's own "not yet derived" sentinel.
+            if float::exactly(learning_rate, 0.0) {
                 let max_component = step.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
                 if max_component <= 0.0 {
                     stop_reason = StopReason::StepVanished;

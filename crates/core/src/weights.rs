@@ -88,7 +88,8 @@ impl WeightMatrix {
     ) -> Self {
         assert!(spread >= 0.0, "spread must be non-negative");
         let mut m = WeightMatrix::random(num_gates, num_planes, rng);
-        if spread == 0.0 {
+        // Exact: `0.0` is the documented "plain random init" sentinel.
+        if crate::float::exactly(spread, 0.0) {
             return m;
         }
         #[allow(clippy::needless_range_loop)] // parallel-array indexing

@@ -134,6 +134,6 @@ fn iteration_budget_spans_restarts_in_index_order() {
             assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
             assert_eq!(result.iterations, 7);
         }
-        _ => unreachable!(),
+        _ => unreachable!("best_restart < 2 asserted above"),
     }
 }

@@ -1,0 +1,437 @@
+//! `lint.toml` — scoping and allowlist configuration for `sfqlint`.
+//!
+//! The file is parsed by a deliberately small TOML-subset reader (tables,
+//! array-of-tables, string/bool/integer values, single-line string arrays)
+//! so the tool stays dependency-free. Every allowlist entry must carry a
+//! non-empty `reason`: suppressions without a written justification are a
+//! configuration error, which is what turns the allowlist into reviewable
+//! documentation instead of a mute button.
+
+use std::fmt;
+
+/// All rule identifiers, in report order.
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "P1", "U1"];
+
+/// One `[[allow]]` entry: suppress findings of `rule` in `path`, optionally
+/// narrowed to a line and/or a message substring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule identifier (`D1`…`U1`).
+    pub rule: String,
+    /// Repo-relative path (forward slashes) the suppression applies to.
+    pub path: String,
+    /// Mandatory human-readable justification.
+    pub reason: String,
+    /// When set, only findings on this 1-based line are suppressed.
+    pub line: Option<u32>,
+    /// When set, only findings whose message contains this substring are
+    /// suppressed.
+    pub contains: Option<String>,
+}
+
+/// Parsed configuration with built-in defaults for anything unspecified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (repo-relative) walked in `--workspace` mode.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the walk (fixtures, vendored code).
+    pub exclude: Vec<String>,
+    /// Crates whose sources rule D1 (no order-nondeterministic containers)
+    /// applies to.
+    pub d1_crates: Vec<String>,
+    /// Files allowed to read wall clocks / entropy (rule D2).
+    pub d2_allowed_files: Vec<String>,
+    /// Files allowed to create threads (rule D3).
+    pub d3_allowed_files: Vec<String>,
+    /// Crates whose library code rule P1 (no panicking ops) applies to.
+    pub p1_crates: Vec<String>,
+    /// Allowlist entries.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec![
+                "crates".into(),
+                "src".into(),
+                "examples".into(),
+                "tests".into(),
+            ],
+            exclude: vec![
+                "crates/lint/tests/fixtures".into(),
+                "vendor".into(),
+                "target".into(),
+            ],
+            d1_crates: vec!["core".into(), "recycle".into(), "sim".into()],
+            d2_allowed_files: vec!["crates/core/src/budget.rs".into()],
+            d3_allowed_files: vec!["crates/core/src/engine.rs".into()],
+            p1_crates: vec![
+                "cells".into(),
+                "circuits".into(),
+                "sim".into(),
+                "report".into(),
+                "bench".into(),
+            ],
+            allows: Vec::new(),
+        }
+    }
+}
+
+/// Error produced while parsing or validating `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file (0 = file-level).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed TOML value from the supported subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+impl Config {
+    /// Parses `lint.toml` text into a [`Config`], starting from the
+    /// defaults and overriding whatever the file specifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`ConfigError`] on syntax the subset does not
+    /// support, unknown rules/keys in `[[allow]]`, or allow entries missing
+    /// a `reason`.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut pending_allow: Option<(AllowEntry, u32)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                finish_allow(&mut cfg, &mut pending_allow)?;
+                let header = header.trim();
+                if header != "allow" {
+                    return Err(err(lineno, format!("unknown array-of-tables `{header}`")));
+                }
+                section = "allow".into();
+                pending_allow = Some((
+                    AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        reason: String::new(),
+                        line: None,
+                        contains: None,
+                    },
+                    lineno,
+                ));
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                finish_allow(&mut cfg, &mut pending_allow)?;
+                section = header.trim().to_owned();
+                continue;
+            }
+            let (key, value) = parse_assignment(&line, lineno)?;
+            apply_key(&mut cfg, &mut pending_allow, &section, &key, value, lineno)?;
+        }
+        finish_allow(&mut cfg, &mut pending_allow)?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        for entry in &self.allows {
+            if !RULE_IDS.contains(&entry.rule.as_str()) {
+                return Err(err(
+                    0,
+                    format!("[[allow]] has unknown rule `{}`", entry.rule),
+                ));
+            }
+            if entry.path.is_empty() {
+                return Err(err(0, "[[allow]] entry is missing `path`"));
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(err(
+                    0,
+                    format!(
+                        "[[allow]] entry for {} at `{}` has no `reason` — every \
+                         suppression must carry a written justification",
+                        entry.rule, entry.path
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn finish_allow(
+    cfg: &mut Config,
+    pending: &mut Option<(AllowEntry, u32)>,
+) -> Result<(), ConfigError> {
+    if let Some((entry, lineno)) = pending.take() {
+        if entry.rule.is_empty() {
+            return Err(err(lineno, "[[allow]] entry is missing `rule`"));
+        }
+        cfg.allows.push(entry);
+    }
+    Ok(())
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_assignment(line: &str, lineno: u32) -> Result<(String, Value), ConfigError> {
+    let Some(eq) = line.find('=') else {
+        return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+    };
+    let key = line.get(..eq).unwrap_or("").trim().to_owned();
+    let raw = line.get(eq + 1..).unwrap_or("").trim();
+    if key.is_empty() {
+        return Err(err(lineno, "empty key"));
+    }
+    Ok((key, parse_value(raw, lineno)?))
+}
+
+fn parse_value(raw: &str, lineno: u32) -> Result<Value, ConfigError> {
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(err(lineno, format!("unterminated string `{raw}`")));
+        };
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(lineno, "only string arrays are supported")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    raw.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(lineno, format!("unsupported value `{raw}`")))
+}
+
+/// Splits an array body at commas outside quotes.
+fn split_array(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn expect_str(value: Value, key: &str, lineno: u32) -> Result<String, ConfigError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        _ => Err(err(lineno, format!("`{key}` must be a string"))),
+    }
+}
+
+fn expect_str_array(value: Value, key: &str, lineno: u32) -> Result<Vec<String>, ConfigError> {
+    match value {
+        Value::StrArray(v) => Ok(v),
+        _ => Err(err(lineno, format!("`{key}` must be an array of strings"))),
+    }
+}
+
+fn apply_key(
+    cfg: &mut Config,
+    pending_allow: &mut Option<(AllowEntry, u32)>,
+    section: &str,
+    key: &str,
+    value: Value,
+    lineno: u32,
+) -> Result<(), ConfigError> {
+    match section {
+        "allow" => {
+            let Some((entry, _)) = pending_allow.as_mut() else {
+                return Err(err(lineno, "key outside any [[allow]] entry"));
+            };
+            match key {
+                "rule" => entry.rule = expect_str(value, key, lineno)?,
+                "path" => entry.path = expect_str(value, key, lineno)?,
+                "reason" => entry.reason = expect_str(value, key, lineno)?,
+                "contains" => entry.contains = Some(expect_str(value, key, lineno)?),
+                "line" => match value {
+                    Value::Int(n) if n > 0 => entry.line = Some(n as u32),
+                    _ => return Err(err(lineno, "`line` must be a positive integer")),
+                },
+                other => {
+                    return Err(err(lineno, format!("unknown [[allow]] key `{other}`")));
+                }
+            }
+        }
+        "workspace" => match key {
+            "roots" => cfg.roots = expect_str_array(value, key, lineno)?,
+            "exclude" => cfg.exclude = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [workspace] key `{other}`"))),
+        },
+        "rules.D1" => match key {
+            "crates" => cfg.d1_crates = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.D1] key `{other}`"))),
+        },
+        "rules.D2" => match key {
+            "allowed_files" => cfg.d2_allowed_files = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.D2] key `{other}`"))),
+        },
+        "rules.D3" => match key {
+            "allowed_files" => cfg.d3_allowed_files = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.D3] key `{other}`"))),
+        },
+        "rules.P1" => match key {
+            "crates" => cfg.p1_crates = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.P1] key `{other}`"))),
+        },
+        other => {
+            return Err(err(
+                lineno,
+                format!("unknown section `[{other}]` (key `{key}`)"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_through_empty_config() {
+        assert_eq!(Config::parse("").unwrap(), Config::default());
+    }
+
+    #[test]
+    fn parses_scopes_and_allows() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[workspace]
+roots = ["crates", "src"]
+
+[rules.D1]
+crates = ["core"]
+
+[[allow]]
+rule = "P1"
+path = "crates/sim/src/lib.rs"
+reason = "dense index arithmetic"
+contains = "indexing"
+
+[[allow]]
+rule = "F1"
+path = "crates/core/src/kernel.rs"
+line = 35
+reason = "exact dispatch"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert_eq!(cfg.d1_crates, vec!["core"]);
+        assert_eq!(cfg.allows.len(), 2);
+        assert_eq!(cfg.allows[0].contains.as_deref(), Some("indexing"));
+        assert_eq!(cfg.allows[1].line, Some(35));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let e = Config::parse("[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(e.message.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_rejected() {
+        let e = Config::parse("[[allow]]\nrule = \"Z9\"\npath = \"x.rs\"\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(e.message.contains("unknown rule"), "{e}");
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"U1\"\npath = \"a.rs\"\nreason = \"see issue #42\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows[0].reason, "see issue #42");
+    }
+}

@@ -1,0 +1,47 @@
+//! `sfqlint` — in-repo static analysis for the current-recycling workspace.
+//!
+//! The reproduction's central guarantee is *bit-identical partitions across
+//! every backend combination* ({fused, reference} × {serial,
+//! intra-parallel}). That guarantee is runtime behavior, but it is protected
+//! by structural invariants that plain `rustc`/`clippy` cannot express:
+//! nothing may iterate an order-nondeterministic container in a numeric
+//! crate, read a wall clock outside the budget module, or create a thread
+//! outside the fused engine. `sfqlint` encodes those invariants as
+//! token-level rules (see [`rules`]) and runs as a CI gate.
+//!
+//! The tool is dependency-free by design — the workspace vendors offline
+//! stub crates, so an AST-level framework (`syn`, `dylint`) is unavailable;
+//! a hand-rolled lexer ([`lexer`]) over raw token streams is both
+//! sufficient for these rules and immune to dependency drift.
+//!
+//! # Library use
+//!
+//! ```
+//! use sfqlint::{check_file, Config, FileTarget};
+//!
+//! let cfg = Config::default();
+//! let diags = check_file(
+//!     &FileTarget {
+//!         path: "crates/core/src/example.rs",
+//!         src: "use std::collections::HashMap;",
+//!         explicit: false,
+//!     },
+//!     &cfg,
+//! );
+//! assert_eq!(diags[0].rule, "D1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::{AllowEntry, Config, ConfigError};
+pub use diag::{apply_allowlist, render_json, Diagnostic};
+pub use rules::{check_file, classify, crate_of, FileClass, FileTarget};
+pub use walk::collect_workspace_files;

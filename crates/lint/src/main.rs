@@ -1,0 +1,173 @@
+//! `sfqlint` CLI.
+//!
+//! ```text
+//! sfqlint --workspace [--root DIR] [--config lint.toml] [--format text|json]
+//! sfqlint [--config lint.toml] [--format …] FILE…
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage error, `3` I/O or
+//! configuration error. Explicitly named files are linted with every rule
+//! active (crate/class scoping bypassed) — that is how the rule fixtures
+//! under `crates/lint/tests/fixtures/` are exercised.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sfqlint::{apply_allowlist, check_file, render_json, Config, Diagnostic, FileTarget};
+
+const USAGE: &str = "usage: sfqlint [--workspace] [--root DIR] [--config FILE] \
+                     [--format text|json] [FILE...]";
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Text,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".into());
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<Config, String> {
+    let path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        // No lint.toml: built-in defaults. An explicitly named --config
+        // must exist, though.
+        Err(_) if args.config.is_none() => Ok(Config::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn lint_one(
+    path_for_rules: &str,
+    disk_path: &Path,
+    explicit: bool,
+    cfg: &Config,
+) -> Result<Vec<Diagnostic>, String> {
+    let src = fs::read_to_string(disk_path)
+        .map_err(|e| format!("cannot read {}: {e}", disk_path.display()))?;
+    Ok(check_file(
+        &FileTarget {
+            path: path_for_rules,
+            src: &src,
+            explicit,
+        },
+        cfg,
+    ))
+}
+
+fn run() -> Result<ExitCode, (u8, String)> {
+    let args = parse_args().map_err(|msg| {
+        let text = if msg.is_empty() {
+            USAGE.to_owned()
+        } else {
+            format!("{msg}\n{USAGE}")
+        };
+        (2, text)
+    })?;
+    let cfg = load_config(&args).map_err(|e| (3, e))?;
+
+    let mut diags = Vec::new();
+    if args.workspace {
+        let files =
+            sfqlint::collect_workspace_files(&args.root, &cfg).map_err(|e| (3, e.to_string()))?;
+        for rel in &files {
+            let disk = args.root.join(rel);
+            diags.extend(lint_one(rel, &disk, false, &cfg).map_err(|e| (3, e))?);
+        }
+    }
+    for file in &args.files {
+        let rel = file.replace('\\', "/");
+        diags.extend(lint_one(&rel, Path::new(file), true, &cfg).map_err(|e| (3, e))?);
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let (kept, suppressed, unused) = apply_allowlist(diags, &cfg);
+
+    match args.format {
+        Format::Json => println!("{}", render_json(&kept, suppressed.len(), &unused)),
+        Format::Text => {
+            for d in &kept {
+                println!("{}", d.render_text());
+            }
+            for entry in &unused {
+                eprintln!(
+                    "note: unused allowlist entry {} at `{}` — remove it from lint.toml",
+                    entry.rule, entry.path
+                );
+            }
+            if kept.is_empty() {
+                eprintln!(
+                    "sfqlint: clean ({} finding(s) suppressed by lint.toml)",
+                    suppressed.len()
+                );
+            } else {
+                eprintln!(
+                    "sfqlint: {} finding(s), {} suppressed",
+                    kept.len(),
+                    suppressed.len()
+                );
+            }
+        }
+    }
+    Ok(if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err((code, message)) => {
+            eprintln!("{message}");
+            ExitCode::from(code)
+        }
+    }
+}

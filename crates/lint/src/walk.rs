@@ -1,0 +1,60 @@
+//! Deterministic workspace traversal.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Collects every `.rs` file under the configured roots, repo-relative with
+/// forward slashes, sorted so runs are byte-identical across filesystems.
+pub fn collect_workspace_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for dir in &cfg.roots {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            walk_dir(&abs, root, cfg, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = relative_slash(&path, root);
+        if is_excluded(&rel, cfg) {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(&path, root, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Path relative to `root`, with `/` separators on every platform.
+pub fn relative_slash(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+fn is_excluded(rel: &str, cfg: &Config) -> bool {
+    cfg.exclude
+        .iter()
+        .any(|ex| rel == ex || rel.starts_with(&format!("{ex}/")))
+}

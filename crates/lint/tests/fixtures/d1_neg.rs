@@ -1,0 +1,10 @@
+// sfqlint fixture: rule D1 negative — ordered container instead.
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,10 @@
+// sfqlint fixture: rule D1 positive — HashMap in a numeric crate.
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,5 @@
+// sfqlint fixture: rule D2 negative — time is a caller-supplied tick count.
+
+pub fn stamp_ms(ticks: u64) -> u128 {
+    u128::from(ticks) * 10
+}

@@ -1,0 +1,6 @@
+// sfqlint fixture: rule D2 positive — reads the wall clock.
+
+pub fn stamp_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}

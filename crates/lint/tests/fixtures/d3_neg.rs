@@ -1,0 +1,5 @@
+// sfqlint fixture: rule D3 negative — serial fold, no threads.
+
+pub fn fanout(xs: &[i64]) -> i64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,6 @@
+// sfqlint fixture: rule D3 positive — raw thread creation.
+
+pub fn fanout() {
+    let h = std::thread::spawn(|| 2 + 2);
+    h.join().ok();
+}

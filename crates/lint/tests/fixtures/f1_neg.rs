@@ -1,0 +1,5 @@
+// sfqlint fixture: rule F1 negative — tolerance spelled out explicitly.
+
+pub fn is_unit(x: f64) -> bool {
+    (x - 1.0).abs() <= 1e-12
+}

@@ -1,0 +1,5 @@
+// sfqlint fixture: rule F1 positive — raw float equality.
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

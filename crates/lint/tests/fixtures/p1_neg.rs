@@ -1,0 +1,9 @@
+// sfqlint fixture: rule P1 negative — panic-free equivalents.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn forced(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

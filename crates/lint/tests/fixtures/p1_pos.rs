@@ -1,0 +1,9 @@
+// sfqlint fixture: rule P1 positive — panicking operations in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn forced(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,14 @@
+// sfqlint fixture: rule U1 negative — both sites carry their invariant.
+
+pub fn head(xs: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `xs` is non-empty, so reading one byte
+    // through the data pointer stays in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn one(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!("callers only pass 0"),
+    }
+}

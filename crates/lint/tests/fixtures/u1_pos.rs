@@ -1,0 +1,12 @@
+// sfqlint fixture: rule U1 positive — unjustified unsafe and unreachable.
+
+pub fn head(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn one(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

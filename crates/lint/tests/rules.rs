@@ -1,0 +1,210 @@
+//! Fixture-based self-tests: every rule has a positive fixture that fires
+//! at a known line/col and a negative fixture that stays clean, plus
+//! end-to-end CLI checks (exit codes, JSON output, the repo gate itself).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sfqlint::{apply_allowlist, check_file, AllowEntry, Config, Diagnostic, FileTarget};
+
+const POSITIVES: [&str; 6] = [
+    "d1_pos.rs",
+    "d2_pos.rs",
+    "d3_pos.rs",
+    "f1_pos.rs",
+    "p1_pos.rs",
+    "u1_pos.rs",
+];
+const NEGATIVES: [&str; 6] = [
+    "d1_neg.rs",
+    "d2_neg.rs",
+    "d3_neg.rs",
+    "f1_neg.rs",
+    "p1_neg.rs",
+    "u1_neg.rs",
+];
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints a fixture the way the CLI does for explicitly named files: all
+/// rules active, crate/class scoping bypassed.
+fn lint_fixture(name: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let src = std::fs::read_to_string(fixture_path(name)).unwrap();
+    let mut diags = check_file(
+        &FileTarget {
+            path: &format!("crates/lint/tests/fixtures/{name}"),
+            src: &src,
+            explicit: true,
+        },
+        cfg,
+    );
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}
+
+#[test]
+fn positive_fixtures_fire_at_expected_positions() {
+    let cfg = Config::default();
+    let expected = [
+        ("d1_pos.rs", "D1", 2, 23),
+        ("d2_pos.rs", "D2", 4, 25),
+        ("d3_pos.rs", "D3", 4, 18),
+        ("f1_pos.rs", "F1", 4, 7),
+        ("p1_pos.rs", "P1", 4, 7),
+        ("u1_pos.rs", "U1", 4, 5),
+    ];
+    for (name, rule, line, col) in expected {
+        let diags = lint_fixture(name, &cfg);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("{name}: no {rule} finding in {diags:?}"));
+        assert_eq!((hit.line, hit.col), (line, col), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn negative_fixtures_are_clean_under_every_rule() {
+    let cfg = Config::default();
+    for name in NEGATIVES {
+        let diags = lint_fixture(name, &cfg);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn p1_fixture_reports_both_indexing_and_unwrap() {
+    let diags = lint_fixture("p1_pos.rs", &Config::default());
+    let p1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "P1").collect();
+    assert_eq!(p1.len(), 2, "{diags:?}");
+    assert!(p1[0].message.contains("indexing"), "{:?}", p1[0]);
+    assert!(p1[1].message.contains("unwrap"), "{:?}", p1[1]);
+}
+
+#[test]
+fn u1_fixture_reports_both_unsafe_and_unreachable() {
+    let diags = lint_fixture("u1_pos.rs", &Config::default());
+    let u1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "U1").collect();
+    assert_eq!(u1.len(), 2, "{diags:?}");
+    assert!(u1[0].message.contains("SAFETY"), "{:?}", u1[0]);
+    assert!(u1[1].message.contains("unreachable"), "{:?}", u1[1]);
+}
+
+/// An allow entry narrowed with `contains` suppresses its target finding
+/// and nothing else; an entry that matches nothing is reported as unused.
+#[test]
+fn allowlist_suppresses_exactly_its_target() {
+    let fixture = "crates/lint/tests/fixtures/p1_pos.rs";
+    let mut cfg = Config::default();
+    cfg.allows.push(AllowEntry {
+        rule: "P1".into(),
+        path: fixture.into(),
+        reason: "fixture: structural bound".into(),
+        line: None,
+        contains: Some("indexing".into()),
+    });
+    cfg.allows.push(AllowEntry {
+        rule: "U1".into(),
+        path: "crates/never/src/lib.rs".into(),
+        reason: "fixture: never matches".into(),
+        line: None,
+        contains: None,
+    });
+
+    let diags = lint_fixture("p1_pos.rs", &cfg);
+    let (kept, suppressed, unused) = apply_allowlist(diags, &cfg);
+
+    assert_eq!(suppressed.len(), 1, "{suppressed:?}");
+    assert!(suppressed[0].message.contains("indexing"));
+    assert_eq!(kept.len(), 1, "{kept:?}");
+    assert!(kept[0].message.contains("unwrap"));
+    assert_eq!(unused.len(), 1, "{unused:?}");
+    assert_eq!(unused[0].rule, "U1");
+}
+
+fn sfqlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfqlint"))
+}
+
+#[test]
+fn cli_exits_one_on_every_positive_fixture() {
+    for name in POSITIVES {
+        let out = sfqlint().arg(fixture_path(name)).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        let rule = name[..2].to_uppercase();
+        assert!(text.contains(&format!("[{rule}]")), "{name}: {text}");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_every_negative_fixture() {
+    for name in NEGATIVES {
+        let out = sfqlint().arg(fixture_path(name)).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+/// The repo itself is the biggest negative fixture: `--workspace` with the
+/// checked-in `lint.toml` must be clean — this is exactly what CI runs.
+#[test]
+fn cli_workspace_gate_is_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = sfqlint()
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(&repo_root)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+    // Stale allowlist entries would be reported here — keep lint.toml tight.
+    assert!(stdout.contains("\"unused_allows\":[]"), "{stdout}");
+}
+
+#[test]
+fn cli_json_output_carries_positions() {
+    let out = sfqlint()
+        .args(["--format", "json"])
+        .arg(fixture_path("f1_pos.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\":\"F1\""), "{json}");
+    assert!(json.contains("\"line\":4"), "{json}");
+    assert!(json.contains("\"col\":7"), "{json}");
+    assert!(json.contains("\"total\":1"), "{json}");
+}
+
+#[test]
+fn cli_usage_errors_exit_two() {
+    let out = sfqlint().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = sfqlint().arg("--format=yaml").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_missing_named_config_exits_three() {
+    let out = sfqlint()
+        .args(["--config", "does-not-exist.toml"])
+        .arg(fixture_path("d1_neg.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}

@@ -223,8 +223,8 @@ mod tests {
         let placement = place_in_strips(&p, &part, &PlacementOptions::default()).unwrap();
         // Group by (plane,row) and check x-intervals are disjoint.
         let width = 4_800.0 / PlacementOptions::default().row_height_um;
-        let mut by_row: std::collections::HashMap<(usize, i64), Vec<f64>> =
-            std::collections::HashMap::new();
+        let mut by_row: std::collections::BTreeMap<(usize, i64), Vec<f64>> =
+            std::collections::BTreeMap::new();
         for (i, &(x, y)) in placement.positions().iter().enumerate() {
             by_row
                 .entry((part.plane_of(i), (y / 40.0) as i64))
@@ -277,7 +277,7 @@ mod tests {
         let p = PartitionProblem::new(vec![1.0; n as usize], vec![4_800.0; n as usize], edges, 2)
             .unwrap();
         // Both gates of a pair in the same plane: plane by chain half.
-        let labels: Vec<u32> = (0..n).map(|g| (pos[g as usize] / 30) as u32).collect();
+        let labels: Vec<u32> = (0..n).map(|g| pos[g as usize] / 30).collect();
         let part = Partition::from_labels(labels, 2).unwrap();
 
         let mut opts = PlacementOptions::default();

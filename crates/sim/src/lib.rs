@@ -39,8 +39,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must propagate failures, never abort the process on them;
+// tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use sfq_cells::CellKind;
@@ -83,7 +86,9 @@ impl std::error::Error for SimError {}
 /// Output pulses of one clock tick.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TickOutput {
-    pulses: HashMap<String, bool>,
+    // BTreeMap so `iter()` yields pads in name order — fault-report diffs
+    // and golden outputs must not depend on hash order (rule D1).
+    pulses: BTreeMap<String, bool>,
 }
 
 impl TickOutput {
@@ -99,7 +104,7 @@ impl TickOutput {
             .unwrap_or_else(|| panic!("`{name}` is not an output pad"))
     }
 
-    /// All `(output name, pulse)` pairs, unordered.
+    /// All `(output name, pulse)` pairs, sorted by pad name.
     pub fn iter(&self) -> impl Iterator<Item = (&str, bool)> {
         self.pulses.iter().map(|(k, &v)| (k.as_str(), v))
     }
@@ -348,7 +353,9 @@ impl Simulator {
                         .output_pads
                         .iter()
                         .position(|&o| o == dst.cell)
-                        .expect("pad registered");
+                        .unwrap_or_else(|| {
+                            unreachable!("output pad {:?} registered at build time", dst.cell)
+                        });
                     self.output_pulses[slot] = true;
                 }
                 CellKind::InputPad => {
