@@ -1,0 +1,189 @@
+//! Observer-overhead snapshot: A/B-times representative solves with the
+//! observer hooks disabled (plain `solve`, `NoopObserver` path) against the
+//! same solves with production sinks attached, and writes the numbers to
+//! `BENCH_2.json` in the working directory.
+//!
+//! The telemetry layer's performance contract is that the *disabled* path
+//! is free: `NoopObserver` has `ENABLED = false`, so every hook body and
+//! every telemetry-only computation (clip counting, pre-refine discrete
+//! cost) monomorphizes away and the observed solve compiles to the
+//! unobserved one. The `noop_overhead_pct` column is the proof — the
+//! acceptance gate is ≤ 1%, i.e. within timing noise. The collector and
+//! metrics columns quantify what *enabling* telemetry costs, for users
+//! deciding whether to trace production sweeps.
+//!
+//! Workloads mirror `perfsnap` (BENCH_1): the Kogge–Stone adder at the
+//! table's `K = 5` and the largest ISCAS row (C1908) at a deep `K = 30`
+//! split. Usage:
+//!
+//! ```text
+//! cargo run --release -p sfq-bench --bin perfsnap_observer
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::telemetry::{SolveMetrics, TraceCollector};
+use sfq_partition::{PartitionProblem, Solver, SolverOptions};
+
+/// One timed workload: a circuit, a plane count, and repetitions.
+struct Workload {
+    bench: Benchmark,
+    planes: usize,
+    reps: usize,
+}
+
+fn options() -> SolverOptions {
+    SolverOptions {
+        restarts: 1,
+        parallel: false,
+        ..SolverOptions::default()
+    }
+}
+
+/// Times one run of `solve_once` in seconds.
+fn time_once<F: FnMut()>(solve_once: &mut F) -> f64 {
+    let start = Instant::now();
+    solve_once();
+    start.elapsed().as_secs_f64()
+}
+
+/// Best (minimum) wall-clock seconds per variant over `reps` *interleaved*
+/// rounds: every round times each variant once, A B C D, A B C D, …
+///
+/// The minimum is the noise-robust estimator for CPU-bound work (external
+/// interference only ever adds time), and interleaving matters for an A/B
+/// overhead claim: clock-frequency drift or thermal throttling midway
+/// through the run hits all variants alike instead of biasing whichever
+/// happened to be measured last.
+fn best_interleaved<const N: usize>(reps: usize, variants: &mut [&mut dyn FnMut(); N]) -> [f64; N] {
+    for v in variants.iter_mut() {
+        v(); // warm-up
+    }
+    let mut best = [f64::INFINITY; N];
+    for _ in 0..reps {
+        for (b, v) in best.iter_mut().zip(variants.iter_mut()) {
+            *b = b.min(time_once(v));
+        }
+    }
+    best
+}
+
+fn main() {
+    let workloads = [
+        Workload {
+            bench: Benchmark::Ksa16,
+            planes: 5,
+            reps: 15,
+        },
+        Workload {
+            bench: Benchmark::C1908,
+            planes: 30,
+            reps: 7,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        let netlist = generate(workload.bench);
+        let problem =
+            PartitionProblem::from_netlist(&netlist, workload.planes).expect("valid problem");
+        let name = workload.bench.name();
+        eprintln!(
+            "timing {name} @ K={} ({} gates, {} edges)…",
+            workload.planes,
+            problem.num_gates(),
+            problem.num_edges()
+        );
+
+        // A: detached — the production default, no observer in sight.
+        let mut detached = || {
+            std::hint::black_box(Solver::new(options()).solve(&problem));
+        };
+        // B: observed with the no-op observer via the generic entry point.
+        // ENABLED = false must make this indistinguishable from A.
+        let mut noop = || {
+            let mut observer = sfq_partition::NoopObserver;
+            std::hint::black_box(Solver::new(options()).solve_observed(&problem, &mut observer));
+        };
+        // C/D: the two production sinks, enabled — the real cost of tracing.
+        let mut collector = || {
+            let mut trace = TraceCollector::new();
+            std::hint::black_box(Solver::new(options()).solve_observed(&problem, &mut trace));
+            std::hint::black_box(trace.into_events());
+        };
+        let mut metrics_run = || {
+            let mut metrics = SolveMetrics::new();
+            std::hint::black_box(Solver::new(options()).solve_observed(&problem, &mut metrics));
+            std::hint::black_box(metrics.iterations);
+        };
+        let [detached_s, noop_s, collector_s, metrics_s] = best_interleaved(
+            workload.reps,
+            &mut [&mut detached, &mut noop, &mut collector, &mut metrics_run],
+        );
+
+        let noop_overhead_pct = 100.0 * (noop_s / detached_s - 1.0);
+        let collector_overhead_pct = 100.0 * (collector_s / detached_s - 1.0);
+        let metrics_overhead_pct = 100.0 * (metrics_s / detached_s - 1.0);
+        eprintln!(
+            "  detached {detached_s:.4} s | noop {noop_s:.4} s ({noop_overhead_pct:+.2}%) | \
+             collector {collector_s:.4} s ({collector_overhead_pct:+.2}%) | \
+             metrics {metrics_s:.4} s ({metrics_overhead_pct:+.2}%)"
+        );
+        rows.push((
+            name.to_owned(),
+            workload.planes,
+            detached_s,
+            noop_s,
+            noop_overhead_pct,
+            collector_s,
+            collector_overhead_pct,
+            metrics_s,
+            metrics_overhead_pct,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"perfsnap_observer\",\n");
+    json.push_str(
+        "  \"config\": {\"restarts\": 1, \"estimator\": \"min over per-workload reps\", \
+         \"units\": \"seconds\", \"gate\": \"noop_overhead_pct <= 1\"},\n",
+    );
+    json.push_str("  \"solves\": [\n");
+    for (
+        i,
+        (
+            name,
+            planes,
+            detached_s,
+            noop_s,
+            noop_pct,
+            collector_s,
+            collector_pct,
+            metrics_s,
+            metrics_pct,
+        ),
+    ) in rows.iter().enumerate()
+    {
+        let _ = write!(
+            json,
+            "    {{\"circuit\": \"{name}\", \"planes\": {planes}, \
+             \"detached_s\": {detached_s:.6}, \"noop_s\": {noop_s:.6}, \
+             \"noop_overhead_pct\": {noop_pct:.3}, \
+             \"collector_s\": {collector_s:.6}, \"collector_overhead_pct\": {collector_pct:.3}, \
+             \"metrics_s\": {metrics_s:.6}, \"metrics_overhead_pct\": {metrics_pct:.3}}}"
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_2.json");
+
+    let worst = rows.iter().map(|r| r.4).fold(f64::NEG_INFINITY, f64::max);
+    if worst > 1.0 {
+        eprintln!("warning: no-op observer overhead {worst:.2}% exceeds the 1% gate");
+        std::process::exit(1);
+    }
+}

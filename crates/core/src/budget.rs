@@ -3,8 +3,8 @@
 //! Determinism rule D2 (enforced by `sfqlint`) confines every
 //! nondeterministic source — `Instant::now`, `SystemTime`, entropy — to this
 //! module. The rest of the solver handles time exclusively through the
-//! opaque [`Deadline`] type, so a reviewer can audit "what can make two runs
-//! differ" by reading this one file.
+//! opaque [`Deadline`] and [`Stopwatch`] types, so a reviewer can audit
+//! "what can make two runs differ" by reading this one file.
 //!
 //! A wall-clock deadline is *inherently* nondeterministic: a budgeted solve
 //! may truncate at a different iteration from run to run depending on
@@ -50,6 +50,32 @@ impl Deadline {
     }
 }
 
+/// A monotonic stopwatch for *observational* timing (telemetry kernels,
+/// per-phase metrics).
+///
+/// Like [`Deadline`], this is the only clock handle the rest of the
+/// workspace may hold: rule D2 keeps `Instant` itself out of every other
+/// module, and the API deliberately exposes elapsed time only as data
+/// (nanoseconds) — never as something a solve path could branch on without
+/// it being obvious in review that determinism is at stake.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturated to `u64`
+    /// (enough for ~584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +101,13 @@ mod tests {
         // 10 minutes: long enough that the test cannot flake on a loaded
         // machine, short enough to construct instantly.
         assert!(!Deadline::after_ms(Some(600_000)).expired());
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let watch = Stopwatch::start();
+        let a = watch.elapsed_ns();
+        let b = watch.elapsed_ns();
+        assert!(b >= a);
     }
 }

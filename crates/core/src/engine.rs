@@ -751,6 +751,38 @@ where
     .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
+/// By-value sibling of [`parallel_map`]: moves each item onto its worker
+/// thread instead of borrowing it.
+///
+/// The solver uses this to carry owned per-restart state — in particular the
+/// per-restart telemetry observers forked by
+/// [`SolveObserver::begin_restart`](crate::telemetry::SolveObserver::begin_restart)
+/// — into restart workers, which `Fn(&T)` cannot express without interior
+/// mutability. Ordering guarantees are identical to [`parallel_map`]:
+/// spawn in item order, join in spawn order, panics re-raised on the caller.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move |_| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

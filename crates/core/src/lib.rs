@@ -46,6 +46,7 @@
 //!   solver's default inner loop); [`kernel`] holds the shared
 //!   integer-exponent power kernels.
 //! * [`solver`] — Algorithm 1 (projected gradient descent) plus restarts.
+//! * [`telemetry`] — zero-cost observer hooks, JSONL traces, solve metrics.
 //! * [`refine`] — optional discrete local-move polish.
 //! * [`metrics`] — `d≤x` locality, `B_max`, `I_comp`, `A_max`, `A_FS` (eq. 11).
 //! * [`limit`] — minimum-`K` search under a `B_max` cap (Table III).
@@ -73,6 +74,7 @@ mod problem;
 pub mod refine;
 pub mod solver;
 pub mod spectral;
+pub mod telemetry;
 mod weights;
 
 pub use assign::Partition;
@@ -83,4 +85,8 @@ pub use limit::{BiasLimitOutcome, BiasLimitPlanner};
 pub use metrics::PartitionMetrics;
 pub use problem::{PartitionProblem, ProblemError};
 pub use solver::{FaultInjection, SolveResult, Solver, SolverOptions, StopReason};
+pub use telemetry::{
+    JsonlTraceWriter, NoopObserver, RestartObserver, SolveMetrics, SolveObserver, TraceCollector,
+    TraceEvent, TraceParseError,
+};
 pub use weights::WeightMatrix;

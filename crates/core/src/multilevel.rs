@@ -21,6 +21,7 @@ use crate::problem::PartitionProblem;
 use crate::refine::{refine, RefineOptions};
 use crate::solver::{Solver, SolverOptions};
 use crate::spectral::{spectral_partition, SpectralOptions};
+use crate::telemetry::{CoarsenEvent, NoopObserver, SolveObserver, UncoarsenEvent};
 
 /// How to partition the coarsest graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,18 +79,40 @@ struct Level {
 /// # Ok::<(), sfq_partition::ProblemError>(())
 /// ```
 pub fn multilevel_partition(problem: &PartitionProblem, options: &MultilevelOptions) -> Partition {
+    multilevel_partition_observed(problem, options, &mut NoopObserver)
+}
+
+/// [`multilevel_partition`] with a telemetry observer attached.
+///
+/// Emits one [`CoarsenEvent`] per contraction and one [`UncoarsenEvent`] per
+/// projection + refinement level; a gradient-descent initial partitioner
+/// additionally streams its own solve events (solve/restart/iteration) into
+/// the same observer. Like every observer hook, this is read-only: the
+/// returned partition is identical to the unobserved call.
+pub fn multilevel_partition_observed<O: SolveObserver>(
+    problem: &PartitionProblem,
+    options: &MultilevelOptions,
+    observer: &mut O,
+) -> Partition {
     let floor = options.coarsest_size.max(4 * problem.num_planes());
 
     // Coarsening phase.
     let mut levels: Vec<Level> = Vec::new();
     let mut current = problem.clone();
-    for _ in 0..options.max_levels {
+    for level_idx in 0..options.max_levels {
         if current.num_gates() <= floor {
             break;
         }
         let Some(level) = coarsen_once(&current) else {
             break; // Matching stalled (e.g. edgeless graph).
         };
+        observer.on_coarsen(&CoarsenEvent {
+            level: level_idx,
+            fine_gates: current.num_gates(),
+            fine_edges: current.edges().len(),
+            coarse_gates: level.coarse.num_gates(),
+            coarse_edges: level.coarse.edges().len(),
+        });
         current = level.coarse.clone();
         levels.push(level);
     }
@@ -102,7 +125,7 @@ pub fn multilevel_partition(problem: &PartitionProblem, options: &MultilevelOpti
         }
         InitialPartitioner::GradientDescent(solver_options) => {
             Solver::new((**solver_options).clone())
-                .solve(&current)
+                .solve_observed(&current, observer)
                 .partition
         }
     };
@@ -122,7 +145,13 @@ pub fn multilevel_partition(problem: &PartitionProblem, options: &MultilevelOpti
             .collect();
         let projected = Partition::from_labels(labels, problem.num_planes())
             .unwrap_or_else(|_| unreachable!("projected labels stay in range"));
-        partition = refine(fine_problem, &projected, &options.refine).0;
+        let (refined, moves) = refine(fine_problem, &projected, &options.refine);
+        observer.on_uncoarsen(&UncoarsenEvent {
+            level: idx,
+            gates: fine_problem.num_gates(),
+            refine_moves: moves,
+        });
+        partition = refined;
     }
     partition
 }

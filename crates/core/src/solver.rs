@@ -62,6 +62,10 @@ use crate::float;
 use crate::grad::{Gradient, GradientOptions};
 use crate::problem::PartitionProblem;
 use crate::refine::{discrete_cost, refine, RefineOptions};
+use crate::telemetry::{
+    IterationEvent, NoopObserver, RecoveryEvent, RefineEvent, RestartEndEvent, RestartObserver,
+    SolveEndEvent, SolveObserver, SolveStartEvent,
+};
 use crate::weights::WeightMatrix;
 
 /// Maximum step-halving retries per iteration before a run is declared
@@ -397,8 +401,27 @@ impl Solver {
     /// an outcome [`Solver::try_solve`] reports as
     /// [`SolveError::AllRestartsDiverged`] instead.
     pub fn solve(&self, problem: &PartitionProblem) -> SolveResult {
+        self.solve_observed(problem, &mut NoopObserver)
+    }
+
+    /// [`Solver::solve`] with a telemetry observer attached.
+    ///
+    /// The observer only *reads*: the returned result is bit-identical to a
+    /// detached [`Solver::solve`] of the same configuration (pinned by the
+    /// `observer_exactness` suite). See [`crate::telemetry`] for the event
+    /// taxonomy and the fork/absorb protocol that keeps traces
+    /// deterministic under parallel restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Solver::solve`].
+    pub fn solve_observed<O: SolveObserver>(
+        &self,
+        problem: &PartitionProblem,
+        observer: &mut O,
+    ) -> SolveResult {
         assert!(self.options.restarts > 0, "need at least one restart");
-        match self.run_restarts(problem) {
+        match self.run_restarts(problem, observer) {
             Ok(result) => result,
             Err(e) => panic!("solve failed: {e}"),
         }
@@ -422,15 +445,47 @@ impl Solver {
     /// that stop with [`StopReason::NonFinite`] are rolled back to their
     /// last finite weights and lose the selection to any surviving run.
     pub fn try_solve(&self, problem: &PartitionProblem) -> Result<SolveResult, SolveError> {
+        self.try_solve_observed(problem, &mut NoopObserver)
+    }
+
+    /// [`Solver::try_solve`] with a telemetry observer attached; see
+    /// [`Solver::solve_observed`] for the observer contract.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Solver::try_solve`] — observers cannot fail
+    /// a solve (sinks like
+    /// [`JsonlTraceWriter`](crate::telemetry::JsonlTraceWriter) hold I/O
+    /// errors until their own `finish` call instead).
+    pub fn try_solve_observed<O: SolveObserver>(
+        &self,
+        problem: &PartitionProblem,
+        observer: &mut O,
+    ) -> Result<SolveResult, SolveError> {
         self.options.validate()?;
         problem.validate()?;
-        self.run_restarts(problem)
+        self.run_restarts(problem, observer)
     }
 
     /// Runs all restarts and selects the winner.
-    fn run_restarts(&self, problem: &PartitionProblem) -> Result<SolveResult, SolveError> {
+    fn run_restarts<O: SolveObserver>(
+        &self,
+        problem: &PartitionProblem,
+        observer: &mut O,
+    ) -> Result<SolveResult, SolveError> {
         let opts = &self.options;
         let deadline = Deadline::after_ms(opts.deadline_ms);
+
+        observer.on_solve_start(&SolveStartEvent {
+            gates: problem.num_gates(),
+            planes: problem.num_planes(),
+            edges: problem.edges().len(),
+            restarts: opts.restarts,
+            max_iterations: opts.max_iterations,
+            fused: opts.fused,
+            parallel: opts.parallel,
+            intra_parallel: opts.intra_parallel,
+        });
 
         // Pre-allocate the iteration budget to restarts in index order.
         // This is what keeps budgets deterministic: restart r's cap depends
@@ -457,18 +512,34 @@ impl Solver {
             .filter(|&(_, cap)| cap > 0 || opts.max_iterations == 0)
             .collect();
 
-        let runs: Vec<SolveResult> = if opts.parallel && planned.len() > 1 {
+        // Fork one restart observer per planned restart, in index order and
+        // before any restart runs — each one travels to its restart's thread
+        // and is merged back (below) in index order, so the observed event
+        // stream is identical for serial and parallel execution.
+        let jobs: Vec<(usize, usize, O::Restart)> = planned
+            .into_iter()
+            .map(|(r, cap)| (r, cap, observer.begin_restart(r)))
+            .collect();
+        let outcomes: Vec<(usize, SolveResult, O::Restart)> = if opts.parallel && jobs.len() > 1 {
             // Thread creation is confined to the engine (rule D3); results
             // come back in restart order, matching the serial branch.
-            crate::engine::parallel_map(&planned, |&(r, cap)| {
-                self.run_once(problem, r, cap, deadline)
+            crate::engine::parallel_map_owned(jobs, |(r, cap, mut restart_observer)| {
+                let result = self.run_once(problem, r, cap, deadline, &mut restart_observer);
+                (r, result, restart_observer)
             })
         } else {
-            planned
-                .iter()
-                .map(|&(r, cap)| self.run_once(problem, r, cap, deadline))
+            jobs.into_iter()
+                .map(|(r, cap, mut restart_observer)| {
+                    let result = self.run_once(problem, r, cap, deadline, &mut restart_observer);
+                    (r, result, restart_observer)
+                })
                 .collect()
         };
+        let mut runs: Vec<SolveResult> = Vec::with_capacity(outcomes.len());
+        for (r, result, restart_observer) in outcomes {
+            observer.absorb_restart(r, restart_observer);
+            runs.push(result);
+        }
 
         // Selection: a run only qualifies with a finite discrete cost, and
         // terminally diverged runs lose to any clean survivor.
@@ -498,17 +569,30 @@ impl Solver {
         };
         let mut best = best.clone();
         best.diverged_restarts = diverged;
+        observer.on_solve_end(&SolveEndEvent {
+            best_restart: best.best_restart,
+            iterations: best.iterations,
+            stop_reason: best.stop_reason,
+            discrete_cost: best.discrete_cost,
+            diverged_restarts: diverged,
+        });
         Ok(best)
     }
 
     /// One gradient-descent run from the `restart`-th random start, capped
     /// at `iter_cap` iterations (its share of any solve-wide budget).
-    fn run_once(
+    ///
+    /// Telemetry-only work (projection clip counting, the pre-refine
+    /// discrete cost) is gated on [`RestartObserver::ENABLED`], so the
+    /// [`NoopObserver`] monomorphization is instruction-for-instruction the
+    /// unobserved solve.
+    fn run_once<R: RestartObserver>(
         &self,
         problem: &PartitionProblem,
         restart: usize,
         iter_cap: usize,
         deadline: Deadline,
+        observer: &mut R,
     ) -> SolveResult {
         let opts = &self.options;
         let g = problem.num_gates();
@@ -593,14 +677,19 @@ impl Solver {
             // rate. `iter == 0` has no finite iterate to retry from, and a
             // rate below the vanish floor cannot move anywhere — both are
             // terminal.
+            let mut recovered = false;
             if !eval_is_finite(&breakdown, &step) {
-                let mut recovered = false;
                 if iter > 0 {
-                    for _ in 0..MAX_RECOVERIES {
+                    for attempt in 0..MAX_RECOVERIES {
                         learning_rate *= 0.5;
                         if learning_rate < MIN_LEARNING_RATE {
                             break;
                         }
+                        observer.on_recovery(&RecoveryEvent {
+                            iteration: iter,
+                            attempt: attempt + 1,
+                            learning_rate,
+                        });
                         w.as_mut_slice().copy_from_slice(w_prev.as_slice());
                         w.descend_scaled(&prev_step, learning_rate);
                         breakdown = backend.cost(&w, &mut step);
@@ -624,6 +713,24 @@ impl Solver {
             let cost_new = breakdown.total;
             history.push(cost_new);
             iterations = iter + 1;
+            // One iteration event per `cost_history` entry. The three break
+            // paths below stop *before* applying a step, so they report a
+            // zero learning rate and clip count.
+            fn stopped_event<'a>(
+                iter: usize,
+                breakdown: CostBreakdown,
+                step: &'a [f64],
+                recovered: bool,
+            ) -> IterationEvent<'a> {
+                IterationEvent {
+                    iteration: iter,
+                    cost: breakdown,
+                    learning_rate: 0.0,
+                    gradient: step,
+                    clipped: 0,
+                    recovered,
+                }
+            }
 
             // Margin test (Algorithm 1 line 14), robust to sign changes and
             // skipped while c4 is still ramping.
@@ -632,6 +739,7 @@ impl Solver {
                 let denom = cost_old.abs().max(1e-12);
                 if ((cost_new - cost_old) / denom).abs() <= opts.margin {
                     stop_reason = StopReason::Margin;
+                    observer.on_iteration(&stopped_event(iter, breakdown, &step, recovered));
                     break;
                 }
             }
@@ -642,6 +750,7 @@ impl Solver {
                 let max_component = step.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
                 if max_component <= 0.0 {
                     stop_reason = StopReason::StepVanished;
+                    observer.on_iteration(&stopped_event(iter, breakdown, &step, recovered));
                     break;
                 }
                 learning_rate = opts.initial_step / max_component;
@@ -654,12 +763,30 @@ impl Solver {
             }
             if learning_rate < MIN_LEARNING_RATE {
                 stop_reason = StopReason::StepVanished;
+                observer.on_iteration(&stopped_event(iter, breakdown, &step, recovered));
                 break;
             }
 
             w_prev.as_mut_slice().copy_from_slice(w.as_slice());
             prev_step.copy_from_slice(&step);
-            w.descend_scaled(&step, learning_rate);
+            // The counting variant applies the bit-identical update (see
+            // `WeightMatrix::descend_scaled_counting`); the count itself is
+            // telemetry-only work, so the disabled path keeps the plain
+            // call.
+            let clipped = if R::ENABLED {
+                w.descend_scaled_counting(&step, learning_rate)
+            } else {
+                w.descend_scaled(&step, learning_rate);
+                0
+            };
+            observer.on_iteration(&IterationEvent {
+                iteration: iter,
+                cost: breakdown,
+                learning_rate,
+                gradient: &step,
+                clipped,
+                recovered,
+            });
             cost_old = cost_new;
         }
 
@@ -670,6 +797,13 @@ impl Solver {
             exponent: opts.exponent,
             max_passes: 40,
         };
+        // Telemetry-only: the pre-refine discrete cost exists solely for the
+        // refine event, so the disabled path never computes it.
+        let cost_before = if R::ENABLED {
+            discrete_cost(problem, &snapped, opts.weights, opts.exponent)
+        } else {
+            f64::NAN
+        };
         let (partition, refine_moves) = if opts.refine && opts.swap_refine {
             crate::refine::refine_with_swaps(problem, &snapped, &refine_options)
         } else if opts.refine {
@@ -678,6 +812,16 @@ impl Solver {
             (snapped, 0)
         };
         let dc = discrete_cost(problem, &partition, opts.weights, opts.exponent);
+        observer.on_refine(&RefineEvent {
+            moves: refine_moves,
+            cost_before,
+            cost_after: dc,
+        });
+        observer.on_restart_end(&RestartEndEvent {
+            iterations,
+            stop_reason,
+            discrete_cost: dc,
+        });
         SolveResult {
             partition,
             cost_history: history,

@@ -237,6 +237,33 @@ impl WeightMatrix {
             *w = (*w - rate * s).clamp(0.0, 1.0);
         }
     }
+
+    /// [`Self::descend_scaled`] plus a count of the entries the `[0, 1]`
+    /// projection actually clipped.
+    ///
+    /// The update expression is character-for-character the one in
+    /// [`Self::descend_scaled`], so the resulting matrix is bit-identical —
+    /// the telemetry layer relies on this to keep observer-on and
+    /// observer-off solves exactly equal (see `solver::tests` and the
+    /// `observer_exactness` suite). Only the count is extra work, which is
+    /// why the solver calls this variant solely when an enabled observer
+    /// asked for clip statistics.
+    pub fn descend_scaled_counting(&mut self, step: &[f64], rate: f64) -> usize {
+        assert_eq!(step.len(), self.data.len());
+        let mut clipped = 0usize;
+        for (w, &s) in self.data.iter_mut().zip(step) {
+            let raw = *w - rate * s;
+            let projected = raw.clamp(0.0, 1.0);
+            // Exact comparison on purpose: a clip is precisely "clamp
+            // changed the value" (NaN never reaches here — the solver
+            // checks finiteness before stepping).
+            if !crate::float::exactly(raw, projected) {
+                clipped += 1;
+            }
+            *w = projected;
+        }
+        clipped
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +314,28 @@ mod tests {
         // Step pushes entry 0 above 1 and entry 1 below 0 — both clamp.
         w.descend(&[-0.5, 0.5]);
         assert_eq!(w.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn descend_scaled_counting_is_bit_identical_and_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = WeightMatrix::random(30, 5, &mut rng);
+        let mut b = a.clone();
+        let step: Vec<f64> = (0..150).map(|i| ((i % 7) as f64 - 3.0) * 0.4).collect();
+        a.descend_scaled(&step, 0.9);
+        let clipped = b.descend_scaled_counting(&step, 0.9);
+        assert_eq!(a, b, "counting variant must not perturb the update");
+        // A ±1.2 step on weights in [0,1] clips plenty of entries.
+        assert!(clipped > 0);
+        let expected = a
+            .as_slice()
+            .iter()
+            .filter(|w| crate::float::exactly(**w, 0.0) || crate::float::exactly(**w, 1.0))
+            .count();
+        assert!(
+            clipped <= expected,
+            "clipped {clipped} vs boundary {expected}"
+        );
     }
 
     #[test]

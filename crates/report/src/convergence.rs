@@ -1,0 +1,294 @@
+//! Convergence-trace reading and rendering.
+//!
+//! The solver's `--trace` flag (and [`sfq_partition::JsonlTraceWriter`])
+//! emits one JSONL record per telemetry event. This module is the
+//! report-side consumer: [`read_trace`] parses a whole trace with
+//! line-numbered errors, and [`convergence_table`] folds the event stream
+//! into the per-restart convergence table printed by `sfqpart trace-report`
+//! and the bench harness.
+
+use crate::table::Table;
+use sfq_partition::telemetry::TraceEvent;
+use std::fmt;
+
+/// A parse failure while reading a trace, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReadError {
+    line: usize,
+    detail: String,
+}
+
+impl TraceReadError {
+    /// 1-based line number of the offending record.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of what was wrong with the record.
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+/// Parses a whole JSONL trace.
+///
+/// Blank lines are skipped (a trailing newline is normal); any other
+/// malformed line aborts with a [`TraceReadError`] carrying its 1-based
+/// line number. Records with unknown *fields* parse fine (the schema is
+/// append-only within a version); records with an unknown event tag or a
+/// wrong schema version are rejected by the underlying parser.
+///
+/// # Example
+///
+/// ```
+/// use sfq_report::convergence::read_trace;
+///
+/// let text = "{\"v\":1,\"ev\":\"restart_start\",\"restart\":0}\n";
+/// let events = read_trace(text)?;
+/// assert_eq!(events.len(), 1);
+/// # Ok::<(), sfq_report::convergence::TraceReadError>(())
+/// ```
+pub fn read_trace(text: &str) -> Result<Vec<TraceEvent>, TraceReadError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::parse(line) {
+            Ok(event) => events.push(event),
+            Err(err) => {
+                return Err(TraceReadError {
+                    line: idx + 1,
+                    detail: err.detail().to_string(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// Per-restart accumulator for the convergence table.
+#[derive(Debug, Clone)]
+struct RestartSummary {
+    restart: u64,
+    iterations: u64,
+    recoveries: u64,
+    clipped: u64,
+    first_total: Option<f64>,
+    last_total: Option<f64>,
+    refine_moves: u64,
+    stop: Option<String>,
+    discrete_cost: Option<f64>,
+}
+
+impl RestartSummary {
+    fn new(restart: u64) -> Self {
+        RestartSummary {
+            restart,
+            iterations: 0,
+            recoveries: 0,
+            clipped: 0,
+            first_total: None,
+            last_total: None,
+            refine_moves: 0,
+            stop: None,
+            discrete_cost: None,
+        }
+    }
+}
+
+fn fmt_cost(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        Some(_) => "non-finite".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Folds a trace into a per-restart convergence table.
+///
+/// Columns: restart index, iterations, relaxed cost at the first and last
+/// recorded iteration, divergence recoveries, projection clips, discrete
+/// refinement moves, stop reason, and the restart's final discrete cost.
+/// Events outside any restart block (solve/coarsen records) are ignored;
+/// a `*` marks the restart the solve selected as best.
+///
+/// # Example
+///
+/// ```
+/// use sfq_report::convergence::{convergence_table, read_trace};
+///
+/// let text = concat!(
+///     "{\"v\":1,\"ev\":\"restart_start\",\"restart\":0}\n",
+///     "{\"v\":1,\"ev\":\"restart_end\",\"restart\":0,\"iterations\":0,",
+///     "\"stop\":\"margin\",\"discrete_cost\":1.0}\n",
+/// );
+/// let table = convergence_table(&read_trace(text)?);
+/// assert_eq!(table.num_rows(), 1);
+/// # Ok::<(), sfq_report::convergence::TraceReadError>(())
+/// ```
+#[must_use]
+pub fn convergence_table(events: &[TraceEvent]) -> Table {
+    let mut summaries: Vec<RestartSummary> = Vec::new();
+    let mut best: Option<u64> = None;
+    for event in events {
+        match event {
+            TraceEvent::RestartStart { restart } => {
+                summaries.push(RestartSummary::new(*restart));
+            }
+            TraceEvent::Iteration {
+                restart,
+                total,
+                clipped,
+                ..
+            } => {
+                if let Some(s) = summaries.last_mut().filter(|s| s.restart == *restart) {
+                    s.iterations += 1;
+                    s.clipped += clipped;
+                    if s.first_total.is_none() {
+                        s.first_total = Some(*total);
+                    }
+                    s.last_total = Some(*total);
+                }
+            }
+            TraceEvent::Recovery { restart, .. } => {
+                if let Some(s) = summaries.last_mut().filter(|s| s.restart == *restart) {
+                    s.recoveries += 1;
+                }
+            }
+            TraceEvent::Refine { restart, moves, .. } => {
+                if let Some(s) = summaries.last_mut().filter(|s| s.restart == *restart) {
+                    s.refine_moves += moves;
+                }
+            }
+            TraceEvent::RestartEnd {
+                restart,
+                stop,
+                discrete_cost,
+                ..
+            } => {
+                if let Some(s) = summaries.last_mut().filter(|s| s.restart == *restart) {
+                    s.stop = Some(format!("{stop:?}"));
+                    s.discrete_cost = Some(*discrete_cost);
+                }
+            }
+            TraceEvent::SolveEnd { best_restart, .. } => {
+                best = Some(*best_restart);
+            }
+            _ => {}
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "restart", "iters", "F first", "F last", "recov", "clipped", "moves", "stop", "discrete",
+    ]);
+    for s in &summaries {
+        let marker = if best == Some(s.restart) { "*" } else { "" };
+        table.add_row(vec![
+            format!("{}{}", s.restart, marker),
+            s.iterations.to_string(),
+            fmt_cost(s.first_total),
+            fmt_cost(s.last_total),
+            s.recoveries.to_string(),
+            s.clipped.to_string(),
+            s.refine_moves.to_string(),
+            s.stop.clone().unwrap_or_else(|| "-".to_string()),
+            fmt_cost(s.discrete_cost),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_partition::telemetry::TraceCollector;
+    use sfq_partition::{PartitionProblem, Solver, SolverOptions};
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        let edges: Vec<(u32, u32)> = (0..59).map(|i| (i, i + 1)).collect();
+        let p = PartitionProblem::new(vec![1.0; 60], vec![1.0; 60], edges, 3).unwrap();
+        let opts = SolverOptions {
+            restarts: 2,
+            max_iterations: 80,
+            ..SolverOptions::default()
+        };
+        let mut trace = TraceCollector::new();
+        Solver::new(opts).solve_observed(&p, &mut trace);
+        trace.into_events()
+    }
+
+    #[test]
+    fn read_trace_round_trips_a_real_solve() {
+        let events = sample_trace();
+        let text: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let parsed = read_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn read_trace_skips_blank_lines() {
+        let events = sample_trace();
+        let text: String = events
+            .iter()
+            .map(|e| format!("\n{}\n\n", e.to_jsonl()))
+            .collect();
+        assert_eq!(read_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn read_trace_reports_the_offending_line_number() {
+        let events = sample_trace();
+        let mut text: String = events.iter().take(3).map(|e| e.to_jsonl() + "\n").collect();
+        text.push_str("{\"v\":1,\"ev\":\"warp\"}\n"); // line 4: unknown event tag
+        let err = read_trace(&text).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.detail().contains("warp"), "{}", err.detail());
+        assert!(err.to_string().starts_with("trace line 4:"), "{err}");
+    }
+
+    #[test]
+    fn read_trace_rejects_half_a_record() {
+        let line = sample_trace().first().unwrap().to_jsonl();
+        let cut = &line[..line.len() / 2];
+        let err = read_trace(cut).unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn convergence_table_has_one_row_per_restart() {
+        let events = sample_trace();
+        let table = convergence_table(&events);
+        assert_eq!(table.num_rows(), 2);
+        let text = table.to_string();
+        // Winner marker present, stop reasons rendered, header intact.
+        assert!(text.contains('*'), "{text}");
+        assert!(text.contains("restart"), "{text}");
+        assert!(
+            text.contains("Margin") || text.contains("MaxIterations"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn convergence_table_tolerates_solve_only_events() {
+        let events = sample_trace();
+        let solve_only: Vec<TraceEvent> = events
+            .iter()
+            .filter(|e| e.restart().is_none())
+            .cloned()
+            .collect();
+        let table = convergence_table(&solve_only);
+        assert_eq!(table.num_rows(), 0);
+    }
+}

@@ -19,5 +19,6 @@
 // tests keep the ergonomic forms.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod convergence;
 pub mod paper;
 pub mod table;

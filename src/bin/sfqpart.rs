@@ -6,30 +6,44 @@
 //! sfqpart partition <file.def | CIRCUIT> -k K    partition + metrics
 //!          [--solver repro|full|paper] [--seed N]
 //!          [--budget ITERS] [--deadline-ms MS]
+//!          [--trace trace.jsonl] [--metrics]
 //! sfqpart plan     <file.def | CIRCUIT> [--limit MA]
 //!                                                min-K plan under a B_max cap
 //! sfqpart diagram  <file.def | CIRCUIT> -k K     Fig.1-style chip diagram
+//! sfqpart trace-check  <trace.jsonl>             validate a solve trace
+//! sfqpart trace-report <trace.jsonl>             per-restart convergence table
 //! ```
 //!
 //! Inputs ending in `.def` are parsed; anything else is looked up in the
 //! built-in benchmark registry (KSA4..C3540).
 //!
+//! Stream discipline: machine-readable output (DEF text, partition
+//! summaries, convergence tables) goes to stdout; diagnostics (the
+//! `--metrics` summary, deadline warnings, progress notes) go to stderr, so
+//! piping stdout never captures telemetry chatter.
+//!
 //! Failures are classified, not dumped as usage text: a bad invocation
 //! prints the usage and exits 2, a bad input (malformed DEF, unknown
-//! circuit, unreadable file) prints the typed error — with line/column for
-//! DEF — and exits 3, and a solve-stage failure exits 4. One bad netlist in
-//! a batch sweep therefore fails that run alone, identifiably.
+//! circuit, unreadable file, and trace-file I/O or schema failures) prints
+//! the typed error — with line/column for DEF, line number for traces —
+//! and exits 3, and a solve-stage failure exits 4. One bad netlist in a
+//! batch sweep therefore fails that run alone, identifiably.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use current_recycling::cells::CellLibrary;
 use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::def::{parse_def, write_def};
 use current_recycling::netlist::Netlist;
+use current_recycling::partition::telemetry::{JsonlTraceWriter, PairObserver, SolveMetrics};
 use current_recycling::partition::{
-    BiasLimitPlanner, PartitionMetrics, PartitionProblem, SolveError, Solver, SolverOptions,
+    BiasLimitPlanner, PartitionMetrics, PartitionProblem, SolveError, SolveResult, Solver,
+    SolverOptions, StopReason,
 };
 use current_recycling::recycle::{render_chip_diagram, RecycleOptions, RecyclingPlan};
+use current_recycling::report::convergence::{convergence_table, read_trace};
 
 /// Classified CLI failure; the variant decides the exit code and whether
 /// the usage text is shown.
@@ -91,10 +105,14 @@ const USAGE: &str = "usage:
   sfqpart stats <file.def | CIRCUIT>
   sfqpart partition <file.def | CIRCUIT> -k K [--solver repro|full|paper] [--seed N]
            [--budget ITERS] [--deadline-ms MS] [-o labels.txt]
+           [--trace trace.jsonl] [--metrics]
   sfqpart plan <file.def | CIRCUIT> [--limit MA]
   sfqpart diagram <file.def | CIRCUIT> -k K
+  sfqpart trace-check <trace.jsonl>
+  sfqpart trace-report <trace.jsonl>
 circuits: KSA4 KSA8 KSA16 KSA32 MULT4 MULT8 ID4 ID8 C432 C499 C1355 C1908 C3540
-exit codes: 2 usage error, 3 input error, 4 solve error";
+exit codes: 2 usage error, 3 input error (incl. trace-file I/O and malformed
+traces), 4 solve error";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
@@ -108,6 +126,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "partition" => cmd_partition(&rest),
         "plan" => cmd_plan(&rest),
         "diagram" => cmd_diagram(&rest),
+        "trace-check" => cmd_trace_check(&rest),
+        "trace-report" => cmd_trace_report(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -217,12 +237,76 @@ fn cmd_stats(args: &[&String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Opens the `--trace` sink: a buffered JSONL writer over a fresh file.
+fn open_trace(path: &str) -> Result<JsonlTraceWriter<BufWriter<File>>, CliError> {
+    let file = File::create(path)
+        .map_err(|e| CliError::Input(format!("cannot create trace file `{path}`: {e}")))?;
+    Ok(JsonlTraceWriter::new(BufWriter::new(file)))
+}
+
+/// Flushes the trace sink; any deferred write error surfaces here as an
+/// input-class failure (exit 3), matching other file I/O problems.
+fn close_trace(writer: JsonlTraceWriter<BufWriter<File>>, path: &str) -> Result<(), CliError> {
+    writer
+        .finish()
+        .map(|_| ())
+        .map_err(|e| CliError::Input(format!("cannot write trace file `{path}`: {e}")))
+}
+
+/// Runs the solve with whatever combination of `--trace` / `--metrics`
+/// sinks was requested. Telemetry is observational only, so all four paths
+/// produce bit-identical results; the sinks are monomorphized away when
+/// absent.
+fn solve_with_telemetry(
+    solver: &Solver,
+    problem: &PartitionProblem,
+    trace_path: Option<&str>,
+    want_metrics: bool,
+) -> Result<SolveResult, CliError> {
+    match (trace_path, want_metrics) {
+        (None, false) => Ok(solver.try_solve(problem)?),
+        (None, true) => {
+            let mut metrics = SolveMetrics::new();
+            let result = solver.try_solve_observed(problem, &mut metrics)?;
+            eprintln!("{}", metrics.render());
+            Ok(result)
+        }
+        (Some(path), false) => {
+            let mut writer = open_trace(path)?;
+            let solved = solver.try_solve_observed(problem, &mut writer);
+            let flushed = close_trace(writer, path);
+            let result = solved?; // solve failures (exit 4) outrank trace I/O
+            flushed?;
+            Ok(result)
+        }
+        (Some(path), true) => {
+            let mut pair = PairObserver(open_trace(path)?, SolveMetrics::new());
+            let solved = solver.try_solve_observed(problem, &mut pair);
+            let PairObserver(writer, metrics) = pair;
+            let flushed = close_trace(writer, path);
+            let result = solved?;
+            flushed?;
+            eprintln!("{}", metrics.render());
+            Ok(result)
+        }
+    }
+}
+
 fn cmd_partition(args: &[&String]) -> Result<(), CliError> {
     let netlist = load(positional(args)?)?;
     let k = k_from(args)?;
     let options = solver_from(args)?;
     let problem = PartitionProblem::from_netlist(&netlist, k).map_err(CliError::input)?;
-    let result = Solver::new(options).try_solve(&problem)?;
+    let trace_path = flag_value(args, "--trace");
+    let want_metrics = args.iter().any(|a| a.as_str() == "--metrics");
+    let solver = Solver::new(options);
+    let result = solve_with_telemetry(&solver, &problem, trace_path, want_metrics)?;
+    if result.stop_reason == StopReason::BudgetExhausted {
+        eprintln!(
+            "warning: solve budget (--budget/--deadline-ms) truncated the descent; \
+             results reflect the best iterate reached, not convergence"
+        );
+    }
     let m = PartitionMetrics::evaluate(&problem, &result.partition);
     println!(
         "{}: G = {}, |E| = {}, K = {k}",
@@ -305,6 +389,38 @@ fn cmd_plan(args: &[&String]) -> Result<(), CliError> {
         "bias lines saved vs parallel feed: {}",
         outcome.bias_lines_saved()
     );
+    Ok(())
+}
+
+/// Reads a trace file, mapping I/O and schema failures to input-class
+/// errors with the offending line number.
+fn load_trace(args: &[&String]) -> Result<Vec<current_recycling::partition::TraceEvent>, CliError> {
+    let path = positional(args)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read trace file `{path}`: {e}")))?;
+    read_trace(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))
+}
+
+fn cmd_trace_check(args: &[&String]) -> Result<(), CliError> {
+    let events = load_trace(args)?;
+    // Validation verdict is a diagnostic, not machine output: stderr.
+    eprintln!(
+        "trace OK: {} record(s), {} restart block(s)",
+        events.len(),
+        events
+            .iter()
+            .filter(|e| matches!(
+                e,
+                current_recycling::partition::TraceEvent::RestartStart { .. }
+            ))
+            .count()
+    );
+    Ok(())
+}
+
+fn cmd_trace_report(args: &[&String]) -> Result<(), CliError> {
+    let events = load_trace(args)?;
+    print!("{}", convergence_table(&events));
     Ok(())
 }
 
