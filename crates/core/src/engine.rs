@@ -26,9 +26,11 @@
 //!   [`EngineOptions::num_chunks`] fixed ranges whose partial sums are
 //!   folded in chunk order. The chunk layout depends only on the problem
 //!   size, and the fold order is the same whether chunks run sequentially
-//!   or on scoped threads, so enabling
-//!   [`EngineOptions::intra_parallel`] changes wall-clock time but not a
-//!   single bit of the result.
+//!   or on the engine's persistent worker pool (the `pool` module), so
+//!   enabling [`EngineOptions::intra_parallel`] changes wall-clock time but
+//!   not a single bit of the result. The pool is built eagerly in
+//!   [`CostEngine::new`], so the zero-allocation guarantee holds for the
+//!   threaded path too.
 //!
 //! Numerical contract: on problems below the chunking threshold the engine
 //! accumulates in exactly the reference order, so it differs from
@@ -40,6 +42,7 @@
 use crate::cost::{variance, CostBreakdown, CostModel, CostWeights};
 use crate::grad::GradientOptions;
 use crate::kernel;
+use crate::pool::ChunkPool;
 use crate::problem::PartitionProblem;
 use crate::weights::WeightMatrix;
 
@@ -128,6 +131,9 @@ pub struct CostEngine<'a> {
     /// Per-plane weighted `F₃` gradient coefficients, analogous to
     /// [`Self::coeff_bias`].
     coeff_area: Vec<f64>,
+    /// Persistent workers for chunked sweeps; `Some` exactly when
+    /// [`EngineOptions::intra_parallel`] is set on a chunked problem.
+    pool: Option<ChunkPool>,
 }
 
 /// Splits `0..len` into `chunks` contiguous ranges of near-equal size.
@@ -138,18 +144,6 @@ fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Splits `buf` into mutable sub-slices matching contiguous `bounds`.
-fn split_by_bounds<'b>(buf: &'b mut [f64], bounds: &[(usize, usize)]) -> Vec<&'b mut [f64]> {
-    let mut out = Vec::with_capacity(bounds.len());
-    let mut rest = buf;
-    for &(start, end) in bounds {
-        let (head, tail) = rest.split_at_mut(end - start);
-        out.push(head);
-        rest = tail;
-    }
-    out
-}
-
 /// Gate sweep over one chunk: accumulates labels, row sums, per-plane
 /// bias/area loads, and the raw `F₄` pressure for gates in `start..end`.
 ///
@@ -157,7 +151,7 @@ fn split_by_bounds<'b>(buf: &'b mut [f64], bounds: &[(usize, usize)]) -> Vec<&'b
 /// `Σw²/K − (Σw/K)²` so the row is read once; with entries in `[0,1]` the
 /// cancellation error is far below the engine's `1e-12` contract.
 #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
-fn gate_pass_chunk(
+pub(crate) fn gate_pass_chunk(
     w: &WeightMatrix,
     bias: &[f64],
     area: &[f64],
@@ -201,7 +195,7 @@ fn gate_pass_chunk(
 
 /// Edge sweep over one chunk: accumulates raw `F₁` and, when `force` is
 /// present, the per-gate interconnect forces (gradient mode).
-fn edge_pass_chunk(
+pub(crate) fn edge_pass_chunk(
     edges: &[(u32, u32)],
     labels: &[f64],
     exponent: f64,
@@ -229,8 +223,8 @@ fn edge_pass_chunk(
 
 /// Weighted per-iteration constants for the gradient write sweep; everything
 /// that does not depend on the gate is folded in here once per call.
-#[derive(Debug, Clone, Copy)]
-struct GradConsts {
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct GradConsts {
     /// `c₁` (multiplies the per-gate interconnect force).
     c1: f64,
     /// `c₄·2/N₄` — multiplies `(Σw − 1)` in the exact `F₄` formula.
@@ -253,7 +247,7 @@ struct GradConsts {
 /// inner loop is four multiplies and three adds per entry with no bounds
 /// checks.
 #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
-fn grad_pass_chunk(
+pub(crate) fn grad_pass_chunk(
     w: &WeightMatrix,
     bias: &[f64],
     area: &[f64],
@@ -323,6 +317,25 @@ impl<'a> CostEngine<'a> {
         };
         let gate_bounds = chunk_bounds(g, gate_chunks);
         let edge_bounds = chunk_bounds(e, edge_chunks);
+        // The pool is built eagerly (not on first use) so that the descent
+        // loop never constructs anything: after `new` returns, `evaluate*`
+        // performs zero allocations on every path, threaded included.
+        let pool = if options.intra_parallel && (gate_bounds.len() > 1 || edge_bounds.len() > 1) {
+            let (n1, ..) = model.normalizations();
+            Some(ChunkPool::new(
+                problem.bias().to_vec(),
+                problem.area().to_vec(),
+                problem.edges().to_vec(),
+                model.exponent(),
+                n1,
+                options.gradient.paper_f1_sign,
+                gate_bounds.clone(),
+                edge_bounds.clone(),
+                k,
+            ))
+        } else {
+            None
+        };
         CostEngine {
             model,
             options,
@@ -338,6 +351,7 @@ impl<'a> CostEngine<'a> {
             coeff_area: vec![0.0; k],
             gate_bounds,
             edge_bounds,
+            pool,
         }
     }
 
@@ -361,11 +375,6 @@ impl<'a> CostEngine<'a> {
         self.gate_bounds.len() > 1 || self.edge_bounds.len() > 1
     }
 
-    /// Whether chunked sweeps should actually run on threads.
-    fn threaded(&self) -> bool {
-        self.options.intra_parallel && self.is_chunked()
-    }
-
     /// Fused gate sweep: fills `labels`, `row_sums`, `bias_sums`,
     /// `area_sums` and returns the raw (unnormalized) `F₄`.
     fn gate_pass(&mut self, w: &WeightMatrix) -> f64 {
@@ -375,7 +384,6 @@ impl<'a> CostEngine<'a> {
         let g = problem.num_gates();
         let k = problem.num_planes();
         let stride = 2 * k + 1;
-        let threaded = self.threaded();
 
         self.bias_sums.fill(0.0);
         self.area_sums.fill(0.0);
@@ -399,41 +407,20 @@ impl<'a> CostEngine<'a> {
             return f4_raw;
         }
 
-        self.gate_partials.fill(0.0);
-        let label_chunks = split_by_bounds(&mut self.labels, &self.gate_bounds);
-        let row_sum_chunks = split_by_bounds(&mut self.row_sums, &self.gate_bounds);
-        let partial_chunks: Vec<&mut [f64]> = self.gate_partials.chunks_mut(stride).collect();
-
-        let jobs = self
-            .gate_bounds
-            .iter()
-            .zip(label_chunks)
-            .zip(row_sum_chunks)
-            .zip(partial_chunks);
-        if threaded {
-            crossbeam::thread::scope(|scope| {
-                for (((&(start, end), labels), row_sums), partial) in jobs {
-                    scope.spawn(move |_| {
-                        let (bias_part, rest) = partial.split_at_mut(k);
-                        let (area_part, f4_part) = rest.split_at_mut(k);
-                        gate_pass_chunk(
-                            w,
-                            bias,
-                            area,
-                            start,
-                            end,
-                            labels,
-                            row_sums,
-                            bias_part,
-                            area_part,
-                            &mut f4_part[0],
-                        );
-                    });
-                }
-            })
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        if let Some(pool) = &self.pool {
+            // Workers overwrite every partial slot, so no fill is needed.
+            pool.gate_pass(
+                w,
+                &mut self.labels,
+                &mut self.row_sums,
+                &mut self.gate_partials,
+                stride,
+            );
         } else {
-            for (((&(start, end), labels), row_sums), partial) in jobs {
+            self.gate_partials.fill(0.0);
+            for (idx, &(start, end)) in self.gate_bounds.iter().enumerate() {
+                let base = idx * stride;
+                let partial = &mut self.gate_partials[base..base + stride];
                 let (bias_part, rest) = partial.split_at_mut(k);
                 let (area_part, f4_part) = rest.split_at_mut(k);
                 gate_pass_chunk(
@@ -442,8 +429,8 @@ impl<'a> CostEngine<'a> {
                     area,
                     start,
                     end,
-                    labels,
-                    row_sums,
+                    &mut self.labels[start..end],
+                    &mut self.row_sums[start..end],
                     bias_part,
                     area_part,
                     &mut f4_part[0],
@@ -474,7 +461,6 @@ impl<'a> CostEngine<'a> {
         let exponent = self.model.exponent();
         let (n1, ..) = self.model.normalizations();
         let paper_sign = self.options.gradient.paper_f1_sign;
-        let threaded = self.threaded();
 
         if self.edge_bounds.len() == 1 {
             // Fast path: write forces straight into `self.force`. Same
@@ -499,48 +485,33 @@ impl<'a> CostEngine<'a> {
             return f1_raw;
         }
 
-        let labels = &self.labels[..];
-        self.f1_partials.fill(0.0);
-        if with_force {
-            self.chunk_force.fill(0.0);
-        }
-        let force_chunks: Vec<Option<&mut [f64]>> = if with_force {
-            self.chunk_force.chunks_mut(g).map(Some).collect()
+        if let Some(pool) = &self.pool {
+            // Workers overwrite every partial and force slot in full.
+            pool.edge_pass(
+                &self.labels,
+                with_force,
+                &mut self.f1_partials,
+                &mut self.chunk_force,
+            );
         } else {
-            self.edge_bounds.iter().map(|_| None).collect()
-        };
-
-        let jobs = self
-            .edge_bounds
-            .iter()
-            .zip(self.f1_partials.iter_mut())
-            .zip(force_chunks);
-        if threaded {
-            crossbeam::thread::scope(|scope| {
-                for ((&(start, end), f1_part), force) in jobs {
-                    scope.spawn(move |_| {
-                        edge_pass_chunk(
-                            &edges[start..end],
-                            labels,
-                            exponent,
-                            n1,
-                            paper_sign,
-                            f1_part,
-                            force,
-                        );
-                    });
-                }
-            })
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        } else {
-            for ((&(start, end), f1_part), force) in jobs {
+            let labels = &self.labels[..];
+            self.f1_partials.fill(0.0);
+            if with_force {
+                self.chunk_force.fill(0.0);
+            }
+            for (idx, &(start, end)) in self.edge_bounds.iter().enumerate() {
+                let force = if with_force {
+                    Some(&mut self.chunk_force[idx * g..(idx + 1) * g])
+                } else {
+                    None
+                };
                 edge_pass_chunk(
                     &edges[start..end],
                     labels,
                     exponent,
                     n1,
                     paper_sign,
-                    f1_part,
+                    &mut self.f1_partials[idx],
                     force,
                 );
             }
@@ -668,36 +639,10 @@ impl<'a> CostEngine<'a> {
         }
 
         // Pure writes per gate: identical output threaded or not.
-        let scaled_bounds: Vec<(usize, usize)> = self
-            .gate_bounds
-            .iter()
-            .map(|&(s, e)| (s * k, e * k))
-            .collect();
-        let out_chunks = split_by_bounds(out, &scaled_bounds);
-        let jobs = self.gate_bounds.iter().zip(out_chunks);
-        if self.threaded() {
-            crossbeam::thread::scope(|scope| {
-                for (&(start, end), out_chunk) in jobs {
-                    scope.spawn(move |_| {
-                        grad_pass_chunk(
-                            w,
-                            bias,
-                            area,
-                            start,
-                            end,
-                            &row_sums[start..end],
-                            force,
-                            coeff_bias,
-                            coeff_area,
-                            consts,
-                            out_chunk,
-                        );
-                    });
-                }
-            })
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        if let Some(pool) = &self.pool {
+            pool.grad_pass(w, row_sums, force, coeff_bias, coeff_area, consts, out);
         } else {
-            for (&(start, end), out_chunk) in jobs {
+            for &(start, end) in &self.gate_bounds {
                 grad_pass_chunk(
                     w,
                     bias,
@@ -709,7 +654,7 @@ impl<'a> CostEngine<'a> {
                     coeff_bias,
                     coeff_area,
                     consts,
-                    out_chunk,
+                    &mut out[start * k..end * k],
                 );
             }
         }

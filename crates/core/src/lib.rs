@@ -70,6 +70,7 @@ pub mod kernel;
 pub mod limit;
 pub mod metrics;
 pub mod multilevel;
+mod pool;
 mod problem;
 pub mod refine;
 pub mod solver;

@@ -1,0 +1,574 @@
+//! Persistent worker pool for deterministic intra-descent parallelism.
+//!
+//! The fused engine's chunked sweeps originally ran on `crossbeam` scoped
+//! threads spawned per evaluation. That was correct but allocated on every
+//! call (thread stacks, join handles), which breaks the engine's
+//! zero-allocation contract precisely when it matters most — large problems
+//! iterating thousands of times per restart. [`ChunkPool`] replaces the
+//! per-call spawn with a fixed set of workers created once in
+//! [`CostEngine::new`](crate::engine::CostEngine::new) and parked between
+//! epochs.
+//!
+//! # Why this shape
+//!
+//! * **Zero allocation after construction** — every staging buffer
+//!   (the weight-matrix copy, per-chunk outputs) is pre-sized in
+//!   [`ChunkPool::new`]. Dispatch and completion use `Mutex`/`Condvar`/
+//!   `RwLock`, whose lock/wait/notify operations do not allocate on the
+//!   futex-backed platforms this repo targets. The allocation-sanitizer
+//!   test (`crates/core/tests/alloc_sanitizer.rs`) pins this dynamically.
+//! * **Bit-identical to the serial chunked sweep** — workers run the same
+//!   chunk kernels ([`gate_pass_chunk`], [`edge_pass_chunk`],
+//!   [`grad_pass_chunk`]) over the same fixed bounds, and the engine folds
+//!   the per-chunk partials in chunk order after every epoch. Threading
+//!   changes wall-clock time, never a bit of the result.
+//! * **100% safe Rust** — `crates/core` carries `#![forbid(unsafe_code)]`.
+//!   Workers never see a borrow of engine state: inputs are copied into a
+//!   shared [`RwLock`] staging area between epochs, outputs live in
+//!   per-chunk `Mutex` slots that only their owning worker touches during
+//!   an epoch.
+//!
+//! # Epoch protocol
+//!
+//! One evaluation runs up to three epochs (gate, edge, gradient sweep):
+//!
+//! 1. The engine writes the pass inputs under the `input` write lock. No
+//!    worker holds a read guard here — the previous epoch's completion
+//!    barrier only opens after every worker has dropped it.
+//! 2. It resets the `done` counter, bumps `job.epoch`, and notifies.
+//! 3. Each worker observes the new epoch, takes the `input` read lock,
+//!    runs its chunk into its own output slot, drops the read guard, and
+//!    decrements `done` (notifying on zero).
+//! 4. The engine wakes, folds the per-chunk outputs in chunk order, and
+//!    re-raises any worker panic.
+//!
+//! Thread-confinement rule D3 (enforced by `sfqlint`) allows thread
+//! creation only here and in `engine.rs`, so chunk layout and fold order
+//! stay auditable in two adjacent files.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
+
+use crate::engine::{edge_pass_chunk, gate_pass_chunk, grad_pass_chunk, GradConsts};
+use crate::weights::WeightMatrix;
+
+/// Locks a mutex, continuing through poisoning: a panicked worker's payload
+/// is re-raised by the dispatcher, so the data behind a poisoned lock is
+/// never trusted past that point anyway.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Which sweep the current epoch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassKind {
+    /// Nothing dispatched yet (epoch 0 placeholder).
+    Idle,
+    /// Fused gate sweep ([`gate_pass_chunk`]) over the gate chunks.
+    Gate,
+    /// Edge sweep ([`edge_pass_chunk`]) over the edge chunks.
+    Edge,
+    /// Gradient write sweep ([`grad_pass_chunk`]) over the gate chunks.
+    Grad,
+}
+
+/// Staging area the engine fills before each epoch; workers read it through
+/// the `RwLock` while running their chunk.
+#[derive(Debug)]
+struct PassInput {
+    /// Copy of the weight matrix under evaluation (gate + gradient sweeps).
+    w: WeightMatrix,
+    /// Gate labels from the preceding gate sweep (edge sweep).
+    labels: Vec<f64>,
+    /// Row sums from the preceding gate sweep (gradient sweep).
+    row_sums: Vec<f64>,
+    /// Folded interconnect forces (gradient sweep).
+    force: Vec<f64>,
+    /// Per-plane `F₂` gradient coefficients (gradient sweep).
+    coeff_bias: Vec<f64>,
+    /// Per-plane `F₃` gradient coefficients (gradient sweep).
+    coeff_area: Vec<f64>,
+    /// Per-iteration gradient constants (gradient sweep).
+    consts: GradConsts,
+    /// Whether the edge sweep accumulates forces (gradient mode).
+    with_force: bool,
+}
+
+/// Per-chunk output slot for the gate sweep.
+#[derive(Debug)]
+struct GateOut {
+    /// Labels for the chunk's gates (chunk-length prefix used).
+    labels: Vec<f64>,
+    /// Row sums for the chunk's gates (chunk-length prefix used).
+    row_sums: Vec<f64>,
+    /// Per-plane bias partial sums (`K`).
+    bias: Vec<f64>,
+    /// Per-plane area partial sums (`K`).
+    area: Vec<f64>,
+    /// Raw `F₄` partial.
+    f4: f64,
+}
+
+/// Per-chunk output slot for the edge sweep.
+#[derive(Debug)]
+struct EdgeOut {
+    /// Raw `F₁` partial.
+    f1: f64,
+    /// Full-length (`G`) force scatter buffer for this chunk.
+    force: Vec<f64>,
+}
+
+/// Per-chunk output slot for the gradient sweep (`chunk_len × K` rows).
+#[derive(Debug)]
+struct GradOut {
+    out: Vec<f64>,
+}
+
+/// Epoch dispatch cell guarded by [`Shared::job`].
+#[derive(Debug)]
+struct Job {
+    /// Monotone epoch counter; workers run once per observed change.
+    epoch: u64,
+    /// Sweep to run this epoch.
+    kind: PassKind,
+    /// Set by [`ChunkPool::drop`]; workers exit their loop.
+    shutdown: bool,
+}
+
+/// State shared between the dispatching engine and the workers.
+#[derive(Debug)]
+struct Shared {
+    /// Per-gate bias currents (copied from the problem; workers cannot
+    /// borrow engine-lifetime data).
+    bias: Vec<f64>,
+    /// Per-gate areas.
+    area: Vec<f64>,
+    /// Edge list.
+    edges: Vec<(u32, u32)>,
+    /// Cost exponent `p`.
+    exponent: f64,
+    /// `F₁` normalization `N₁`.
+    n1: f64,
+    /// Use the paper's unsigned `F₁` force convention.
+    paper_f1_sign: bool,
+    /// Fixed gate-sweep chunk bounds.
+    gate_bounds: Vec<(usize, usize)>,
+    /// Fixed edge-sweep chunk bounds.
+    edge_bounds: Vec<(usize, usize)>,
+    /// Number of planes `K`.
+    num_planes: usize,
+    input: RwLock<PassInput>,
+    job: Mutex<Job>,
+    job_cv: Condvar,
+    /// Workers still running the current epoch.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    /// First captured worker panic, re-raised by the dispatcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    gate_out: Vec<Mutex<GateOut>>,
+    edge_out: Vec<Mutex<EdgeOut>>,
+    grad_out: Vec<Mutex<GradOut>>,
+}
+
+/// A fixed set of parked worker threads running chunked sweeps on demand.
+///
+/// Created once per [`CostEngine`](crate::engine::CostEngine) when
+/// intra-descent parallelism is requested on a chunked problem; dropped
+/// with the engine (workers are signalled and joined).
+pub(crate) struct ChunkPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for ChunkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkPool")
+            .field("workers", &self.workers)
+            .field("gate_chunks", &self.shared.gate_bounds.len())
+            .field("edge_chunks", &self.shared.edge_bounds.len())
+            .finish()
+    }
+}
+
+impl Clone for ChunkPool {
+    /// Clones the configuration, not the threads: the clone gets its own
+    /// fresh worker set over the same problem data and chunk layout.
+    fn clone(&self) -> Self {
+        let s = &self.shared;
+        ChunkPool::new(
+            s.bias.clone(),
+            s.area.clone(),
+            s.edges.clone(),
+            s.exponent,
+            s.n1,
+            s.paper_f1_sign,
+            s.gate_bounds.clone(),
+            s.edge_bounds.clone(),
+            s.num_planes,
+        )
+    }
+}
+
+impl ChunkPool {
+    /// Builds the shared state, pre-sizes every buffer, and spawns one
+    /// worker per chunk (the larger of the two chunk counts).
+    #[allow(clippy::too_many_arguments)] // construction-time plumbing from the engine
+    pub(crate) fn new(
+        bias: Vec<f64>,
+        area: Vec<f64>,
+        edges: Vec<(u32, u32)>,
+        exponent: f64,
+        n1: f64,
+        paper_f1_sign: bool,
+        gate_bounds: Vec<(usize, usize)>,
+        edge_bounds: Vec<(usize, usize)>,
+        num_planes: usize,
+    ) -> Self {
+        let g = bias.len();
+        let k = num_planes;
+        let gate_out = gate_bounds
+            .iter()
+            .map(|&(start, end)| {
+                Mutex::new(GateOut {
+                    labels: vec![0.0; end - start],
+                    row_sums: vec![0.0; end - start],
+                    bias: vec![0.0; k],
+                    area: vec![0.0; k],
+                    f4: 0.0,
+                })
+            })
+            .collect();
+        let edge_out = edge_bounds
+            .iter()
+            .map(|_| {
+                Mutex::new(EdgeOut {
+                    f1: 0.0,
+                    force: vec![0.0; g],
+                })
+            })
+            .collect();
+        let grad_out = gate_bounds
+            .iter()
+            .map(|&(start, end)| {
+                Mutex::new(GradOut {
+                    out: vec![0.0; (end - start) * k],
+                })
+            })
+            .collect();
+        let workers = gate_bounds.len().max(edge_bounds.len());
+        let shared = Arc::new(Shared {
+            bias,
+            area,
+            edges,
+            exponent,
+            n1,
+            paper_f1_sign,
+            gate_bounds,
+            edge_bounds,
+            num_planes,
+            input: RwLock::new(PassInput {
+                w: WeightMatrix::uniform(g, k),
+                labels: vec![0.0; g],
+                row_sums: vec![0.0; g],
+                force: vec![0.0; g],
+                coeff_bias: vec![0.0; k],
+                coeff_area: vec![0.0; k],
+                consts: GradConsts::default(),
+                with_force: false,
+            }),
+            job: Mutex::new(Job {
+                epoch: 0,
+                kind: PassKind::Idle,
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+            gate_out,
+            edge_out,
+            grad_out,
+        });
+        let handles = (0..workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, idx))
+            })
+            .collect();
+        ChunkPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Runs one epoch of `kind` across all workers and waits for the
+    /// completion barrier; re-raises the first worker panic, if any.
+    fn run_epoch(&self, kind: PassKind) {
+        {
+            let mut done = lock(&self.shared.done);
+            *done = self.workers;
+        }
+        {
+            let mut job = lock(&self.shared.job);
+            job.epoch = job.epoch.wrapping_add(1);
+            job.kind = kind;
+        }
+        self.shared.job_cv.notify_all();
+        {
+            let mut done = lock(&self.shared.done);
+            while *done > 0 {
+                done = self
+                    .shared
+                    .done_cv
+                    .wait(done)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if let Some(payload) = lock(&self.shared.panic).take() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Dispatches the gate sweep and writes the per-chunk results back into
+    /// the engine's buffers: `labels`/`row_sums` (length `G`) and the
+    /// `[bias K | area K | f4]` partials laid out with `stride` per chunk.
+    pub(crate) fn gate_pass(
+        &self,
+        w: &WeightMatrix,
+        labels: &mut [f64],
+        row_sums: &mut [f64],
+        partials: &mut [f64],
+        stride: usize,
+    ) {
+        {
+            let mut input = self
+                .shared
+                .input
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            input.w.as_mut_slice().copy_from_slice(w.as_slice());
+        }
+        self.run_epoch(PassKind::Gate);
+        let k = self.shared.num_planes;
+        for (idx, &(start, end)) in self.shared.gate_bounds.iter().enumerate() {
+            let out = lock(&self.shared.gate_out[idx]);
+            let len = end - start;
+            labels[start..end].copy_from_slice(&out.labels[..len]);
+            row_sums[start..end].copy_from_slice(&out.row_sums[..len]);
+            let base = idx * stride;
+            partials[base..base + k].copy_from_slice(&out.bias);
+            partials[base + k..base + 2 * k].copy_from_slice(&out.area);
+            partials[base + 2 * k] = out.f4;
+        }
+    }
+
+    /// Dispatches the edge sweep and writes the per-chunk `F₁` partials and
+    /// (in gradient mode) the per-chunk force scatters back into the
+    /// engine's buffers.
+    pub(crate) fn edge_pass(
+        &self,
+        labels: &[f64],
+        with_force: bool,
+        f1_partials: &mut [f64],
+        chunk_force: &mut [f64],
+    ) {
+        {
+            let mut input = self
+                .shared
+                .input
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            input.labels.copy_from_slice(labels);
+            input.with_force = with_force;
+        }
+        self.run_epoch(PassKind::Edge);
+        let g = self.shared.bias.len();
+        for (idx, _) in self.shared.edge_bounds.iter().enumerate() {
+            let out = lock(&self.shared.edge_out[idx]);
+            f1_partials[idx] = out.f1;
+            if with_force {
+                chunk_force[idx * g..(idx + 1) * g].copy_from_slice(&out.force);
+            }
+        }
+    }
+
+    /// Dispatches the gradient write sweep and copies the per-chunk rows
+    /// back into `out` (row-major `G×K`).
+    #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+    pub(crate) fn grad_pass(
+        &self,
+        w: &WeightMatrix,
+        row_sums: &[f64],
+        force: &[f64],
+        coeff_bias: &[f64],
+        coeff_area: &[f64],
+        consts: GradConsts,
+        out: &mut [f64],
+    ) {
+        {
+            let mut input = self
+                .shared
+                .input
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            input.w.as_mut_slice().copy_from_slice(w.as_slice());
+            input.row_sums.copy_from_slice(row_sums);
+            input.force.copy_from_slice(force);
+            input.coeff_bias.copy_from_slice(coeff_bias);
+            input.coeff_area.copy_from_slice(coeff_area);
+            input.consts = consts;
+        }
+        self.run_epoch(PassKind::Grad);
+        let k = self.shared.num_planes;
+        for (idx, &(start, end)) in self.shared.gate_bounds.iter().enumerate() {
+            let slot = lock(&self.shared.grad_out[idx]);
+            out[start * k..end * k].copy_from_slice(&slot.out[..(end - start) * k]);
+        }
+    }
+}
+
+impl Drop for ChunkPool {
+    fn drop(&mut self) {
+        {
+            let mut job = lock(&self.shared.job);
+            job.shutdown = true;
+        }
+        self.shared.job_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already parked its payload; nothing
+            // useful is left to re-raise during drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: waits for epoch bumps, runs this worker's chunk of the
+/// dispatched sweep, and decrements the completion barrier. Panics inside
+/// the chunk are captured so the barrier always closes; the dispatcher
+/// re-raises them.
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let kind = {
+            let mut job = lock(&shared.job);
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.epoch != seen {
+                    seen = job.epoch;
+                    break job.kind;
+                }
+                job = shared
+                    .job_cv
+                    .wait(job)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| run_chunk(shared, idx, kind)));
+        if let Err(payload) = result {
+            let mut slot = lock(&shared.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = lock(&shared.done);
+        *done = done.saturating_sub(1);
+        if *done == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs worker `idx`'s chunk of the `kind` sweep. Workers whose index has
+/// no chunk in this sweep (gate and edge chunk counts can differ) return
+/// immediately and only participate in the barrier.
+fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
+    let input = shared.input.read().unwrap_or_else(PoisonError::into_inner);
+    match kind {
+        PassKind::Idle => {}
+        PassKind::Gate => {
+            let Some(&(start, end)) = shared.gate_bounds.get(idx) else {
+                return;
+            };
+            let Some(slot) = shared.gate_out.get(idx) else {
+                return;
+            };
+            let out = &mut *lock(slot);
+            out.bias.fill(0.0);
+            out.area.fill(0.0);
+            out.f4 = 0.0;
+            let len = end - start;
+            let GateOut {
+                labels,
+                row_sums,
+                bias,
+                area,
+                f4,
+            } = out;
+            gate_pass_chunk(
+                &input.w,
+                &shared.bias,
+                &shared.area,
+                start,
+                end,
+                &mut labels[..len],
+                &mut row_sums[..len],
+                bias,
+                area,
+                f4,
+            );
+        }
+        PassKind::Edge => {
+            let Some(&(start, end)) = shared.edge_bounds.get(idx) else {
+                return;
+            };
+            let Some(slot) = shared.edge_out.get(idx) else {
+                return;
+            };
+            let out = &mut *lock(slot);
+            out.f1 = 0.0;
+            let EdgeOut { f1, force } = out;
+            let force = if input.with_force {
+                force.fill(0.0);
+                Some(&mut force[..])
+            } else {
+                None
+            };
+            edge_pass_chunk(
+                &shared.edges[start..end],
+                &input.labels,
+                shared.exponent,
+                shared.n1,
+                shared.paper_f1_sign,
+                f1,
+                force,
+            );
+        }
+        PassKind::Grad => {
+            let Some(&(start, end)) = shared.gate_bounds.get(idx) else {
+                return;
+            };
+            let Some(slot) = shared.grad_out.get(idx) else {
+                return;
+            };
+            let out = &mut *lock(slot);
+            grad_pass_chunk(
+                &input.w,
+                &shared.bias,
+                &shared.area,
+                start,
+                end,
+                &input.row_sums[start..end],
+                &input.force,
+                &input.coeff_bias,
+                &input.coeff_area,
+                input.consts,
+                &mut out.out,
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Dynamic cross-check of sfqlint's A1 rule: a counting global allocator
+//! proves that one full fused descent iteration — `evaluate_with_gradient`
+//! plus the weight update — performs **zero** allocations after warm-up, on
+//! the roadmap benchmarks across the {serial, intra-parallel} matrix.
+//!
+//! A1 establishes allocation-freedom statically through the workspace call
+//! graph; this test is the runtime tripwire if the graph approximation ever
+//! misses a path (a closure, a trait object, a macro expansion). The two
+//! must agree: if this test starts failing, either a hot-path allocation
+//! slipped in (fix the code) or A1's known-safe list grew a hole (fix the
+//! lint).
+//!
+//! This test runs **without the libtest harness** (`harness = false` in
+//! `Cargo.toml`): the harness's main thread lazily allocates its
+//! channel-blocking context the first time it parks waiting for a test,
+//! and whether that one-off allocation lands inside the measured window is
+//! a scheduling race. Harness-free, the process owns every thread it
+//! measures — just `main` plus the engine's own worker pool. The counting
+//! wrapper defers to the system allocator; counts are call counts, not
+//! bytes, so arena reuse cannot mask a regression.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::engine::{CostEngine, EngineOptions};
+use sfq_partition::{CostWeights, PartitionProblem, WeightMatrix};
+
+/// Counts every allocator entry point, then defers to [`System`].
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards verbatim to `System` after bumping an
+// atomic counter, so the allocator contract is exactly `System`'s.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout handed straight to `System::alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: same layout handed straight to `System::alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    // A realloc is a fresh acquisition from the hot loop's perspective.
+    // SAFETY: pointer/layout/new_size forwarded untouched to `System`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    // SAFETY: pointer/layout forwarded untouched to `System::dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn checkpoint() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::SeqCst),
+        DEALLOCS.load(Ordering::SeqCst),
+    )
+}
+
+fn problem(bench: Benchmark, k: usize) -> PartitionProblem {
+    let netlist = generate(bench);
+    PartitionProblem::from_netlist(&netlist, k).expect("suite circuits are valid")
+}
+
+fn main() {
+    // Positive control: prove the wrapper is actually installed and
+    // counting before trusting any zero below.
+    let (control_allocs, _) = checkpoint();
+    let probe = vec![0u8; 64];
+    drop(probe);
+    let (after_control, _) = checkpoint();
+    assert!(
+        after_control > control_allocs,
+        "counting allocator is not intercepting allocations"
+    );
+
+    // KSA16@K=5 runs unchunked; C1908@K=30 (G·K = 50 850) splits the gate
+    // sweeps into chunks, so intra_parallel=true exercises the worker pool.
+    for (bench, k, iters) in [(Benchmark::Ksa16, 5, 50), (Benchmark::C1908, 30, 20)] {
+        let p = problem(bench, k);
+        let g = p.num_gates();
+        for intra_parallel in [false, true] {
+            let tag = format!("{} k={k} intra_parallel={intra_parallel}", bench.name());
+            let options = EngineOptions {
+                intra_parallel,
+                ..EngineOptions::default()
+            };
+            let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, options);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut w = WeightMatrix::random(g, k, &mut rng);
+            let mut step = vec![0.0; g * k];
+
+            // Warm-up: any lazy first-touch work (thread-local init in the
+            // pool workers, allocator arenas) happens here, outside the
+            // measured window.
+            for _ in 0..3 {
+                engine.evaluate_with_gradient(&w, &mut step);
+                w.descend_scaled(&step, 0.05);
+            }
+
+            let (a0, d0) = checkpoint();
+            let mut total = 0.0;
+            for _ in 0..iters {
+                let cost = engine.evaluate_with_gradient(&w, &mut step);
+                w.descend_scaled(&step, 0.05);
+                total += cost.total;
+            }
+            let cost_only = engine.evaluate(&w);
+            let (a1, d1) = checkpoint();
+
+            assert!(total.is_finite() && cost_only.total.is_finite());
+            assert_eq!(
+                a1 - a0,
+                0,
+                "{tag}: descent iterations allocated after warm-up"
+            );
+            assert_eq!(
+                d1 - d0,
+                0,
+                "{tag}: descent iterations deallocated after warm-up"
+            );
+            println!("alloc sanitizer: {tag}: 0 allocations over {iters} iterations");
+        }
+    }
+    println!("alloc sanitizer: ok");
+}

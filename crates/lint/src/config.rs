@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "F1", "P1", "U1"];
+pub const RULE_IDS: &[&str] = &["A1", "D1", "D2", "D3", "F1", "I1", "O1", "P1", "U1"];
 
 /// One `[[allow]]` entry: suppress findings of `rule` in `path`, optionally
 /// narrowed to a line and/or a message substring.
@@ -45,6 +45,21 @@ pub struct Config {
     pub d3_allowed_files: Vec<String>,
     /// Crates whose library code rule P1 (no panicking ops) applies to.
     pub p1_crates: Vec<String>,
+    /// Hot-path roots for rule A1 (allocation-freedom): qualified function
+    /// names (`Type::method` or `module::fn`) whose entire reachable call
+    /// graph must be allocation-free.
+    pub a1_roots: Vec<String>,
+    /// Crates whose library code rule I1 (no I/O outside sinks) covers.
+    pub i1_crates: Vec<String>,
+    /// Files exempt from I1: the designated telemetry/output sinks.
+    pub i1_sink_files: Vec<String>,
+    /// Observer trait names whose impl methods rule O1 starts from.
+    pub o1_observer_traits: Vec<String>,
+    /// Types whose `&mut self` methods count as mutators for rule O1.
+    pub o1_mutator_types: Vec<String>,
+    /// Additional qualified function names that count as mutators for O1
+    /// regardless of receiver (e.g. re-entrant solver entry points).
+    pub o1_mutator_fns: Vec<String>,
     /// Allowlist entries.
     pub allows: Vec<AllowEntry>,
 }
@@ -72,6 +87,35 @@ impl Default for Config {
                 "sim".into(),
                 "report".into(),
                 "bench".into(),
+            ],
+            a1_roots: vec![
+                "CostEngine::evaluate".into(),
+                "CostEngine::evaluate_with_gradient".into(),
+                "WeightMatrix::descend".into(),
+                "WeightMatrix::descend_scaled".into(),
+                "WeightMatrix::descend_scaled_counting".into(),
+                "MoveState::best_move".into(),
+                "MoveState::move_gain".into(),
+                "MoveState::apply".into(),
+                "ChunkPool::gate_pass".into(),
+                "ChunkPool::edge_pass".into(),
+                "ChunkPool::grad_pass".into(),
+                "pool::worker_loop".into(),
+            ],
+            i1_crates: vec!["core".into(), "recycle".into(), "sim".into()],
+            i1_sink_files: vec!["crates/core/src/telemetry.rs".into()],
+            o1_observer_traits: vec!["SolveObserver".into(), "RestartObserver".into()],
+            o1_mutator_types: vec![
+                "WeightMatrix".into(),
+                "CostEngine".into(),
+                "PartitionProblem".into(),
+                "Solver".into(),
+            ],
+            o1_mutator_fns: vec![
+                "Solver::solve".into(),
+                "Solver::solve_observed".into(),
+                "Solver::try_solve".into(),
+                "Solver::try_solve_observed".into(),
             ],
             allows: Vec::new(),
         }
@@ -361,6 +405,21 @@ fn apply_key(
         "rules.P1" => match key {
             "crates" => cfg.p1_crates = expect_str_array(value, key, lineno)?,
             other => return Err(err(lineno, format!("unknown [rules.P1] key `{other}`"))),
+        },
+        "rules.A1" => match key {
+            "roots" => cfg.a1_roots = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.A1] key `{other}`"))),
+        },
+        "rules.I1" => match key {
+            "crates" => cfg.i1_crates = expect_str_array(value, key, lineno)?,
+            "sink_files" => cfg.i1_sink_files = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.I1] key `{other}`"))),
+        },
+        "rules.O1" => match key {
+            "observer_traits" => cfg.o1_observer_traits = expect_str_array(value, key, lineno)?,
+            "mutator_types" => cfg.o1_mutator_types = expect_str_array(value, key, lineno)?,
+            "mutator_fns" => cfg.o1_mutator_fns = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.O1] key `{other}`"))),
         },
         other => {
             return Err(err(

@@ -27,6 +27,33 @@ impl Diagnostic {
             self.file, self.line, self.col, self.rule, self.message
         )
     }
+
+    /// Stable key identifying the finding for allowlist purposes:
+    /// `RULE@file:line`. Emitted in the JSON report so a suppression entry
+    /// can be written from the report alone.
+    pub fn allow_key(&self) -> String {
+        format!("{}@{}:{}", self.rule, self.file, self.line)
+    }
+
+    /// Renders as a GitHub Actions workflow command, so findings surface
+    /// as inline annotations on pull requests.
+    pub fn render_github(&self) -> String {
+        format!(
+            "::error file={},line={},col={},title=sfqlint {}::{}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            github_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes the message data of a workflow command (`%`, CR, LF).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Splits `diags` into (kept, suppressed) according to the allowlist, and
@@ -93,27 +120,31 @@ fn json_escape(s: &str) -> String {
 
 /// Renders the machine-readable report.
 ///
-/// Shape: `{"version":1,"findings":[{rule,file,line,col,message}…],
-/// "total":N,"suppressed":M,"unused_allows":[{rule,path}…]}` — findings are
-/// already sorted by (file, line, col).
+/// Shape: `{"version":2,"findings":[{rule,file,line,col,message,
+/// allow_key}…],"total":N,"suppressed":M,"unused_allows":[{rule,path}…]}`
+/// — findings are already sorted by (file, line, col). `allow_key` is the
+/// stable `RULE@file:line` handle for writing a `[[allow]]` entry straight
+/// from the report.
 pub fn render_json(
     findings: &[Diagnostic],
     suppressed: usize,
     unused_allows: &[AllowEntry],
 ) -> String {
-    let mut out = String::from("{\"version\":1,\"findings\":[");
+    let mut out = String::from("{\"version\":2,\"findings\":[");
     for (i, d) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\
+             \"allow_key\":\"{}\"}}",
             d.rule,
             json_escape(&d.file),
             d.line,
             d.col,
-            json_escape(&d.message)
+            json_escape(&d.message),
+            json_escape(&d.allow_key())
         );
     }
     let _ = write!(

@@ -1,0 +1,737 @@
+//! Item-level model of one source file: functions with qualified names,
+//! receivers, spans, and extracted call sites.
+//!
+//! This sits between the raw token stream ([`crate::lexer`]) and the
+//! workspace graph ([`crate::graph`]). It is *not* a Rust parser — it is a
+//! structural scanner that recognizes exactly the item shapes the
+//! cross-file rules need (`mod`/`impl`/`trait`/`fn`/`use`) and records,
+//! for every function, the calls and macro invocations its body makes.
+//! Anything the scanner does not understand is skipped, never an error:
+//! like the lexer, it must degrade gracefully on broken input so the lint
+//! gate cannot be wedged by a half-written file.
+//!
+//! Approximations, by design:
+//!
+//! * Items nested inside function bodies (closures, nested `fn`s) are
+//!   attributed to the enclosing function — conservative for call-graph
+//!   purposes, since the enclosing function *may* run them.
+//! * Method calls record only the method name; receiver types are resolved
+//!   (approximately) by the graph layer, not here.
+//! * Generic parameters are skipped by angle-bracket matching, which is
+//!   sufficient because type position cannot contain braces.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::test_mask;
+
+/// One call or macro invocation inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Final path segment (`pow_abs` for `kernel::pow_abs(…)`), or the
+    /// macro name for `is_macro` sites.
+    pub name: String,
+    /// All path segments (`["kernel", "pow_abs"]`; single-element for bare
+    /// calls, method calls, and macros).
+    pub segments: Vec<String>,
+    /// True when the call is `.name(…)` on some receiver.
+    pub is_method: bool,
+    /// True for `name!(…)` / `name![…]` / `name!{…}`.
+    pub is_macro: bool,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// 1-based source column of the call.
+    pub col: u32,
+}
+
+/// One function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified name: `Type::name` inside an `impl`/`trait` block,
+    /// otherwise `module::path::name` with the module path derived from
+    /// the file stem plus any inline `mod` nesting (`kernel::pow_abs`,
+    /// `engine::tests::helper`, or plain `name` for `lib.rs` items).
+    pub qname: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub impl_type: Option<String>,
+    /// Trait being implemented (`impl Trait for Type`), or the trait name
+    /// for default methods declared in a `trait` block.
+    pub impl_trait: Option<String>,
+    /// True when the receiver can mutate (`&mut self` or `mut self`).
+    pub mut_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// True when the function lives under `#[cfg(test)]`/`#[test]`.
+    pub in_test: bool,
+    /// Calls and macro invocations in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One `use` declaration, flattened: `use a::b::{c, d as e};` yields two
+/// entries (`c → a::b::c`, `e → a::b::d`). Globs are skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Name the path is bound to in this file.
+    pub alias: String,
+    /// Full path segments, including leading `crate`/`super`/`self`.
+    pub segments: Vec<String>,
+}
+
+/// Everything the graph layer needs from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileItems {
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Flattened `use` declarations.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Keywords that can directly precede `(` without being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "mut", "ref", "move", "in",
+    "as", "where", "unsafe", "async", "await", "dyn", "impl", "fn", "pub", "use", "mod", "const",
+    "static", "type", "struct", "enum", "union", "trait", "break", "continue", "yield", "box",
+];
+
+/// Module-path prefix a file contributes: the stem for `foo.rs`, nothing
+/// for `lib.rs` / `mod.rs` / `main.rs` / bin targets.
+fn file_module(path: &str) -> Option<&str> {
+    let stem = path.rsplit('/').next()?.strip_suffix(".rs")?;
+    match stem {
+        "lib" | "mod" | "main" => None,
+        _ => Some(stem),
+    }
+}
+
+/// Context frame while scanning: what block we are inside.
+#[derive(Debug)]
+enum Frame {
+    /// `mod name { … }`; the name extends the module path.
+    Mod(String),
+    /// `impl Type { … }`, `impl Trait for Type { … }`, or `trait Name { … }`.
+    Impl {
+        type_name: String,
+        trait_name: Option<String>,
+    },
+}
+
+/// Parses `src` into its item-level model. Never fails.
+pub fn parse_items(path: &str, src: &str) -> FileItems {
+    let tokens = lex(src);
+    let mask = test_mask(&tokens);
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+
+    let mut out = FileItems::default();
+    // Frames paired with the brace depth *inside* their block.
+    let mut frames: Vec<(Frame, usize)> = Vec::new();
+    let mut depth: usize = 0;
+    let mut i = 0usize;
+    while let Some(t) = tok(i) {
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            while frames.last().is_some_and(|&(_, d)| d > depth) {
+                frames.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("mod") {
+            if let (Some(name), Some(open)) = (tok(i + 1), tok(i + 2)) {
+                if name.kind == TokenKind::Ident && open.is_punct("{") {
+                    frames.push((Frame::Mod(name.text.to_owned()), depth + 1));
+                }
+            }
+            i += 2;
+            continue;
+        }
+        if t.is_ident("impl") {
+            let (frame, next) = parse_impl_header(&tokens, &sig, i + 1);
+            frames.push((frame, depth + 1));
+            i = next;
+            continue;
+        }
+        if t.is_ident("trait") {
+            if let Some(name) = tok(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                frames.push((
+                    Frame::Impl {
+                        type_name: name.text.to_owned(),
+                        trait_name: Some(name.text.to_owned()),
+                    },
+                    depth + 1,
+                ));
+                // Skip supertrait bounds etc. up to the opening brace.
+                let mut j = i + 2;
+                while let Some(n) = tok(j) {
+                    if n.is_punct("{") || n.is_punct(";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("use") {
+            i = parse_use(&tokens, &sig, i + 1, &mut out.uses);
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name) = tok(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                let (item, next) = parse_fn(
+                    path, &tokens, &sig, &mask, i, name.text, &frames, t.line, t.col,
+                );
+                if let Some(item) = item {
+                    out.fns.push(item);
+                }
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses an `impl` header starting after the `impl` keyword; returns the
+/// frame and the stream position of the opening `{` (or past the `;`).
+fn parse_impl_header(tokens: &[Token<'_>], sig: &[usize], start: usize) -> (Frame, usize) {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut angle = 0usize;
+    let mut paren = 0usize;
+    let mut before_for: Vec<String> = Vec::new();
+    let mut after_for: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    let mut in_where = false;
+    let mut j = start;
+    while let Some(t) = tok(j) {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = angle.saturating_sub(1);
+        } else if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren = paren.saturating_sub(1);
+        } else if angle == 0 && paren == 0 {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.is_ident("where") {
+                in_where = true;
+            } else if t.kind == TokenKind::Ident && !in_where {
+                let keyword = matches!(t.text, "dyn" | "unsafe" | "const" | "crate" | "super");
+                if !keyword {
+                    if saw_for {
+                        after_for.push(t.text.to_owned());
+                    } else {
+                        before_for.push(t.text.to_owned());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    let (type_name, trait_name) = if saw_for {
+        (
+            after_for.last().cloned().unwrap_or_default(),
+            before_for.last().cloned(),
+        )
+    } else {
+        (before_for.last().cloned().unwrap_or_default(), None)
+    };
+    (
+        Frame::Impl {
+            type_name,
+            trait_name,
+        },
+        j,
+    )
+}
+
+/// Parses one `use` declaration starting after the `use` keyword; appends
+/// flattened aliases and returns the position past the terminating `;`.
+fn parse_use(tokens: &[Token<'_>], sig: &[usize], start: usize, out: &mut Vec<UseDecl>) -> usize {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    // Find the end first so malformed input cannot loop.
+    let mut end = start;
+    while let Some(t) = tok(end) {
+        if t.is_punct(";") {
+            break;
+        }
+        end += 1;
+    }
+    let mut prefix: Vec<String> = Vec::new();
+    collect_use_tree(tokens, sig, start, end, &mut prefix, out);
+    end + 1
+}
+
+/// Recursively flattens a use tree over stream positions `[start, end)`.
+fn collect_use_tree(
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseDecl>,
+) {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let prefix_len = prefix.len();
+    let mut path: Vec<String> = Vec::new();
+    let mut j = start;
+    while j < end {
+        let Some(t) = tok(j) else { break };
+        if t.kind == TokenKind::Ident {
+            if t.text == "as" {
+                // `path as alias`
+                if let Some(alias) = tok(j + 1).filter(|a| a.kind == TokenKind::Ident) {
+                    let mut full = prefix.clone();
+                    full.append(&mut path);
+                    out.push(UseDecl {
+                        alias: alias.text.to_owned(),
+                        segments: full,
+                    });
+                }
+                path = Vec::new();
+                j += 2;
+                continue;
+            }
+            path.push(t.text.to_owned());
+            j += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            j += 1;
+            continue;
+        }
+        if t.is_punct("{") {
+            // Group: recurse per comma-separated element.
+            let close = matching_brace(tokens, sig, j, end);
+            prefix.append(&mut path);
+            let mut elem_start = j + 1;
+            let mut k = j + 1;
+            let mut inner = 0usize;
+            while k < close {
+                let Some(c) = tok(k) else { break };
+                if c.is_punct("{") {
+                    inner += 1;
+                } else if c.is_punct("}") {
+                    inner = inner.saturating_sub(1);
+                } else if c.is_punct(",") && inner == 0 {
+                    collect_use_tree(tokens, sig, elem_start, k, prefix, out);
+                    elem_start = k + 1;
+                }
+                k += 1;
+            }
+            collect_use_tree(tokens, sig, elem_start, close, prefix, out);
+            prefix.truncate(prefix_len);
+            return;
+        }
+        if t.is_punct(",") {
+            // Should only appear inside groups (handled above); be tolerant.
+            j += 1;
+            continue;
+        }
+        // `*` glob or anything else: drop this element.
+        path.clear();
+        j += 1;
+    }
+    if let Some(last) = path.last().cloned() {
+        let alias = if last == "self" {
+            // `use a::b::{self, …}` binds `b`.
+            path.pop();
+            match path.last().cloned().or_else(|| prefix.last().cloned()) {
+                Some(a) => a,
+                None => return,
+            }
+        } else {
+            last
+        };
+        let mut full = prefix.clone();
+        full.append(&mut path);
+        out.push(UseDecl {
+            alias,
+            segments: full,
+        });
+    }
+    prefix.truncate(prefix_len);
+}
+
+/// Matching `}` for the `{` at stream position `open`, bounded by `end`.
+fn matching_brace(tokens: &[Token<'_>], sig: &[usize], open: usize, end: usize) -> usize {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        let Some(t) = tok(j) else { break };
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Parses a `fn` item starting at the `fn` keyword (stream position `at`).
+/// Returns the item (None for bodyless trait-method declarations) and the
+/// position to continue scanning from (past the body).
+#[allow(clippy::too_many_arguments)] // internal plumbing for the scanner
+fn parse_fn(
+    path: &str,
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    mask: &[bool],
+    at: usize,
+    name: &str,
+    frames: &[(Frame, usize)],
+    line: u32,
+    col: u32,
+) -> (Option<FnItem>, usize) {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut j = at + 2;
+    // Generic parameters.
+    if tok(j).is_some_and(|t| t.is_punct("<")) {
+        let mut angle = 0usize;
+        while let Some(t) = tok(j) {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Parameters: detect a mutable receiver in the first argument.
+    let mut mut_self = false;
+    if tok(j).is_some_and(|t| t.is_punct("(")) {
+        let mut paren = 0usize;
+        let mut saw_mut = false;
+        let mut first_arg = true;
+        while let Some(t) = tok(j) {
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+                if paren == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if paren == 1 {
+                if t.is_punct(",") {
+                    first_arg = false;
+                } else if first_arg {
+                    if t.is_ident("mut") {
+                        saw_mut = true;
+                    } else if t.is_ident("self") && saw_mut {
+                        mut_self = true;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    // Return type / where clause: scan to the body or a `;`.
+    let body_open = loop {
+        match tok(j) {
+            Some(t) if t.is_punct("{") => break Some(j),
+            Some(t) if t.is_punct(";") => break None,
+            Some(_) => j += 1,
+            None => break None,
+        }
+    };
+    let Some(open) = body_open else {
+        // Trait method declaration without a body: nothing to analyze.
+        return (None, j + 1);
+    };
+    let close = matching_brace(tokens, sig, open, sig.len());
+
+    let (impl_type, impl_trait) = frames
+        .iter()
+        .rev()
+        .find_map(|(f, _)| match f {
+            Frame::Impl {
+                type_name,
+                trait_name,
+            } => Some((Some(type_name.clone()), trait_name.clone())),
+            _ => None,
+        })
+        .unwrap_or((None, None));
+    let qname = match &impl_type {
+        Some(t) => format!("{t}::{name}"),
+        None => {
+            let mut parts: Vec<&str> = Vec::new();
+            if let Some(m) = file_module(path) {
+                parts.push(m);
+            }
+            for (f, _) in frames {
+                if let Frame::Mod(m) = f {
+                    parts.push(m);
+                }
+            }
+            parts.push(name);
+            parts.join("::")
+        }
+    };
+    let in_test = sig
+        .get(at)
+        .is_some_and(|&i| mask.get(i).copied().unwrap_or(false));
+    let calls = extract_calls(tokens, sig, open + 1, close);
+
+    (
+        Some(FnItem {
+            name: name.to_owned(),
+            qname,
+            impl_type,
+            impl_trait,
+            mut_self,
+            line,
+            col,
+            in_test,
+            calls,
+        }),
+        close + 1,
+    )
+}
+
+/// Extracts call sites and macro invocations from stream positions
+/// `[start, end)`.
+fn extract_calls(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) -> Vec<CallSite> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut out = Vec::new();
+    let mut k = start;
+    while k < end {
+        let Some(t) = tok(k) else { break };
+        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text) {
+            k += 1;
+            continue;
+        }
+        // Macro invocation.
+        if tok(k + 1).is_some_and(|n| n.is_punct("!")) {
+            out.push(CallSite {
+                name: t.text.to_owned(),
+                segments: vec![t.text.to_owned()],
+                is_method: false,
+                is_macro: true,
+                line: t.line,
+                col: t.col,
+            });
+            k += 2;
+            continue;
+        }
+        // Path: `a::b::<T>::c(`, `a(`, `.a(`, `.collect::<Vec<_>>(`.
+        let mut segments = vec![t.text.to_owned()];
+        let first = t;
+        let mut m = k + 1;
+        loop {
+            if !tok(m).is_some_and(|n| n.is_punct("::")) {
+                break;
+            }
+            match tok(m + 1) {
+                Some(n) if n.kind == TokenKind::Ident => {
+                    segments.push(n.text.to_owned());
+                    m += 2;
+                }
+                Some(n) if n.is_punct("<") => {
+                    // Turbofish: skip the angle group.
+                    let mut angle = 0usize;
+                    let mut p = m + 1;
+                    while let Some(a) = tok(p) {
+                        if a.is_punct("<") {
+                            angle += 1;
+                        } else if a.is_punct(">") {
+                            angle -= 1;
+                            if angle == 0 {
+                                p += 1;
+                                break;
+                            }
+                        } else if a.is_punct(">>") {
+                            angle = angle.saturating_sub(2);
+                            if angle == 0 {
+                                p += 1;
+                                break;
+                            }
+                        }
+                        p += 1;
+                    }
+                    let _ = n;
+                    m = p;
+                }
+                _ => break,
+            }
+        }
+        if tok(m).is_some_and(|n| n.is_punct("(")) {
+            let is_method =
+                k > start.saturating_sub(1) && k > 0 && tok(k - 1).is_some_and(|p| p.is_punct("."));
+            let name = segments.last().cloned().unwrap_or_default();
+            out.push(CallSite {
+                name,
+                segments,
+                is_method,
+                is_macro: false,
+                line: first.line,
+                col: first.col,
+            });
+        }
+        k = m.max(k + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        parse_items("crates/core/src/example.rs", src)
+    }
+
+    #[test]
+    fn free_fn_gets_module_qname() {
+        let f = items("pub fn pow_abs(x: f64) -> f64 { x.abs() }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].qname, "example::pow_abs");
+        assert!(!f.fns[0].mut_self);
+    }
+
+    #[test]
+    fn lib_rs_items_have_no_module_prefix() {
+        let f = parse_items("crates/core/src/lib.rs", "pub fn top() {}");
+        assert_eq!(f.fns[0].qname, "top");
+    }
+
+    #[test]
+    fn impl_methods_and_receivers() {
+        let f = items(
+            "impl<'a> CostEngine<'a> {\n\
+             pub fn evaluate(&mut self, w: &W) -> f64 { self.gate_pass(w) }\n\
+             pub fn options(&self) -> O { self.options }\n\
+             }",
+        );
+        assert_eq!(f.fns[0].qname, "CostEngine::evaluate");
+        assert!(f.fns[0].mut_self);
+        assert!(!f.fns[1].mut_self);
+        assert_eq!(f.fns[0].calls.len(), 1);
+        assert!(f.fns[0].calls[0].is_method);
+        assert_eq!(f.fns[0].calls[0].name, "gate_pass");
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait() {
+        let f = items(
+            "impl<W: Write> SolveObserver for JsonlTraceWriter<W> {\n\
+             fn on_solve_end(&mut self, e: &E) { self.emit(e); }\n\
+             }",
+        );
+        assert_eq!(f.fns[0].impl_trait.as_deref(), Some("SolveObserver"));
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("JsonlTraceWriter"));
+    }
+
+    #[test]
+    fn trait_default_methods_count_as_trait_methods() {
+        let f = items("trait Obs { fn on_x(&mut self) { helper(); } fn decl(&self); }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].impl_trait.as_deref(), Some("Obs"));
+        assert_eq!(f.fns[0].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn nested_mods_extend_qnames() {
+        let f = items("mod inner { pub fn g() {} }");
+        assert_eq!(f.fns[0].qname, "example::inner::g");
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let f = items(
+            "use crate::kernel::{pow_abs, pow_grad_abs as pga};\n\
+             use std::collections::BTreeMap;\n\
+             use a::b::{self, c};\n",
+        );
+        let pairs: Vec<(String, String)> = f
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.segments.join("::")))
+            .collect();
+        assert!(pairs.contains(&("pow_abs".into(), "crate::kernel::pow_abs".into())));
+        assert!(pairs.contains(&("pga".into(), "crate::kernel::pow_grad_abs".into())));
+        assert!(pairs.contains(&("BTreeMap".into(), "std::collections::BTreeMap".into())));
+        assert!(pairs.contains(&("b".into(), "a::b".into())));
+        assert!(pairs.contains(&("c".into(), "a::b::c".into())));
+    }
+
+    #[test]
+    fn calls_capture_paths_macros_and_turbofish() {
+        let f = items(
+            "fn body() {\n\
+             kernel::pow_abs(d, p);\n\
+             let v = xs.iter().collect::<Vec<_>>();\n\
+             format!(\"x{}\", 1);\n\
+             helper(2);\n\
+             }",
+        );
+        let calls = &f.fns[0].calls;
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"pow_abs"));
+        assert!(names.contains(&"iter"));
+        assert!(names.contains(&"collect"));
+        assert!(names.contains(&"format"));
+        assert!(names.contains(&"helper"));
+        let pow = calls.iter().find(|c| c.name == "pow_abs").unwrap();
+        assert_eq!(pow.segments, vec!["kernel", "pow_abs"]);
+        assert!(!pow.is_method);
+        let collect = calls.iter().find(|c| c.name == "collect").unwrap();
+        assert!(collect.is_method);
+        let fmt = calls.iter().find(|c| c.name == "format").unwrap();
+        assert!(fmt.is_macro);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_flagged() {
+        let f =
+            items("#[cfg(test)]\nmod tests { fn helper() { alloc_here(); } }\npub fn live() {}");
+        let helper = f.fns.iter().find(|x| x.name == "helper").unwrap();
+        assert!(helper.in_test);
+        let live = f.fns.iter().find(|x| x.name == "live").unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn broken_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "use ::;",
+            "fn f( {",
+            "mod m { fn g(",
+            "impl X for {}",
+            "trait {",
+            "fn f() { a::(); b.(); ::x(); }",
+            "use a::{b, {c}};",
+        ] {
+            let _ = parse_items("x.rs", src);
+        }
+    }
+}

@@ -169,6 +169,16 @@ pub fn lex(src: &str) -> Vec<Token<'_>> {
                 lex_raw_string(&mut cur);
                 TokenKind::Str
             }
+            // Raw identifier `r#ident`: one Ident token whose text keeps the
+            // `r#` prefix, so `r#match`/`r#unsafe` never masquerade as the
+            // keywords the rules look for. Checked after the raw-string
+            // head (`r#"` has a quote where the identifier would start).
+            'r' if cur.peek_at(1) == Some('#') && cur.peek_at(2).is_some_and(is_ident_start) => {
+                cur.bump();
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
             c if is_ident_start(c) => {
                 cur.eat_while(is_ident_continue);
                 TokenKind::Ident
@@ -274,14 +284,34 @@ fn lex_raw_string(cur: &mut Cursor<'_>) {
     }
 }
 
-/// Consumes a `'x'` char literal (cursor on the opening quote).
+/// Consumes a `'x'` char literal (cursor on the opening quote), including
+/// multi-character escapes (`'\x41'`, `'\u{1F600}'`); tolerates EOF and
+/// never leaves a stray closing quote behind to start a bogus lifetime.
 fn lex_char(cur: &mut Cursor<'_>) {
     cur.bump(); // opening quote
-    if cur.peek() == Some('\\') {
-        cur.bump();
-        cur.bump();
-    } else {
-        cur.bump();
+    match cur.peek() {
+        Some('\\') => {
+            cur.bump(); // backslash
+            if cur.peek() == Some('u') && cur.peek_at(1) == Some('{') {
+                // `\u{…}`: consume through the closing brace, stopping at a
+                // newline so broken input cannot swallow the rest of the file.
+                cur.bump();
+                cur.bump();
+                cur.eat_while(|c| c != '}' && c != '\'' && c != '\n');
+                if cur.peek() == Some('}') {
+                    cur.bump();
+                }
+            } else {
+                // Single-char escape (`\n`, `\'`) or the head of `\x41`;
+                // any following hex digits belong to the literal.
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_hexdigit());
+            }
+        }
+        Some(_) => {
+            cur.bump();
+        }
+        None => return,
     }
     if cur.peek() == Some('\'') {
         cur.bump();
@@ -448,6 +478,58 @@ mod tests {
                 (TokenKind::Ident, "f"),
             ]
         );
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        // Regression: `r#thread` used to lex as `r` + `#` + `thread`, so a
+        // raw identifier could impersonate a keyword or a `thread::spawn`
+        // pattern and trip keyword-driven rules.
+        assert_eq!(
+            kinds("let r#thread = 1; r#unsafe + r#match"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "r#thread"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, ";"),
+                (TokenKind::Ident, "r#unsafe"),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Ident, "r#match"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_does_not_shadow_raw_strings() {
+        let toks = kinds("r#\"still a string\"# r#ident");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "r#ident"));
+    }
+
+    #[test]
+    fn multi_char_escapes_stay_one_char_literal() {
+        // Regression: `'\x41'` used to end after two escape characters,
+        // leaving `41` and a stray quote behind as garbage tokens.
+        assert_eq!(
+            kinds(r"'\x41' '\u{1F600}' b'\x00' '\n'"),
+            vec![
+                (TokenKind::Char, r"'\x41'"),
+                (TokenKind::Char, r"'\u{1F600}'"),
+                (TokenKind::Char, r"b'\x00'"),
+                (TokenKind::Char, r"'\n'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn broken_char_escape_does_not_swallow_the_line() {
+        // Unterminated `\u{` stops at the newline instead of eating the
+        // rest of the file.
+        let toks = lex("let a = '\\u{12\nnext");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "next"));
     }
 
     #[test]

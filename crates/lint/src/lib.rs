@@ -9,6 +9,13 @@
 //! outside the fused engine. `sfqlint` encodes those invariants as
 //! token-level rules (see [`rules`]) and runs as a CI gate.
 //!
+//! On top of the token rules sits an item-level workspace model: files are
+//! parsed into functions with call sites ([`items`]), resolved into a
+//! symbol + call graph with a conservative ⊤ node ([`graph`]), over which
+//! the cross-file rules A1/I1/O1 run ([`rules_graph`]) — hot-path
+//! allocation-freedom, I/O confinement to telemetry sinks, and observer
+//! purity.
+//!
 //! The tool is dependency-free by design — the workspace vendors offline
 //! stub crates, so an AST-level framework (`syn`, `dylint`) is unavailable;
 //! a hand-rolled lexer ([`lexer`]) over raw token streams is both
@@ -37,11 +44,15 @@
 
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod rules_graph;
 pub mod walk;
 
 pub use config::{AllowEntry, Config, ConfigError};
 pub use diag::{apply_allowlist, render_json, Diagnostic};
 pub use rules::{check_file, classify, crate_of, FileClass, FileTarget};
+pub use rules_graph::check_workspace;
 pub use walk::collect_workspace_files;

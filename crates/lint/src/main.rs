@@ -1,14 +1,17 @@
 //! `sfqlint` CLI.
 //!
 //! ```text
-//! sfqlint --workspace [--root DIR] [--config lint.toml] [--format text|json]
+//! sfqlint --workspace [--root DIR] [--config lint.toml]
+//!         [--format text|json|github] [--strict-allow]
 //! sfqlint [--config lint.toml] [--format …] FILE…
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage error, `3` I/O or
-//! configuration error. Explicitly named files are linted with every rule
-//! active (crate/class scoping bypassed) — that is how the rule fixtures
-//! under `crates/lint/tests/fixtures/` are exercised.
+//! Exit codes: `0` clean, `1` findings (or stale allows under
+//! `--strict-allow`), `2` usage error, `3` I/O or configuration error.
+//! Explicitly named files are linted with every rule active (crate/class
+//! scoping bypassed) and form their own mini-workspace for the graph rules
+//! — that is how the rule fixtures under `crates/lint/tests/fixtures/` are
+//! exercised.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -17,14 +20,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sfqlint::{apply_allowlist, check_file, render_json, Config, Diagnostic, FileTarget};
+use sfqlint::{apply_allowlist, check_file, check_workspace, render_json, Config, FileTarget};
 
 const USAGE: &str = "usage: sfqlint [--workspace] [--root DIR] [--config FILE] \
-                     [--format text|json] [FILE...]";
+                     [--format text|json|github] [--strict-allow] [FILE...]";
 
 enum Format {
     Text,
     Json,
+    Github,
 }
 
 struct Args {
@@ -32,6 +36,7 @@ struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     format: Format,
+    strict_allow: bool,
     files: Vec<String>,
 }
 
@@ -41,12 +46,14 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         config: None,
         format: Format::Text,
+        strict_allow: false,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
+            "--strict-allow" => args.strict_allow = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
@@ -56,7 +63,12 @@ fn parse_args() -> Result<Args, String> {
             "--format" => match it.next().as_deref() {
                 Some("text") => args.format = Format::Text,
                 Some("json") => args.format = Format::Json,
-                other => return Err(format!("--format must be text or json, got {other:?}")),
+                Some("github") => args.format = Format::Github,
+                other => {
+                    return Err(format!(
+                        "--format must be text, json or github, got {other:?}"
+                    ))
+                }
             },
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -83,22 +95,21 @@ fn load_config(args: &Args) -> Result<Config, String> {
     }
 }
 
-fn lint_one(
-    path_for_rules: &str,
-    disk_path: &Path,
+/// One file loaded into memory: rule path, source, explicit flag.
+struct Loaded {
+    path: String,
+    src: String,
     explicit: bool,
-    cfg: &Config,
-) -> Result<Vec<Diagnostic>, String> {
+}
+
+fn load(path_for_rules: &str, disk_path: &Path, explicit: bool) -> Result<Loaded, String> {
     let src = fs::read_to_string(disk_path)
         .map_err(|e| format!("cannot read {}: {e}", disk_path.display()))?;
-    Ok(check_file(
-        &FileTarget {
-            path: path_for_rules,
-            src: &src,
-            explicit,
-        },
-        cfg,
-    ))
+    Ok(Loaded {
+        path: path_for_rules.to_owned(),
+        src,
+        explicit,
+    })
 }
 
 fn run() -> Result<ExitCode, (u8, String)> {
@@ -112,25 +123,57 @@ fn run() -> Result<ExitCode, (u8, String)> {
     })?;
     let cfg = load_config(&args).map_err(|e| (3, e))?;
 
-    let mut diags = Vec::new();
+    let mut loaded: Vec<Loaded> = Vec::new();
     if args.workspace {
         let files =
             sfqlint::collect_workspace_files(&args.root, &cfg).map_err(|e| (3, e.to_string()))?;
         for rel in &files {
             let disk = args.root.join(rel);
-            diags.extend(lint_one(rel, &disk, false, &cfg).map_err(|e| (3, e))?);
+            loaded.push(load(rel, &disk, false).map_err(|e| (3, e))?);
         }
     }
     for file in &args.files {
         let rel = file.replace('\\', "/");
-        diags.extend(lint_one(&rel, Path::new(file), true, &cfg).map_err(|e| (3, e))?);
+        loaded.push(load(&rel, Path::new(file), true).map_err(|e| (3, e))?);
     }
+
+    let targets: Vec<FileTarget<'_>> = loaded
+        .iter()
+        .map(|l| FileTarget {
+            path: &l.path,
+            src: &l.src,
+            explicit: l.explicit,
+        })
+        .collect();
+    let mut diags = Vec::new();
+    for t in &targets {
+        diags.extend(check_file(t, &cfg));
+    }
+    diags.extend(check_workspace(&targets, &cfg));
 
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     let (kept, suppressed, unused) = apply_allowlist(diags, &cfg);
+    let stale = args.strict_allow && !unused.is_empty();
 
     match args.format {
         Format::Json => println!("{}", render_json(&kept, suppressed.len(), &unused)),
+        Format::Github => {
+            for d in &kept {
+                println!("{}", d.render_github());
+            }
+            for entry in &unused {
+                let level = if args.strict_allow {
+                    "error"
+                } else {
+                    "warning"
+                };
+                println!(
+                    "::{level} title=sfqlint stale allow::unused allowlist entry {} at `{}` — \
+                     remove it from lint.toml",
+                    entry.rule, entry.path
+                );
+            }
+        }
         Format::Text => {
             for d in &kept {
                 println!("{}", d.render_text());
@@ -141,21 +184,26 @@ fn run() -> Result<ExitCode, (u8, String)> {
                     entry.rule, entry.path
                 );
             }
-            if kept.is_empty() {
+            if kept.is_empty() && !stale {
                 eprintln!(
                     "sfqlint: clean ({} finding(s) suppressed by lint.toml)",
                     suppressed.len()
                 );
             } else {
                 eprintln!(
-                    "sfqlint: {} finding(s), {} suppressed",
+                    "sfqlint: {} finding(s), {} suppressed{}",
                     kept.len(),
-                    suppressed.len()
+                    suppressed.len(),
+                    if stale {
+                        ", stale allowlist entries (--strict-allow)"
+                    } else {
+                        ""
+                    }
                 );
             }
         }
     }
-    Ok(if kept.is_empty() {
+    Ok(if kept.is_empty() && !stale {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -154,7 +154,7 @@ impl<'a> RuleCtx<'a, '_> {
 /// idents include `test` (and not `not`/`cfg_attr`), mask from the
 /// attribute through the end of the annotated item — the matching `}` of
 /// its first depth-0 brace, or the terminating `;`.
-fn test_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token<'_>]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {

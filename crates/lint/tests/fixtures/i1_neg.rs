@@ -1,0 +1,8 @@
+// sfqlint fixture: rule I1 negative — formatting into a caller-provided
+// buffer is not I/O; only the sink decides where bytes go.
+
+use std::fmt::Write as _;
+
+pub fn render_progress(out: &mut String, cost: f64) {
+    let _ = write!(out, "cost {cost}");
+}

@@ -1,0 +1,6 @@
+// sfqlint fixture: rule I1 positive — printing from library code instead
+// of routing through the telemetry sinks.
+
+pub fn report_progress(cost: f64) {
+    println!("cost {cost}");
+}

@@ -1,0 +1,19 @@
+// sfqlint fixture: lexer edge cases — raw identifiers, multi-char char
+// escapes, nested block comments. Must stay clean under every rule: the
+// commented-out thread spawn below must not trip D3, and raw identifiers
+// must not be misread as keywords.
+
+pub mod r#impl {
+    pub fn r#match(input: char) -> char {
+        match input {
+            '\x41' => '\u{1F600}',
+            _ => '\n',
+        }
+    }
+}
+
+/* outer /* nested */ still a comment: std::thread::spawn(|| ()) */
+
+pub fn describe(r#type: &str) -> usize {
+    r#type.len()
+}

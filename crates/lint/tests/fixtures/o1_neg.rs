@@ -1,0 +1,22 @@
+// sfqlint fixture: rule O1 negative — a read-only probe; observers may
+// watch the solve, never steer it.
+
+pub struct WeightMatrix {
+    data: Vec<f64>,
+}
+
+impl WeightMatrix {
+    pub fn row_sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+pub struct Probe {
+    last: f64,
+}
+
+impl SolveObserver for Probe {
+    fn on_iteration(&mut self, w: &WeightMatrix) {
+        self.last = w.row_sum();
+    }
+}

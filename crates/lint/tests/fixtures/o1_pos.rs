@@ -1,0 +1,22 @@
+// sfqlint fixture: rule O1 positive — an observer steering the solve by
+// reaching a `&mut self` method of a solver state type.
+
+pub struct WeightMatrix {
+    data: Vec<f64>,
+}
+
+impl WeightMatrix {
+    pub fn set(&mut self, i: usize, v: f64) {
+        if let Some(slot) = self.data.get_mut(i) {
+            *slot = v;
+        }
+    }
+}
+
+pub struct Steering;
+
+impl SolveObserver for Steering {
+    fn on_iteration(&mut self, w: &mut WeightMatrix) {
+        w.set(0, 0.0);
+    }
+}

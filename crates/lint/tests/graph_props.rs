@@ -1,0 +1,93 @@
+//! Property tests: the item parser, graph construction, and the graph
+//! rules must never panic, whatever bytes they are fed. The lint gate
+//! runs on every push — a panic on a half-written file would wedge CI
+//! harder than any finding, so "tolerant scanner, conservative ⊤" is a
+//! hard invariant, not a best effort.
+
+use proptest::prelude::*;
+use sfqlint::graph::Graph;
+use sfqlint::items::parse_items;
+use sfqlint::{check_workspace, Config, FileTarget};
+
+/// Rust-ish token vocabulary: item keywords, delimiters, and the exact
+/// identifiers the A1/I1/O1 configurations key on, so random interleavings
+/// reach deep into header parsing, call extraction, and rule evaluation.
+const VOCAB: &[&str] = &[
+    "fn",
+    "impl",
+    "mod",
+    "use",
+    "trait",
+    "for",
+    "where",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "::",
+    ";",
+    ",",
+    ".",
+    "!",
+    "#",
+    "[",
+    "]",
+    "&",
+    "mut",
+    "self",
+    "Self",
+    "as",
+    "=>",
+    "->",
+    "=",
+    "*",
+    "x",
+    "r#match",
+    "'a",
+    "'\\x41'",
+    "\"s\"",
+    "1.0",
+    "push",
+    "format",
+    "evaluate",
+    "descend",
+    "CostEngine",
+    "WeightMatrix",
+    "SolveObserver",
+    "on_iteration",
+    "set",
+    "println",
+    "stdout",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_and_graph_survive_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let items = parse_items("crates/core/src/fuzz.rs", &src);
+        let _ = Graph::build(vec![("crates/core/src/fuzz.rs".to_owned(), items)]);
+    }
+
+    #[test]
+    fn graph_rules_survive_rustish_token_soup(
+        picks in proptest::collection::vec(any::<u16>(), 0..200),
+    ) {
+        let words: Vec<&str> = picks
+            .iter()
+            .map(|&p| VOCAB[(p as usize) % VOCAB.len()])
+            .collect();
+        let src = words.join(" ");
+        let target = FileTarget {
+            path: "crates/core/src/fuzz.rs",
+            src: &src,
+            explicit: true,
+        };
+        let _ = check_workspace(std::slice::from_ref(&target), &Config::default());
+    }
+}

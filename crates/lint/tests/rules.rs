@@ -5,21 +5,30 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use sfqlint::{apply_allowlist, check_file, AllowEntry, Config, Diagnostic, FileTarget};
+use sfqlint::{
+    apply_allowlist, check_file, check_workspace, AllowEntry, Config, Diagnostic, FileTarget,
+};
 
-const POSITIVES: [&str; 6] = [
+const POSITIVES: [&str; 9] = [
+    "a1_pos.rs",
     "d1_pos.rs",
     "d2_pos.rs",
     "d3_pos.rs",
     "f1_pos.rs",
+    "i1_pos.rs",
+    "o1_pos.rs",
     "p1_pos.rs",
     "u1_pos.rs",
 ];
-const NEGATIVES: [&str; 6] = [
+const NEGATIVES: [&str; 10] = [
+    "a1_neg.rs",
     "d1_neg.rs",
     "d2_neg.rs",
     "d3_neg.rs",
     "f1_neg.rs",
+    "i1_neg.rs",
+    "lexer_edges_neg.rs",
+    "o1_neg.rs",
     "p1_neg.rs",
     "u1_neg.rs",
 ];
@@ -31,17 +40,17 @@ fn fixture_path(name: &str) -> PathBuf {
 }
 
 /// Lints a fixture the way the CLI does for explicitly named files: all
-/// rules active, crate/class scoping bypassed.
+/// rules active, crate/class scoping bypassed, and the file forming its
+/// own mini-workspace for the graph rules A1/I1/O1.
 fn lint_fixture(name: &str, cfg: &Config) -> Vec<Diagnostic> {
     let src = std::fs::read_to_string(fixture_path(name)).unwrap();
-    let mut diags = check_file(
-        &FileTarget {
-            path: &format!("crates/lint/tests/fixtures/{name}"),
-            src: &src,
-            explicit: true,
-        },
-        cfg,
-    );
+    let target = FileTarget {
+        path: &format!("crates/lint/tests/fixtures/{name}"),
+        src: &src,
+        explicit: true,
+    };
+    let mut diags = check_file(&target, cfg);
+    diags.extend(check_workspace(std::slice::from_ref(&target), cfg));
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
 }
@@ -50,10 +59,13 @@ fn lint_fixture(name: &str, cfg: &Config) -> Vec<Diagnostic> {
 fn positive_fixtures_fire_at_expected_positions() {
     let cfg = Config::default();
     let expected = [
+        ("a1_pos.rs", "A1", 15, 22),
         ("d1_pos.rs", "D1", 2, 23),
         ("d2_pos.rs", "D2", 4, 25),
         ("d3_pos.rs", "D3", 4, 18),
         ("f1_pos.rs", "F1", 4, 7),
+        ("i1_pos.rs", "I1", 5, 5),
+        ("o1_pos.rs", "O1", 19, 5),
         ("p1_pos.rs", "P1", 4, 7),
         ("u1_pos.rs", "U1", 4, 5),
     ];
@@ -92,6 +104,26 @@ fn u1_fixture_reports_both_unsafe_and_unreachable() {
     assert_eq!(u1.len(), 2, "{diags:?}");
     assert!(u1[0].message.contains("SAFETY"), "{:?}", u1[0]);
     assert!(u1[1].message.contains("unreachable"), "{:?}", u1[1]);
+}
+
+/// The A1 fixture pins all three finding shapes: an allocating method two
+/// hops from the root, an allocating macro, and an unresolvable (⊤) call.
+#[test]
+fn a1_fixture_reports_constructs_and_top_calls() {
+    let diags = lint_fixture("a1_pos.rs", &Config::default());
+    let a1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "A1").collect();
+    assert_eq!(a1.len(), 3, "{diags:?}");
+    assert!(a1[0].message.contains(".push()"), "{:?}", a1[0]);
+    assert!(
+        a1[0]
+            .message
+            .contains("CostEngine::evaluate → CostEngine::accumulate"),
+        "witness chain missing: {:?}",
+        a1[0]
+    );
+    assert!(a1[1].message.contains("format!"), "{:?}", a1[1]);
+    assert!(a1[2].message.contains("mystery_helper"), "{:?}", a1[2]);
+    assert!(a1[2].message.contains('⊤'), "{:?}", a1[2]);
 }
 
 /// An allow entry narrowed with `contains` suppresses its target finding
@@ -189,6 +221,68 @@ fn cli_json_output_carries_positions() {
     assert!(json.contains("\"line\":4"), "{json}");
     assert!(json.contains("\"col\":7"), "{json}");
     assert!(json.contains("\"total\":1"), "{json}");
+}
+
+#[test]
+fn cli_json_findings_carry_allow_keys() {
+    let out = sfqlint()
+        .args(["--format", "json"])
+        .arg(fixture_path("i1_pos.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"version\":2"), "{json}");
+    assert!(json.contains("\"allow_key\":\"I1@"), "{json}");
+    assert!(json.contains("i1_pos.rs:5\""), "{json}");
+}
+
+#[test]
+fn cli_github_format_renders_annotations() {
+    let out = sfqlint()
+        .args(["--format", "github"])
+        .arg(fixture_path("o1_pos.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("::error file="), "{text}");
+    assert!(
+        text.contains("o1_pos.rs,line=19,col=5,title=sfqlint O1::"),
+        "{text}"
+    );
+}
+
+/// `--strict-allow` turns a stale allowlist entry into a failure even when
+/// there are no findings.
+#[test]
+fn cli_strict_allow_fails_on_stale_entries() {
+    let dir = std::env::temp_dir().join("sfqlint-strict-allow-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = dir.join("lint.toml");
+    std::fs::write(
+        &config,
+        "[[allow]]\nrule = \"P1\"\npath = \"never.rs\"\nreason = \"stale on purpose\"\n",
+    )
+    .unwrap();
+    let base = sfqlint()
+        .args(["--config"])
+        .arg(&config)
+        .arg(fixture_path("d1_neg.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        base.status.code(),
+        Some(0),
+        "stale allow is a note by default"
+    );
+    let strict = sfqlint()
+        .args(["--strict-allow", "--config"])
+        .arg(&config)
+        .arg(fixture_path("d1_neg.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(strict.status.code(), Some(1), "--strict-allow must fail");
 }
 
 #[test]
