@@ -30,7 +30,7 @@ fn bench_cost_and_grad(c: &mut Criterion) {
         );
 
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut out = vec![0.0; problem.num_gates() * 5];
+        let mut out = vec![0.0; w.padded_len()];
         group.bench_with_input(
             BenchmarkId::new("gradient", bench.name()),
             &(&model, &w),

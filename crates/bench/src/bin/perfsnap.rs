@@ -23,12 +23,13 @@ struct Workload {
     reps: usize,
 }
 
-/// Best (minimum) wall-clock seconds over `reps` single-restart solves.
+/// Minimum and median wall-clock seconds over `reps` single-restart solves.
 ///
 /// The minimum is the noise-robust estimator for CPU-bound work: external
 /// interference only ever adds time, so the smallest repetition is the
-/// closest to the true compute cost.
-fn time_solve(problem: &PartitionProblem, fused: bool, reps: usize) -> f64 {
+/// closest to the true compute cost. The median is reported alongside it so
+/// a snapshot whose min was a lucky outlier is visible as a min/median gap.
+fn time_solve(problem: &PartitionProblem, fused: bool, reps: usize) -> (f64, f64) {
     let options = SolverOptions {
         fused,
         restarts: 1,
@@ -37,7 +38,7 @@ fn time_solve(problem: &PartitionProblem, fused: bool, reps: usize) -> f64 {
     };
     // One warm-up solve, then timed repetitions.
     let _ = Solver::new(options.clone()).solve(problem);
-    (0..reps)
+    let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let start = Instant::now();
             let result = Solver::new(options.clone()).solve(problem);
@@ -45,7 +46,32 @@ fn time_solve(problem: &PartitionProblem, fused: bool, reps: usize) -> f64 {
             std::hint::black_box(result);
             elapsed
         })
-        .fold(f64::INFINITY, f64::min)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[0], median_of_sorted(&samples))
+}
+
+/// Median of an already-sorted, non-empty sample vector.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+struct Row {
+    name: String,
+    planes: usize,
+    gates: usize,
+    edges: usize,
+    reps: usize,
+    reference_s: f64,
+    reference_median_s: f64,
+    fused_s: f64,
+    fused_median_s: f64,
+    speedup: f64,
 }
 
 fn main() {
@@ -79,34 +105,49 @@ fn main() {
             problem.num_gates(),
             problem.num_edges()
         );
-        let reference_s = time_solve(&problem, false, workload.reps);
-        let fused_s = time_solve(&problem, true, workload.reps);
+        let (reference_s, reference_median_s) = time_solve(&problem, false, workload.reps);
+        let (fused_s, fused_median_s) = time_solve(&problem, true, workload.reps);
         let speedup = reference_s / fused_s;
-        eprintln!("  reference {reference_s:.4} s | fused {fused_s:.4} s | speedup {speedup:.2}×");
-        rows.push((
-            name.to_owned(),
-            workload.planes,
-            problem.num_gates(),
-            problem.num_edges(),
+        eprintln!(
+            "  reference {reference_s:.4} s (median {reference_median_s:.4}) | \
+             fused {fused_s:.4} s (median {fused_median_s:.4}) | speedup {speedup:.2}×"
+        );
+        rows.push(Row {
+            name: name.to_owned(),
+            planes: workload.planes,
+            gates: problem.num_gates(),
+            edges: problem.num_edges(),
+            reps: workload.reps,
             reference_s,
+            reference_median_s,
             fused_s,
+            fused_median_s,
             speedup,
-        ));
+        });
     }
 
     let mut json = String::from("{\n  \"suite\": \"perfsnap\",\n");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"restarts\": 1, \"estimator\": \"min over per-workload reps\", \"units\": \"seconds\"}},"
+        "  \"config\": {{\"restarts\": 1, \"estimator\": \"min over per-workload reps (median reported alongside)\", \"units\": \"seconds\"}},"
     );
     json.push_str("  \"solves\": [\n");
-    for (i, (name, planes, gates, edges, reference_s, fused_s, speedup)) in rows.iter().enumerate()
-    {
+    for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"circuit\": \"{name}\", \"planes\": {planes}, \"gates\": {gates}, \
-             \"edges\": {edges}, \"reference_s\": {reference_s:.6}, \"fused_s\": {fused_s:.6}, \
-             \"speedup\": {speedup:.3}}}"
+            "    {{\"circuit\": \"{}\", \"planes\": {}, \"gates\": {}, \
+             \"edges\": {}, \"reps\": {}, \"reference_s\": {:.6}, \"reference_median_s\": {:.6}, \
+             \"fused_s\": {:.6}, \"fused_median_s\": {:.6}, \"speedup\": {:.3}}}",
+            row.name,
+            row.planes,
+            row.gates,
+            row.edges,
+            row.reps,
+            row.reference_s,
+            row.reference_median_s,
+            row.fused_s,
+            row.fused_median_s,
+            row.speedup
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

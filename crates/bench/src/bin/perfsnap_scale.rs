@@ -1,0 +1,171 @@
+//! Scaling frontier: times the fused kernel loop (evaluate_with_gradient +
+//! projected descent step) on the synthetic scale tiers at 1k–1M gates,
+//! scalar vs lane backend, and writes the curve to `BENCH_3.json` in the
+//! working directory.
+//!
+//! This is a *kernel* frontier, not a solve frontier: each measurement runs
+//! a fixed number of descent iterations on a pre-built engine, so the
+//! numbers isolate the SoA/CSR inner loops from restart policy, stop tests,
+//! and refinement. Usage:
+//!
+//! ```text
+//! cargo run --release -p sfq-bench --bin perfsnap_scale
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_circuits::scale::{scale_problem, ScaleTier};
+use sfq_partition::engine::{CostEngine, EngineOptions};
+use sfq_partition::{CostWeights, KernelBackend, PartitionProblem, WeightMatrix};
+
+/// Iteration count and repetitions for one tier, scaled so every point
+/// costs comparable wall-clock.
+fn budget(tier: ScaleTier) -> (usize, usize) {
+    match tier {
+        ScaleTier::S1k => (200, 5),
+        ScaleTier::S10k => (100, 3),
+        ScaleTier::S100k => (30, 3),
+        ScaleTier::S1m => (5, 2),
+    }
+}
+
+/// Minimum and median seconds per repetition of `iters` fused
+/// gradient+descent iterations.
+fn time_kernel_loop(
+    problem: &PartitionProblem,
+    backend: KernelBackend,
+    iters: usize,
+    reps: usize,
+) -> (f64, f64) {
+    let options = EngineOptions {
+        backend,
+        ..EngineOptions::default()
+    };
+    let mut engine = CostEngine::new(problem, CostWeights::default(), 4.0, options);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        // Fresh iterate per repetition so clipping behaviour stays uniform;
+        // rep 0 is the warm-up and is not recorded.
+        let mut w = WeightMatrix::random(problem.num_gates(), problem.num_planes(), &mut rng);
+        let mut grad = vec![0.0; w.padded_len()];
+        let start = Instant::now();
+        for _ in 0..iters {
+            let cost = engine.evaluate_with_gradient(&w, &mut grad);
+            std::hint::black_box(cost.total);
+            w.descend_scaled(&grad, 0.05);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(&w);
+        if rep > 0 {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[0], median_of_sorted(&samples))
+}
+
+/// Median of an already-sorted, non-empty sample vector.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+struct Row {
+    tier: &'static str,
+    gates: usize,
+    edges: usize,
+    planes: usize,
+    iters: usize,
+    reps: usize,
+    scalar_s: f64,
+    scalar_median_s: f64,
+    lanes_s: f64,
+    lanes_median_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for tier in ScaleTier::all() {
+        let (iters, reps) = budget(tier);
+        let generated = scale_problem(&tier.spec());
+        let edges = generated.edges.len();
+        for planes in [5usize, 30] {
+            let problem = PartitionProblem::new(
+                generated.bias.clone(),
+                generated.area.clone(),
+                generated.edges.clone(),
+                planes,
+            )
+            .expect("scale problems are valid");
+            eprintln!(
+                "timing {} @ K={planes} ({} gates, {edges} edges, {iters} iters × {reps} reps)…",
+                tier.name(),
+                problem.num_gates()
+            );
+            let (scalar_s, scalar_median_s) =
+                time_kernel_loop(&problem, KernelBackend::Scalar, iters, reps);
+            let (lanes_s, lanes_median_s) =
+                time_kernel_loop(&problem, KernelBackend::Lanes, iters, reps);
+            let speedup = scalar_s / lanes_s;
+            eprintln!(
+                "  scalar {scalar_s:.4} s (median {scalar_median_s:.4}) | \
+                 lanes {lanes_s:.4} s (median {lanes_median_s:.4}) | speedup {speedup:.2}×"
+            );
+            rows.push(Row {
+                tier: tier.name(),
+                gates: problem.num_gates(),
+                edges,
+                planes,
+                iters,
+                reps,
+                scalar_s,
+                scalar_median_s,
+                lanes_s,
+                lanes_median_s,
+                speedup,
+            });
+        }
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"perfsnap_scale\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"workload\": \"evaluate_with_gradient + descend_scaled loop\", \
+         \"estimator\": \"min over reps (median reported alongside)\", \"units\": \"seconds per rep\"}},"
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"tier\": \"{}\", \"gates\": {}, \"edges\": {}, \"planes\": {}, \
+             \"iters\": {}, \"reps\": {}, \"scalar_s\": {:.6}, \"scalar_median_s\": {:.6}, \
+             \"lanes_s\": {:.6}, \"lanes_median_s\": {:.6}, \"speedup\": {:.3}}}",
+            row.tier,
+            row.gates,
+            row.edges,
+            row.planes,
+            row.iters,
+            row.reps,
+            row.scalar_s,
+            row.scalar_median_s,
+            row.lanes_s,
+            row.lanes_median_s,
+            row.speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_3.json");
+}

@@ -19,6 +19,8 @@
 //!   ISCAS85 circuits, matched to the paper's published gate/connection
 //!   counts.
 //! * [`registry`] — the 13-circuit suite by name ("KSA8" → `Netlist`).
+//! * [`scale`] — 100k–1M-gate statistical problems (raw bias/area/edge
+//!   arrays) for the lane-kernel scaling frontier.
 //!
 //! # Example
 //!
@@ -44,5 +46,6 @@ pub mod map;
 pub mod mult;
 pub mod rca;
 pub mod registry;
+pub mod scale;
 pub mod shiftreg;
 pub mod synthetic;

@@ -15,6 +15,19 @@
 //!   accumulates `F₁` and the per-gate interconnect forces; one final gate
 //!   sweep writes the gradient. Cost and gradient come out of a single
 //!   `O(E + G·K)` pass instead of two interleaved `≈3×` passes.
+//! * **Lane kernels on padded rows** — the weight matrix stores rows with
+//!   stride [`lanes::padded`]`(K)` and zero padding, and every K-plane loop
+//!   runs in fixed `[f64; LANE]` blocks with the canonical striped fold
+//!   order (see the [`lanes`](crate::lanes) module). A scalar spelling of
+//!   each kernel is selectable via [`EngineOptions::backend`]; the two
+//!   backends are **bit-identical** by construction, so the scalar path
+//!   serves as the parity baseline for property tests and benchmarks.
+//! * **CSR edge gather** — the edge list is converted once into a
+//!   compressed adjacency (offsets + packed neighbors), so the edge sweep
+//!   streams each gate's incident edges contiguously and writes its force
+//!   with a single store instead of scattering `+=` updates across the
+//!   force buffer. Each undirected edge is visited from both endpoints and
+//!   the doubled `F₁` sum is halved (exactly — a multiply by `0.5`).
 //! * **Zero allocation** — every buffer is owned by the engine and reused
 //!   across iterations; after [`CostEngine::new`] the descent loop does not
 //!   allocate.
@@ -24,25 +37,29 @@
 //! * **Deterministic intra-descent parallelism** — on problems at or above
 //!   [`EngineOptions::chunk_min_items`], sweeps are split into
 //!   [`EngineOptions::num_chunks`] fixed ranges whose partial sums are
-//!   folded in chunk order. The chunk layout depends only on the problem
-//!   size, and the fold order is the same whether chunks run sequentially
-//!   or on the engine's persistent worker pool (the `pool` module), so
-//!   enabling [`EngineOptions::intra_parallel`] changes wall-clock time but
-//!   not a single bit of the result. The pool is built eagerly in
+//!   folded in chunk order. Gate-sweep chunks split on gate boundaries, so
+//!   their flat offsets (`start · stride`) stay lane-aligned by
+//!   construction; edge-gather chunks are contiguous gate ranges balanced
+//!   by incident-edge count. The chunk layout depends only on the problem,
+//!   and the fold order is the same whether chunks run sequentially or on
+//!   the engine's persistent worker pool (the `pool` module), so enabling
+//!   [`EngineOptions::intra_parallel`] changes wall-clock time but not a
+//!   single bit of the result. The pool is built eagerly in
 //!   [`CostEngine::new`], so the zero-allocation guarantee holds for the
 //!   threaded path too.
 //!
-//! Numerical contract: on problems below the chunking threshold the engine
-//! accumulates in exactly the reference order, so it differs from
-//! `CostModel`/`Gradient` only through the power kernels (last-ulp effects;
-//! see [`kernel`]). Chunked folding reorders additions, so chunked results
-//! match the reference within `1e-12` relative rather than bitwise — the
-//! property tests pin both bounds.
+//! Numerical contract: both backends share the striped fold order exactly
+//! (scalar vs lane results are bitwise equal, chunked or not, threaded or
+//! not). Against the sequential-fold *reference* implementations the engine
+//! matches within `1e-12` relative — the stripes and the per-chunk fold
+//! reorder additions, and the power kernels differ in the last ulp — and
+//! the property tests pin that bound.
 
 use crate::cost::{variance, CostBreakdown, CostModel, CostWeights};
 use crate::grad::GradientOptions;
 use crate::kernel;
-use crate::pool::ChunkPool;
+use crate::lanes::{self, KernelBackend, LANE};
+use crate::pool::{ChunkPool, PoolSpec};
 use crate::problem::PartitionProblem;
 use crate::weights::WeightMatrix;
 
@@ -52,12 +69,15 @@ pub struct EngineOptions {
     /// Gradient formula selection (exact vs as-printed), shared with the
     /// reference [`Gradient`](crate::grad::Gradient).
     pub gradient: GradientOptions,
+    /// Kernel spelling for the K-plane inner loops. Both backends compute
+    /// bit-identical results; [`KernelBackend::Lanes`] (the default) is the
+    /// fast one.
+    pub backend: KernelBackend,
     /// Run chunked sweeps on scoped threads. Only takes effect on problems
     /// large enough to be chunked; results are bit-identical either way.
     pub intra_parallel: bool,
     /// Minimum work-item count (`G·K` for gate sweeps, `|E|` for the edge
-    /// sweep) before a sweep is split into chunks. Below it the engine
-    /// accumulates in exactly the reference order.
+    /// sweep) before a sweep is split into chunks.
     pub chunk_min_items: usize,
     /// Number of fixed chunks a gated sweep is split into. Part of the
     /// numerical contract: changing it changes fold order, so it is a
@@ -69,12 +89,19 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
             gradient: GradientOptions::exact(),
+            backend: KernelBackend::default(),
             intra_parallel: false,
             chunk_min_items: 8192,
             num_chunks: 8,
         }
     }
 }
+
+/// High bit of a packed CSR neighbor entry: set when this gate is the
+/// *source* of the shared edge (used by the paper's unsigned `F₁` force
+/// convention, which signs by edge direction). The construction asserts
+/// `G < 2³¹`, so the bit never collides with a gate index.
+pub(crate) const SRC_BIT: u32 = 1 << 31;
 
 /// Fused, allocation-free cost + gradient evaluator over a fixed problem.
 ///
@@ -90,14 +117,15 @@ impl Default for EngineOptions {
 /// let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0,
 ///                                  EngineOptions::default());
 /// let w = WeightMatrix::uniform(4, 2);
-/// let mut grad = vec![0.0; 4 * 2];
+/// // Gradient buffers use the matrix's padded lane layout.
+/// let mut grad = vec![0.0; w.padded_len()];
 /// let cost = engine.evaluate_with_gradient(&w, &mut grad);
 ///
 /// // Same numbers as the reference pair, in one fused pass.
 /// let model = CostModel::new(&p, CostWeights::default());
 /// assert!((cost.total - model.evaluate(&w).total).abs() < 1e-12);
 /// let mut reference = Gradient::new(GradientOptions::exact());
-/// let mut expect = vec![0.0; 4 * 2];
+/// let mut expect = vec![0.0; w.padded_len()];
 /// reference.compute(&model, &w, &mut expect);
 /// for (a, b) in grad.iter().zip(&expect) {
 ///     assert!((a - b).abs() < 1e-12);
@@ -108,29 +136,41 @@ impl Default for EngineOptions {
 pub struct CostEngine<'a> {
     model: CostModel<'a>,
     options: EngineOptions,
+    /// Padded row stride of the weight matrix (multiple of [`LANE`]).
+    stride: usize,
     /// Fixed gate-sweep chunk boundaries (contiguous, covering `0..G`).
     gate_bounds: Vec<(usize, usize)>,
-    /// Fixed edge-sweep chunk boundaries (contiguous, covering `0..E`).
+    /// Fixed edge-gather chunk boundaries: contiguous *gate* ranges covering
+    /// `0..G`, balanced by incident half-edge count.
     edge_bounds: Vec<(usize, usize)>,
+    /// CSR adjacency offsets (`G + 1` entries into `csr_neighbors`).
+    csr_offsets: Vec<u32>,
+    /// Packed CSR neighbors (`2·E` entries): gate index plus [`SRC_BIT`].
+    csr_neighbors: Vec<u32>,
     labels: Vec<f64>,
     row_sums: Vec<f64>,
     force: Vec<f64>,
+    /// Per-plane bias loads, padded to `stride` (padding stays `+0.0`).
     bias_sums: Vec<f64>,
+    /// Per-plane area loads, padded to `stride`.
     area_sums: Vec<f64>,
     /// Per-chunk partial accumulators for the gate sweep, laid out per chunk
-    /// as `[bias K | area K | f4]`.
+    /// as `[bias stride | area stride | f4]`.
     gate_partials: Vec<f64>,
-    /// Per-chunk `F₁` partials for the edge sweep.
+    /// Per-chunk `F₁` partials for the edge gather.
     f1_partials: Vec<f64>,
-    /// Per-chunk force accumulators (`num_edge_chunks × G`), folded in chunk
-    /// order after the edge sweep.
-    chunk_force: Vec<f64>,
     /// Per-plane weighted `F₂` gradient coefficients
-    /// (`c₂·2·(B_k − B̄)/(K·N₂)`), recomputed each gradient call.
+    /// (`c₂·2·(B_k − B̄)/(K·N₂)`), padded; recomputed each gradient call.
     coeff_bias: Vec<f64>,
     /// Per-plane weighted `F₃` gradient coefficients, analogous to
     /// [`Self::coeff_bias`].
     coeff_area: Vec<f64>,
+    /// Plane numbers `k+1` as floats, padded to `stride` — the label/`F₁`
+    /// coefficient vector for the lane kernels.
+    plane_coeff: Vec<f64>,
+    /// `1.0` for real planes, `0.0` for padding: the lane gradient kernel
+    /// multiplies each written entry by this to keep padding slots at zero.
+    mask: Vec<f64>,
     /// Persistent workers for chunked sweeps; `Some` exactly when
     /// [`EngineOptions::intra_parallel`] is set on a chunked problem.
     pool: Option<ChunkPool>,
@@ -144,14 +184,80 @@ fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Gate sweep over one chunk: accumulates labels, row sums, per-plane
-/// bias/area loads, and the raw `F₄` pressure for gates in `start..end`.
+/// Splits `0..G` into `chunks` contiguous gate ranges of near-equal incident
+/// half-edge count, so the CSR edge gather balances work by degree rather
+/// than by gate count. Deterministic in the offsets alone; ranges may be
+/// empty on degenerate degree distributions.
+fn degree_balanced_bounds(offsets: &[u32], chunks: usize) -> Vec<(usize, usize)> {
+    let g = offsets.len() - 1;
+    let chunks = chunks.max(1);
+    let total = offsets[g] as usize;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 1..=chunks {
+        let end = if c == chunks {
+            g
+        } else {
+            let target = c * total / chunks;
+            let mut e = start;
+            while e < g && (offsets[e] as usize) < target {
+                e += 1;
+            }
+            e
+        };
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// Gate sweep over one chunk, dispatching on the kernel backend. Both
+/// spellings accumulate in the canonical striped fold order, so their
+/// results are bitwise equal (the module docs lay out the argument).
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+pub(crate) fn gate_pass_chunk(
+    backend: KernelBackend,
+    w: &WeightMatrix,
+    plane_coeff: &[f64],
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    labels: &mut [f64],
+    row_sums: &mut [f64],
+    bias_part: &mut [f64],
+    area_part: &mut [f64],
+    f4_part: &mut f64,
+) {
+    match backend {
+        KernelBackend::Scalar => gate_pass_chunk_scalar(
+            w, bias, area, start, end, labels, row_sums, bias_part, area_part, f4_part,
+        ),
+        KernelBackend::Lanes => gate_pass_chunk_lanes(
+            w,
+            plane_coeff,
+            bias,
+            area,
+            start,
+            end,
+            labels,
+            row_sums,
+            bias_part,
+            area_part,
+            f4_part,
+        ),
+    }
+}
+
+/// Scalar gate kernel: element-at-a-time over each row's `K` real entries,
+/// with striped accumulators (`acc[idx % LANE]`) so the fold order matches
+/// the lane kernel exactly.
 ///
 /// `F₄`'s row variance uses the algebraically equivalent
 /// `Σw²/K − (Σw/K)²` so the row is read once; with entries in `[0,1]` the
 /// cancellation error is far below the engine's `1e-12` contract.
 #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
-pub(crate) fn gate_pass_chunk(
+pub(crate) fn gate_pass_chunk_scalar(
     w: &WeightMatrix,
     bias: &[f64],
     area: &[f64],
@@ -163,62 +269,143 @@ pub(crate) fn gate_pass_chunk(
     area_part: &mut [f64],
     f4_part: &mut f64,
 ) {
-    let kf = w.num_planes() as f64;
+    let k = w.num_planes();
+    let kf = k as f64;
     for i in start..end {
         let row = w.row(i);
         let bi = bias[i];
         let ai = area[i];
-        let mut label = 0.0;
-        let mut row_sum = 0.0;
-        let mut sum_sq = 0.0;
-        let mut plane = 0.0; // (k+1) as an exact float counter
-        for ((&wk, bp), ap) in row
-            .iter()
-            .zip(bias_part.iter_mut())
-            .zip(area_part.iter_mut())
-        {
-            plane += 1.0;
-            label += plane * wk;
-            row_sum += wk;
-            sum_sq += wk * wk;
-            *bp += bi * wk;
-            *ap += ai * wk;
+        let mut label = [0.0f64; LANE];
+        let mut row_sum = [0.0f64; LANE];
+        let mut sum_sq = [0.0f64; LANE];
+        for idx in 0..k {
+            let wk = row[idx];
+            let j = idx % LANE;
+            label[j] += (idx + 1) as f64 * wk;
+            row_sum[j] += wk;
+            sum_sq[j] += wk * wk;
+            bias_part[idx] += bi * wk;
+            area_part[idx] += ai * wk;
         }
-        labels[i - start] = label;
-        row_sums[i - start] = row_sum;
-        let mean = row_sum / kf;
-        let var = sum_sq / kf - mean * mean;
-        let dev = row_sum - 1.0;
+        labels[i - start] = lanes::fold(label);
+        let rs = lanes::fold(row_sum);
+        row_sums[i - start] = rs;
+        let mean = rs / kf;
+        let var = lanes::fold(sum_sq) / kf - mean * mean;
+        let dev = rs - 1.0;
         *f4_part += dev * dev - var;
     }
 }
 
-/// Edge sweep over one chunk: accumulates raw `F₁` and, when `force` is
-/// present, the per-gate interconnect forces (gradient mode).
-pub(crate) fn edge_pass_chunk(
-    edges: &[(u32, u32)],
+/// Lane gate kernel: fixed `[f64; LANE]` blocks over the padded row. The
+/// zero padding adds exact `+0.0` terms to every stripe and partial slot,
+/// so the result is bitwise the scalar kernel's.
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+pub(crate) fn gate_pass_chunk_lanes(
+    w: &WeightMatrix,
+    plane_coeff: &[f64],
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    labels: &mut [f64],
+    row_sums: &mut [f64],
+    bias_part: &mut [f64],
+    area_part: &mut [f64],
+    f4_part: &mut f64,
+) {
+    let kf = w.num_planes() as f64;
+    debug_assert_eq!(plane_coeff.len(), w.stride());
+    for i in start..end {
+        let row = w.padded_row(i);
+        let bi = bias[i];
+        let ai = area[i];
+        let mut label = [0.0f64; LANE];
+        let mut row_sum = [0.0f64; LANE];
+        let mut sum_sq = [0.0f64; LANE];
+        for (((rb, pb), bp), ap) in row
+            .chunks_exact(LANE)
+            .zip(plane_coeff.chunks_exact(LANE))
+            .zip(bias_part.chunks_exact_mut(LANE))
+            .zip(area_part.chunks_exact_mut(LANE))
+        {
+            for j in 0..LANE {
+                let wk = rb[j];
+                label[j] += pb[j] * wk;
+                row_sum[j] += wk;
+                sum_sq[j] += wk * wk;
+                bp[j] += bi * wk;
+                ap[j] += ai * wk;
+            }
+        }
+        labels[i - start] = lanes::fold(label);
+        let rs = lanes::fold(row_sum);
+        row_sums[i - start] = rs;
+        let mean = rs / kf;
+        let var = lanes::fold(sum_sq) / kf - mean * mean;
+        let dev = rs - 1.0;
+        *f4_part += dev * dev - var;
+    }
+}
+
+/// Edge gather over one chunk of gates (`start..end`): accumulates raw `F₁`
+/// and, when `force` is present, writes each gate's interconnect force with
+/// a single store (no scatter).
+///
+/// The CSR visits each undirected edge from both endpoints with identical
+/// `|Δ|`, so the doubled `F₁` sum is halved at the end — an exact multiply
+/// by `0.5`. There is no K dimension here; the 4-way stripe over each
+/// gate's incident edges *is* the lane spelling, shared by both backends.
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+pub(crate) fn edge_gather_chunk(
+    offsets: &[u32],
+    neighbors: &[u32],
     labels: &[f64],
     exponent: f64,
     n1: f64,
     paper_f1_sign: bool,
+    start: usize,
+    end: usize,
     f1_part: &mut f64,
     mut force: Option<&mut [f64]>,
 ) {
-    for &(u, v) in edges {
-        let delta = labels[u as usize] - labels[v as usize];
-        *f1_part += kernel::pow_abs(delta, exponent);
+    let mut f1_acc = [0.0f64; LANE];
+    for u in start..end {
+        let lu = labels[u];
+        let lo = offsets[u] as usize;
+        let hi = offsets[u + 1] as usize;
+        let adj = &neighbors[lo..hi];
         if let Some(force) = force.as_deref_mut() {
-            let magnitude = kernel::pow_grad_abs(delta, exponent) / n1;
-            if paper_f1_sign {
-                force[u as usize] += magnitude;
-                force[v as usize] -= magnitude;
-            } else {
-                let signed = magnitude * delta.signum();
-                force[u as usize] += signed;
-                force[v as usize] -= signed;
+            let mut facc = [0.0f64; LANE];
+            for (t, &nb) in adj.iter().enumerate() {
+                let v = (nb & !SRC_BIT) as usize;
+                let delta = lu - labels[v];
+                let j = t % LANE;
+                f1_acc[j] += kernel::pow_abs(delta, exponent);
+                let magnitude = kernel::pow_grad_abs(delta, exponent) / n1;
+                let s = if paper_f1_sign {
+                    // As printed: + for the edge's source, − for its sink,
+                    // regardless of which label is larger.
+                    if nb & SRC_BIT != 0 {
+                        magnitude
+                    } else {
+                        -magnitude
+                    }
+                } else {
+                    magnitude * delta.signum()
+                };
+                facc[j] += s;
+            }
+            force[u - start] = lanes::fold(facc);
+        } else {
+            for (t, &nb) in adj.iter().enumerate() {
+                let v = (nb & !SRC_BIT) as usize;
+                let delta = lu - labels[v];
+                f1_acc[t % LANE] += kernel::pow_abs(delta, exponent);
             }
         }
     }
+    *f1_part += lanes::fold(f1_acc) * 0.5;
 }
 
 /// Weighted per-iteration constants for the gradient write sweep; everything
@@ -241,14 +428,84 @@ pub(crate) struct GradConsts {
     kf: f64,
 }
 
-/// Gradient write sweep over one chunk of gates (`start..end`); pure writes,
-/// no cross-gate accumulation. `coeff_bias`/`coeff_area` carry the per-plane
-/// `F₂`/`F₃` coefficients with the term weights already folded in, so the
-/// inner loop is four multiplies and three adds per entry with no bounds
-/// checks.
+impl GradConsts {
+    /// The affine `df4 = base − slope·w_ik` coefficients for a row, for
+    /// either `F₄` formula.
+    #[inline]
+    fn f4_affine(&self, row_sum: f64, row_mean: f64) -> (f64, f64) {
+        if self.paper_f4 {
+            (self.pc + self.pf * row_mean, self.pf)
+        } else {
+            (
+                self.f4_lin * (row_sum - 1.0) + self.f4_dev * row_mean,
+                self.f4_dev,
+            )
+        }
+    }
+}
+
+/// Gradient write sweep over one chunk of gates, dispatching on the kernel
+/// backend; pure writes, no cross-gate accumulation, identical output for
+/// either backend (the lane kernel's padding writes are `±0.0`, which the
+/// descend kernels and `f64 ==` treat as the scalar kernel's `+0.0`).
 #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
 pub(crate) fn grad_pass_chunk(
+    backend: KernelBackend,
     w: &WeightMatrix,
+    plane_coeff: &[f64],
+    mask: &[f64],
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    row_sums: &[f64],
+    force: &[f64],
+    coeff_bias: &[f64],
+    coeff_area: &[f64],
+    consts: GradConsts,
+    out: &mut [f64],
+) {
+    match backend {
+        KernelBackend::Scalar => grad_pass_chunk_scalar(
+            w,
+            plane_coeff,
+            bias,
+            area,
+            start,
+            end,
+            row_sums,
+            force,
+            coeff_bias,
+            coeff_area,
+            consts,
+            out,
+        ),
+        KernelBackend::Lanes => grad_pass_chunk_lanes(
+            w,
+            plane_coeff,
+            mask,
+            bias,
+            area,
+            start,
+            end,
+            row_sums,
+            force,
+            coeff_bias,
+            coeff_area,
+            consts,
+            out,
+        ),
+    }
+}
+
+/// Scalar gradient kernel: writes the `K` real entries of each padded output
+/// row and zero-fills the padding. `coeff_bias`/`coeff_area` carry the
+/// per-plane `F₂`/`F₃` coefficients with the term weights already folded in,
+/// so the inner loop is four multiplies and three adds per entry.
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+pub(crate) fn grad_pass_chunk_scalar(
+    w: &WeightMatrix,
+    plane_coeff: &[f64],
     bias: &[f64],
     area: &[f64],
     start: usize,
@@ -261,6 +518,7 @@ pub(crate) fn grad_pass_chunk(
     out: &mut [f64],
 ) {
     let k = w.num_planes();
+    let stride = w.stride();
     for i in start..end {
         let row = w.row(i);
         let row_sum = row_sums[i - start];
@@ -268,33 +526,82 @@ pub(crate) fn grad_pass_chunk(
         let fc1 = consts.c1 * force[i];
         let bi = bias[i];
         let ai = area[i];
-        // df4 is affine in w_ik: base − slope·w_ik, for either formula.
-        let (f4_base, f4_slope) = if consts.paper_f4 {
-            (consts.pc + consts.pf * row_mean, consts.pf)
-        } else {
-            (
-                consts.f4_lin * (row_sum - 1.0) + consts.f4_dev * row_mean,
-                consts.f4_dev,
+        let (f4_base, f4_slope) = consts.f4_affine(row_sum, row_mean);
+        let base = (i - start) * stride;
+        let out_row = &mut out[base..base + stride];
+        for idx in 0..k {
+            out_row[idx] = plane_coeff[idx] * fc1
+                + bi * coeff_bias[idx]
+                + ai * coeff_area[idx]
+                + (f4_base - f4_slope * row[idx]);
+        }
+        for slot in &mut out_row[k..] {
+            *slot = 0.0;
+        }
+    }
+}
+
+/// Lane gradient kernel: fixed `[f64; LANE]` blocks over the padded row,
+/// multiplying each written entry by the plane mask so padding slots land on
+/// `±0.0` (`x·1.0` is bit-exact, so real entries match the scalar kernel).
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
+pub(crate) fn grad_pass_chunk_lanes(
+    w: &WeightMatrix,
+    plane_coeff: &[f64],
+    mask: &[f64],
+    bias: &[f64],
+    area: &[f64],
+    start: usize,
+    end: usize,
+    row_sums: &[f64],
+    force: &[f64],
+    coeff_bias: &[f64],
+    coeff_area: &[f64],
+    consts: GradConsts,
+    out: &mut [f64],
+) {
+    let stride = w.stride();
+    for i in start..end {
+        let row = w.padded_row(i);
+        let row_sum = row_sums[i - start];
+        let row_mean = row_sum / consts.kf;
+        let fc1 = consts.c1 * force[i];
+        let bi = bias[i];
+        let ai = area[i];
+        let (f4_base, f4_slope) = consts.f4_affine(row_sum, row_mean);
+        let base = (i - start) * stride;
+        let out_row = &mut out[base..base + stride];
+        for ((ob, rb), ((pb, mb), (cbb, cab))) in out_row
+            .chunks_exact_mut(LANE)
+            .zip(row.chunks_exact(LANE))
+            .zip(
+                plane_coeff
+                    .chunks_exact(LANE)
+                    .zip(mask.chunks_exact(LANE))
+                    .zip(
+                        coeff_bias
+                            .chunks_exact(LANE)
+                            .zip(coeff_area.chunks_exact(LANE)),
+                    ),
             )
-        };
-        let base = (i - start) * k;
-        let out_row = &mut out[base..base + k];
-        let mut plane = 0.0; // (k+1) as an exact float counter
-        for (((o, &w_ik), &cb), &ca) in out_row.iter_mut().zip(row).zip(coeff_bias).zip(coeff_area)
         {
-            plane += 1.0;
-            *o = plane * fc1 + bi * cb + ai * ca + (f4_base - f4_slope * w_ik);
+            for j in 0..LANE {
+                ob[j] = (pb[j] * fc1 + bi * cbb[j] + ai * cab[j] + (f4_base - f4_slope * rb[j]))
+                    * mb[j];
+            }
         }
     }
 }
 
 impl<'a> CostEngine<'a> {
-    /// Creates an engine over `problem`, pre-sizing every scratch buffer so
-    /// the descent loop runs allocation-free.
+    /// Creates an engine over `problem`, building the CSR adjacency and
+    /// pre-sizing every scratch buffer so the descent loop runs
+    /// allocation-free.
     ///
     /// # Panics
     ///
-    /// Panics if `exponent < 1` (forwarded from [`CostModel`]).
+    /// Panics if `exponent < 1` (forwarded from [`CostModel`]) or on
+    /// problems beyond the CSR index range (`G ≥ 2³¹` or `2·E > u32::MAX`).
     pub fn new(
         problem: &'a PartitionProblem,
         weights: CostWeights,
@@ -305,6 +612,33 @@ impl<'a> CostEngine<'a> {
         let g = problem.num_gates();
         let k = problem.num_planes();
         let e = problem.num_edges();
+        let stride = lanes::padded(k);
+        debug_assert_eq!(stride % LANE, 0);
+        assert!(g < (1usize << 31), "CSR packing requires G < 2^31");
+        assert!(
+            2 * e <= u32::MAX as usize,
+            "CSR offsets require 2·E ≤ u32::MAX"
+        );
+
+        // Build the CSR adjacency: offsets by counting degrees, then packed
+        // neighbors in edge-list order with the source bit on the `u` side.
+        let mut csr_offsets = vec![0u32; g + 1];
+        for &(u, v) in problem.edges() {
+            csr_offsets[u as usize + 1] += 1;
+            csr_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..g {
+            csr_offsets[i + 1] += csr_offsets[i];
+        }
+        let mut cursor: Vec<u32> = csr_offsets[..g].to_vec();
+        let mut csr_neighbors = vec![0u32; 2 * e];
+        for &(u, v) in problem.edges() {
+            csr_neighbors[cursor[u as usize] as usize] = v | SRC_BIT;
+            cursor[u as usize] += 1;
+            csr_neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
         let gate_chunks = if g * k >= options.chunk_min_items {
             options.num_chunks.max(1)
         } else {
@@ -316,39 +650,49 @@ impl<'a> CostEngine<'a> {
             1
         };
         let gate_bounds = chunk_bounds(g, gate_chunks);
-        let edge_bounds = chunk_bounds(e, edge_chunks);
+        let edge_bounds = degree_balanced_bounds(&csr_offsets, edge_chunks);
+        let plane_coeff: Vec<f64> = (0..stride).map(|j| (j + 1) as f64).collect();
+        let mask: Vec<f64> = (0..stride).map(|j| if j < k { 1.0 } else { 0.0 }).collect();
         // The pool is built eagerly (not on first use) so that the descent
         // loop never constructs anything: after `new` returns, `evaluate*`
         // performs zero allocations on every path, threaded included.
         let pool = if options.intra_parallel && (gate_bounds.len() > 1 || edge_bounds.len() > 1) {
             let (n1, ..) = model.normalizations();
-            Some(ChunkPool::new(
-                problem.bias().to_vec(),
-                problem.area().to_vec(),
-                problem.edges().to_vec(),
-                model.exponent(),
+            Some(ChunkPool::new(PoolSpec {
+                bias: problem.bias().to_vec(),
+                area: problem.area().to_vec(),
+                csr_offsets: csr_offsets.clone(),
+                csr_neighbors: csr_neighbors.clone(),
+                exponent: model.exponent(),
                 n1,
-                options.gradient.paper_f1_sign,
-                gate_bounds.clone(),
-                edge_bounds.clone(),
-                k,
-            ))
+                paper_f1_sign: options.gradient.paper_f1_sign,
+                backend: options.backend,
+                gate_bounds: gate_bounds.clone(),
+                edge_bounds: edge_bounds.clone(),
+                num_planes: k,
+                plane_coeff: plane_coeff.clone(),
+                mask: mask.clone(),
+            }))
         } else {
             None
         };
         CostEngine {
             model,
             options,
+            stride,
             labels: vec![0.0; g],
             row_sums: vec![0.0; g],
             force: vec![0.0; g],
-            bias_sums: vec![0.0; k],
-            area_sums: vec![0.0; k],
-            gate_partials: vec![0.0; gate_chunks * (2 * k + 1)],
+            bias_sums: vec![0.0; stride],
+            area_sums: vec![0.0; stride],
+            gate_partials: vec![0.0; gate_chunks * (2 * stride + 1)],
             f1_partials: vec![0.0; edge_chunks],
-            chunk_force: vec![0.0; edge_chunks * g],
-            coeff_bias: vec![0.0; k],
-            coeff_area: vec![0.0; k],
+            coeff_bias: vec![0.0; stride],
+            coeff_area: vec![0.0; stride],
+            plane_coeff,
+            mask,
+            csr_offsets,
+            csr_neighbors,
             gate_bounds,
             edge_bounds,
             pool,
@@ -382,8 +726,7 @@ impl<'a> CostEngine<'a> {
         let bias = problem.bias();
         let area = problem.area();
         let g = problem.num_gates();
-        let k = problem.num_planes();
-        let stride = 2 * k + 1;
+        let pstride = 2 * self.stride + 1;
 
         self.bias_sums.fill(0.0);
         self.area_sums.fill(0.0);
@@ -393,7 +736,9 @@ impl<'a> CostEngine<'a> {
             // buffers, slice splitting, and copies.
             let mut f4_raw = 0.0;
             gate_pass_chunk(
+                self.options.backend,
                 w,
+                &self.plane_coeff,
                 bias,
                 area,
                 0,
@@ -414,17 +759,19 @@ impl<'a> CostEngine<'a> {
                 &mut self.labels,
                 &mut self.row_sums,
                 &mut self.gate_partials,
-                stride,
+                pstride,
             );
         } else {
             self.gate_partials.fill(0.0);
             for (idx, &(start, end)) in self.gate_bounds.iter().enumerate() {
-                let base = idx * stride;
-                let partial = &mut self.gate_partials[base..base + stride];
-                let (bias_part, rest) = partial.split_at_mut(k);
-                let (area_part, f4_part) = rest.split_at_mut(k);
+                let base = idx * pstride;
+                let partial = &mut self.gate_partials[base..base + pstride];
+                let (bias_part, rest) = partial.split_at_mut(self.stride);
+                let (area_part, f4_part) = rest.split_at_mut(self.stride);
                 gate_pass_chunk(
+                    self.options.backend,
                     w,
+                    &self.plane_coeff,
                     bias,
                     area,
                     start,
@@ -440,45 +787,47 @@ impl<'a> CostEngine<'a> {
 
         // Fold partials in fixed chunk order.
         let mut f4_raw = 0.0;
-        for partial in self.gate_partials.chunks(stride) {
-            for (s, &p) in self.bias_sums.iter_mut().zip(&partial[..k]) {
+        for partial in self.gate_partials.chunks(pstride) {
+            for (s, &p) in self.bias_sums.iter_mut().zip(&partial[..self.stride]) {
                 *s += p;
             }
-            for (s, &p) in self.area_sums.iter_mut().zip(&partial[k..2 * k]) {
+            for (s, &p) in self
+                .area_sums
+                .iter_mut()
+                .zip(&partial[self.stride..2 * self.stride])
+            {
                 *s += p;
             }
-            f4_raw += partial[2 * k];
+            f4_raw += partial[2 * self.stride];
         }
         f4_raw
     }
 
-    /// Fused edge sweep: returns raw `F₁` and, in gradient mode, fills
-    /// `self.force` (folded in fixed chunk order).
+    /// Fused edge gather: returns raw `F₁` (double-counted, pre-halved per
+    /// chunk) and, in gradient mode, writes `self.force` — one store per
+    /// gate, no scatter, so forces are identical for any chunk layout.
     fn edge_pass(&mut self, with_force: bool) -> f64 {
-        let problem = self.model.problem();
-        let edges = problem.edges();
-        let g = problem.num_gates();
+        let g = self.model.problem().num_gates();
         let exponent = self.model.exponent();
         let (n1, ..) = self.model.normalizations();
         let paper_sign = self.options.gradient.paper_f1_sign;
 
         if self.edge_bounds.len() == 1 {
-            // Fast path: write forces straight into `self.force`. Same
-            // addition sequence as a one-chunk fold, minus the per-chunk
-            // buffer fill and fold copy.
             let mut f1_raw = 0.0;
             let force = if with_force {
-                self.force.fill(0.0);
                 Some(&mut self.force[..])
             } else {
                 None
             };
-            edge_pass_chunk(
-                edges,
+            edge_gather_chunk(
+                &self.csr_offsets,
+                &self.csr_neighbors,
                 &self.labels,
                 exponent,
                 n1,
                 paper_sign,
+                0,
+                g,
                 &mut f1_raw,
                 force,
             );
@@ -491,38 +840,29 @@ impl<'a> CostEngine<'a> {
                 &self.labels,
                 with_force,
                 &mut self.f1_partials,
-                &mut self.chunk_force,
+                &mut self.force,
             );
         } else {
             let labels = &self.labels[..];
             self.f1_partials.fill(0.0);
-            if with_force {
-                self.chunk_force.fill(0.0);
-            }
             for (idx, &(start, end)) in self.edge_bounds.iter().enumerate() {
                 let force = if with_force {
-                    Some(&mut self.chunk_force[idx * g..(idx + 1) * g])
+                    Some(&mut self.force[start..end])
                 } else {
                     None
                 };
-                edge_pass_chunk(
-                    &edges[start..end],
+                edge_gather_chunk(
+                    &self.csr_offsets,
+                    &self.csr_neighbors,
                     labels,
                     exponent,
                     n1,
                     paper_sign,
+                    start,
+                    end,
                     &mut self.f1_partials[idx],
                     force,
                 );
-            }
-        }
-
-        if with_force {
-            self.force.fill(0.0);
-            for chunk in self.chunk_force.chunks(g) {
-                for (f, &c) in self.force.iter_mut().zip(chunk) {
-                    *f += c;
-                }
             }
         }
         self.f1_partials.iter().sum()
@@ -530,11 +870,14 @@ impl<'a> CostEngine<'a> {
 
     /// Assembles the normalized [`CostBreakdown`] from raw term sums.
     fn breakdown(&self, f1_raw: f64, f4_raw: f64) -> CostBreakdown {
+        let k = self.model.problem().num_planes();
         let (n1, n2, n3, n4) = self.model.normalizations();
         let weights = self.model.weights();
         let f1 = f1_raw / n1;
-        let f2 = variance(&self.bias_sums) / n2;
-        let f3 = variance(&self.area_sums) / n3;
+        // Only the K real plane slots: `variance` divides by the slice
+        // length, so the zero padding must stay out of it.
+        let f2 = variance(&self.bias_sums[..k]) / n2;
+        let f3 = variance(&self.area_sums[..k]) / n3;
         let f4 = f4_raw / n4;
         CostBreakdown {
             f1,
@@ -577,28 +920,31 @@ impl<'a> CostEngine<'a> {
     }
 
     /// Evaluates the cost **and** writes the weighted gradient `∂F/∂w` into
-    /// `out` (row-major `G×K`) in one fused `O(E + G·K)` pass.
+    /// `out` (padded row-major, stride [`WeightMatrix::stride`]) in one
+    /// fused `O(E + G·K)` pass.
     ///
     /// Replaces the reference `model.evaluate(w)` + `gradient.compute(...)`
     /// pair, which between them sweep the gate and edge sets ≈3×.
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != G·K` or `w`'s dimensions mismatch.
+    /// Panics if `out.len() != `[`WeightMatrix::padded_len`] or `w`'s
+    /// dimensions mismatch.
     pub fn evaluate_with_gradient(&mut self, w: &WeightMatrix, out: &mut [f64]) -> CostBreakdown {
         self.check_dims(w);
         let problem = self.model.problem();
         let g = problem.num_gates();
         let k = problem.num_planes();
-        assert_eq!(out.len(), g * k, "gradient buffer size mismatch");
+        let stride = self.stride;
+        assert_eq!(out.len(), g * stride, "gradient buffer size mismatch");
 
         let f4_raw = self.gate_pass(w);
         let f1_raw = self.edge_pass(true);
         let cost = self.breakdown(f1_raw, f4_raw);
 
         let kf = k as f64;
-        let b_mean = self.bias_sums.iter().sum::<f64>() / kf;
-        let a_mean = self.area_sums.iter().sum::<f64>() / kf;
+        let b_mean = self.bias_sums[..k].iter().sum::<f64>() / kf;
+        let a_mean = self.area_sums[..k].iter().sum::<f64>() / kf;
         let bias = problem.bias();
         let area = problem.area();
         let weights = self.model.weights();
@@ -606,13 +952,14 @@ impl<'a> CostEngine<'a> {
 
         // Fold the term weights and normalizations into per-plane (F₂/F₃)
         // and scalar (F₁/F₄) coefficients once per call, so the per-entry
-        // work below is a handful of fused multiply-adds.
+        // work below is a handful of fused multiply-adds. Only the K real
+        // slots are written; the padding stays at the 0.0 it was built with.
         let cb = weights.c2 * 2.0 / (kf * n2);
-        for (c, &s) in self.coeff_bias.iter_mut().zip(&self.bias_sums) {
+        for (c, &s) in self.coeff_bias[..k].iter_mut().zip(&self.bias_sums[..k]) {
             *c = cb * (s - b_mean);
         }
         let ca = weights.c3 * 2.0 / (kf * n3);
-        for (c, &s) in self.coeff_area.iter_mut().zip(&self.area_sums) {
+        for (c, &s) in self.coeff_area[..k].iter_mut().zip(&self.area_sums[..k]) {
             *c = ca * (s - a_mean);
         }
         let a4 = weights.c4 * 2.0 / n4;
@@ -633,7 +980,20 @@ impl<'a> CostEngine<'a> {
         if self.gate_bounds.len() == 1 {
             // Fast path: one write sweep over the whole matrix.
             grad_pass_chunk(
-                w, bias, area, 0, g, row_sums, force, coeff_bias, coeff_area, consts, out,
+                self.options.backend,
+                w,
+                &self.plane_coeff,
+                &self.mask,
+                bias,
+                area,
+                0,
+                g,
+                row_sums,
+                force,
+                coeff_bias,
+                coeff_area,
+                consts,
+                out,
             );
             return cost;
         }
@@ -643,8 +1003,15 @@ impl<'a> CostEngine<'a> {
             pool.grad_pass(w, row_sums, force, coeff_bias, coeff_area, consts, out);
         } else {
             for &(start, end) in &self.gate_bounds {
+                // Chunk offsets stay lane-aligned because the stride is a
+                // multiple of LANE — the alignment rule the lanes module
+                // documents.
+                debug_assert_eq!((start * stride) % LANE, 0);
                 grad_pass_chunk(
+                    self.options.backend,
                     w,
+                    &self.plane_coeff,
+                    &self.mask,
                     bias,
                     area,
                     start,
@@ -654,7 +1021,7 @@ impl<'a> CostEngine<'a> {
                     coeff_bias,
                     coeff_area,
                     consts,
-                    &mut out[start * k..end * k],
+                    &mut out[start * stride..end * stride],
                 );
             }
         }
@@ -758,7 +1125,7 @@ mod tests {
         let model = CostModel::new(problem, CostWeights::default());
         let cost = model.evaluate(w);
         let mut gradient = Gradient::new(grad_options);
-        let mut out = vec![0.0; w.num_gates() * w.num_planes()];
+        let mut out = vec![0.0; w.padded_len()];
         gradient.compute(&model, w, &mut out);
         (cost, out)
     }
@@ -776,7 +1143,7 @@ mod tests {
             let w = WeightMatrix::random(30, 4, &mut rng);
             let mut engine =
                 CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
-            let mut grad = vec![0.0; 30 * 4];
+            let mut grad = vec![0.0; w.padded_len()];
             let cost = engine.evaluate_with_gradient(&w, &mut grad);
             let (expect_cost, expect_grad) = reference_pair(&p, &w, GradientOptions::exact());
             assert_close(cost.f1, expect_cost.f1, "f1");
@@ -800,12 +1167,94 @@ mod tests {
             ..EngineOptions::default()
         };
         let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, options);
-        let mut grad = vec![0.0; 24 * 3];
+        let mut grad = vec![0.0; w.padded_len()];
         engine.evaluate_with_gradient(&w, &mut grad);
         let (_, expect_grad) = reference_pair(&p, &w, GradientOptions::as_printed());
         for (&a, &b) in grad.iter().zip(&expect_grad) {
             assert_close(a, b, "printed-formula gradient entry");
         }
+    }
+
+    #[test]
+    fn scalar_and_lanes_backends_are_bit_identical() {
+        // The tentpole invariant: identical striped fold order makes the two
+        // kernel spellings exactly equal, including the smallest legal K,
+        // K not a multiple of the lane width, and single-gate problems.
+        // (K = 1 is rejected by `PartitionProblem`; the weight-matrix lane
+        // kernels cover it in their own unit tests.)
+        for &(g, k, seed) in &[
+            (40usize, 5usize, 1u64),
+            (25, 3, 2),
+            (30, 2, 3),
+            (1, 6, 4),
+            (17, 8, 5),
+        ] {
+            let p = random_problem(g, k, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 900);
+            let w = WeightMatrix::random(g, k, &mut rng);
+            let mut scalar = CostEngine::new(
+                &p,
+                CostWeights::default(),
+                4.0,
+                EngineOptions {
+                    backend: KernelBackend::Scalar,
+                    ..EngineOptions::default()
+                },
+            );
+            let mut fast = CostEngine::new(
+                &p,
+                CostWeights::default(),
+                4.0,
+                EngineOptions {
+                    backend: KernelBackend::Lanes,
+                    ..EngineOptions::default()
+                },
+            );
+            let mut gs = vec![0.0; w.padded_len()];
+            let mut gl = vec![0.0; w.padded_len()];
+            let cs = scalar.evaluate_with_gradient(&w, &mut gs);
+            let cl = fast.evaluate_with_gradient(&w, &mut gl);
+            assert_eq!(cs, cl, "cost g={g} k={k}");
+            assert_eq!(gs, gl, "gradient g={g} k={k}");
+            assert_eq!(scalar.evaluate(&w), fast.evaluate(&w));
+        }
+    }
+
+    #[test]
+    fn scalar_and_lanes_backends_match_when_chunked() {
+        let p = random_problem(90, 5, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let w = WeightMatrix::random(90, 5, &mut rng);
+        let base = EngineOptions {
+            chunk_min_items: 1,
+            num_chunks: 6,
+            ..EngineOptions::default()
+        };
+        let mut scalar = CostEngine::new(
+            &p,
+            CostWeights::default(),
+            4.0,
+            EngineOptions {
+                backend: KernelBackend::Scalar,
+                ..base
+            },
+        );
+        let mut fast = CostEngine::new(
+            &p,
+            CostWeights::default(),
+            4.0,
+            EngineOptions {
+                backend: KernelBackend::Lanes,
+                ..base
+            },
+        );
+        assert!(scalar.is_chunked() && fast.is_chunked());
+        let mut gs = vec![0.0; w.padded_len()];
+        let mut gl = vec![0.0; w.padded_len()];
+        let cs = scalar.evaluate_with_gradient(&w, &mut gs);
+        let cl = fast.evaluate_with_gradient(&w, &mut gl);
+        assert_eq!(cs, cl);
+        assert_eq!(gs, gl);
     }
 
     #[test]
@@ -823,8 +1272,8 @@ mod tests {
         let mut chunked = CostEngine::new(&p, CostWeights::default(), 4.0, chunked_options);
         assert!(chunked.is_chunked());
         assert!(!plain.is_chunked());
-        let mut ga = vec![0.0; 60 * 5];
-        let mut gb = vec![0.0; 60 * 5];
+        let mut ga = vec![0.0; w.padded_len()];
+        let mut gb = vec![0.0; w.padded_len()];
         let ca = plain.evaluate_with_gradient(&w, &mut ga);
         let cb = chunked.evaluate_with_gradient(&w, &mut gb);
         assert_close(ca.total, cb.total, "total");
@@ -853,8 +1302,8 @@ mod tests {
                 ..base
             },
         );
-        let mut gs = vec![0.0; 80 * 4];
-        let mut gp = vec![0.0; 80 * 4];
+        let mut gs = vec![0.0; w.padded_len()];
+        let mut gp = vec![0.0; w.padded_len()];
         let cs = sequential.evaluate_with_gradient(&w, &mut gs);
         let cp = parallel.evaluate_with_gradient(&w, &mut gp);
         // Same chunk layout, same fold order: exactly equal, not just close.
@@ -870,7 +1319,7 @@ mod tests {
         let w = WeightMatrix::random(40, 3, &mut rng);
         let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
         let cost_only = engine.evaluate(&w);
-        let mut grad = vec![0.0; 40 * 3];
+        let mut grad = vec![0.0; w.padded_len()];
         let cost_both = engine.evaluate_with_gradient(&w, &mut grad);
         assert_eq!(cost_only, cost_both);
     }
@@ -883,11 +1332,11 @@ mod tests {
         let w1 = WeightMatrix::random(25, 4, &mut rng);
         let w2 = WeightMatrix::random(25, 4, &mut rng);
         let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, EngineOptions::default());
-        let mut g1 = vec![0.0; 25 * 4];
+        let mut g1 = vec![0.0; w1.padded_len()];
         let first = engine.evaluate_with_gradient(&w1, &mut g1);
-        let mut scratch = vec![0.0; 25 * 4];
+        let mut scratch = vec![0.0; w1.padded_len()];
         engine.evaluate_with_gradient(&w2, &mut scratch);
-        let mut g1_again = vec![0.0; 25 * 4];
+        let mut g1_again = vec![0.0; w1.padded_len()];
         let again = engine.evaluate_with_gradient(&w1, &mut g1_again);
         assert_eq!(first, again);
         assert_eq!(g1, g1_again);
@@ -922,6 +1371,29 @@ mod tests {
         let reference = model.evaluate(&w);
         assert_close(fused.total, reference.total, "p=2 total");
         assert_close(fused.f1, reference.f1, "p=2 f1");
+    }
+
+    #[test]
+    fn degree_balanced_bounds_partition_all_gates() {
+        // Skewed degrees: gate 0 touches everything.
+        let g = 20u32;
+        let edges: Vec<(u32, u32)> = (1..g).map(|i| (0, i)).collect();
+        let p =
+            PartitionProblem::new(vec![1.0; g as usize], vec![1.0; g as usize], edges, 2).unwrap();
+        let options = EngineOptions {
+            chunk_min_items: 1,
+            num_chunks: 4,
+            ..EngineOptions::default()
+        };
+        let engine = CostEngine::new(&p, CostWeights::default(), 4.0, options);
+        let bounds = &engine.edge_bounds;
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds[bounds.len() - 1].1, g as usize);
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges are contiguous");
+            assert!(w[0].0 <= w[0].1);
+        }
     }
 
     #[test]

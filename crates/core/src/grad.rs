@@ -60,9 +60,10 @@ impl GradientOptions {
 /// let model = CostModel::new(&p, CostWeights::default());
 /// let mut grad = Gradient::new(GradientOptions::exact());
 /// let w = WeightMatrix::uniform(4, 2);
-/// let mut g = vec![0.0; 4 * 2];
+/// // Gradient buffers use the padded lane layout of the matrix.
+/// let mut g = vec![0.0; w.padded_len()];
 /// grad.compute(&model, &w, &mut g);
-/// assert_eq!(g.len(), 8);
+/// assert_eq!(g.len(), 4 * w.stride());
 /// # Ok::<(), sfq_partition::ProblemError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -91,18 +92,20 @@ impl Gradient {
         self.options
     }
 
-    /// Computes `∂F/∂w` into `out` (row-major `G×K`), weighted by the
-    /// model's `c₁..c₄`.
+    /// Computes `∂F/∂w` into `out` (padded row-major, stride
+    /// [`WeightMatrix::stride`]; padding entries are written to `0.0`),
+    /// weighted by the model's `c₁..c₄`.
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != G·K` or `w`'s dimensions mismatch the model's
-    /// problem.
+    /// Panics if `out.len() != `[`WeightMatrix::padded_len`] or `w`'s
+    /// dimensions mismatch the model's problem.
     pub fn compute(&mut self, model: &CostModel<'_>, w: &WeightMatrix, out: &mut [f64]) {
         let problem = model.problem();
         let g = problem.num_gates();
         let k = problem.num_planes();
-        assert_eq!(out.len(), g * k, "gradient buffer size mismatch");
+        let stride = w.stride();
+        assert_eq!(out.len(), g * stride, "gradient buffer size mismatch");
         assert_eq!(w.num_gates(), g);
         assert_eq!(w.num_planes(), k);
 
@@ -144,7 +147,7 @@ impl Gradient {
             let row = w.row(i);
             let row_sum: f64 = row.iter().sum();
             let row_mean = row_sum / kf;
-            let base = i * k;
+            let base = i * stride;
             for kk in 0..k {
                 let plane_factor = (kk + 1) as f64;
                 let df1 = plane_factor * self.force[i];
@@ -158,6 +161,10 @@ impl Gradient {
                 out[base + kk] =
                     weights.c1 * df1 + weights.c2 * df2 + weights.c3 * df3 + weights.c4 * df4;
             }
+            // Keep the lane padding inert for the descend kernels.
+            for slot in &mut out[base + k..base + stride] {
+                *slot = 0.0;
+            }
         }
     }
 }
@@ -170,11 +177,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Central finite difference of the total cost wrt each w entry.
+    /// Central finite difference of the total cost wrt each w entry, in the
+    /// same padded layout as `Gradient::compute` (padding slots stay zero).
     fn finite_difference(model: &CostModel<'_>, w: &WeightMatrix, eps: f64) -> Vec<f64> {
         let g = w.num_gates();
         let k = w.num_planes();
-        let mut out = vec![0.0; g * k];
+        let stride = w.stride();
+        let mut out = vec![0.0; g * stride];
         let mut wp = w.clone();
         for i in 0..g {
             for kk in 0..k {
@@ -184,7 +193,7 @@ mod tests {
                 wp.set(i, kk, orig - eps);
                 let down = model.evaluate(&wp).total;
                 wp.set(i, kk, orig);
-                out[i * k + kk] = (up - down) / (2.0 * eps);
+                out[i * stride + kk] = (up - down) / (2.0 * eps);
             }
         }
         out
@@ -210,7 +219,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let w = WeightMatrix::random(12, 4, &mut rng);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut g = vec![0.0; 12 * 4];
+        let mut g = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut g);
         let fd = finite_difference(&model, &w, 1e-6);
         for (i, (&an, &nu)) in g.iter().zip(&fd).enumerate() {
@@ -229,7 +238,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let w = WeightMatrix::random(8, 3, &mut rng);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut g = vec![0.0; 8 * 3];
+        let mut g = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut g);
         let fd = finite_difference(&model, &w, 1e-6);
         for (&an, &nu) in g.iter().zip(&fd) {
@@ -251,7 +260,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let w = WeightMatrix::random(10, 5, &mut rng);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut g = vec![0.0; 10 * 5];
+        let mut g = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut g);
         let fd = finite_difference(&model, &w, 1e-6);
         for (&an, &nu) in g.iter().zip(&fd) {
@@ -278,8 +287,8 @@ mod tests {
             paper_f1_sign: true,
             paper_f4_formula: false,
         });
-        let mut ge = vec![0.0; 6];
-        let mut gp = vec![0.0; 6];
+        let mut ge = vec![0.0; w.padded_len()];
+        let mut gp = vec![0.0; w.padded_len()];
         exact.compute(&model, &w, &mut ge);
         printed.compute(&model, &w, &mut gp);
         // Same magnitudes, opposite signs for gate 0 (the edge source whose
@@ -303,7 +312,7 @@ mod tests {
         let model = CostModel::new(&p, weights);
         let w = WeightMatrix::from_labels(&[2], 4);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut ge = vec![0.0; 4];
+        let mut ge = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut ge);
         // Exact gradient at a one-hot row: d = (sum−1) − (w_k − mean)/K
         // = −(w_k − 1/4)/4 → pushes the hot entry up and the cold ones down,
@@ -319,7 +328,7 @@ mod tests {
         // −(K−1)/K² · 2/N₄ at a one-hot row) but disagrees on every cold
         // entry, where it carries a large K−1 offset.
         let mut printed = Gradient::new(GradientOptions::as_printed());
-        let mut gp = vec![0.0; 4];
+        let mut gp = vec![0.0; w.padded_len()];
         printed.compute(&model, &w, &mut gp);
         assert!((gp[2] - ge[2]).abs() < 1e-15, "hot entries coincide");
         for kk in [0usize, 1, 3] {
@@ -336,7 +345,7 @@ mod tests {
         let model = CostModel::new(&p, CostWeights::default());
         let w = WeightMatrix::uniform(2, 2);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut g = vec![0.0; 4];
+        let mut g = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut g);
         for &x in &g {
             assert!(x.abs() < 1e-12, "uniform point is a stationary saddle");

@@ -1,0 +1,156 @@
+//! Portable explicit-width `f64` lane kernels for the K-plane inner loops.
+//!
+//! Every hot loop of the fused engine iterates a gate's `K` plane weights.
+//! With the row-major layout of PR 1 those loops carried serial dependency
+//! chains (one accumulator per quantity) over an odd trip count (`K = 5`,
+//! `K = 30`), which blocks both instruction-level parallelism and clean
+//! autovectorization. This module fixes the *shape* of that arithmetic:
+//!
+//! * **Padded K-lanes** — [`WeightMatrix`](crate::WeightMatrix) rows are
+//!   stored with stride [`padded`]`(K)` (the next multiple of [`LANE`]),
+//!   padding entries pinned to `0.0`. Kernels iterate the padded row in
+//!   exact `[f64; LANE]` blocks via `chunks_exact`, which the compiler
+//!   lowers to SIMD on every target without nightly `std::simd`.
+//! * **Canonical striped fold order** — every row reduction accumulates
+//!   element `idx` into stripe accumulator `acc[idx % LANE]` and folds the
+//!   stripes as `((acc[0] + acc[1]) + acc[2]) + acc[3]` ([`fold`]). The
+//!   scalar backend uses the *same* striping element-at-a-time, so the two
+//!   backends are bit-identical: the padding contributes exact `+0.0` terms
+//!   (an IEEE-754 no-op against the `+0.0`-initialized stripes), and the
+//!   fold tree is shared. This is what lets the exactness suites —
+//!   serial == parallel (lint rule D3), observer-on == observer-off, and
+//!   the alloc sanitizer (A1) — keep pinning the arithmetic across both
+//!   backends.
+//! * **Chunk boundaries align to lane blocks** — intra-descent chunking
+//!   splits on *gate* boundaries and every row occupies a full number of
+//!   lane blocks (`stride % LANE == 0`), so a chunk's flat offset
+//!   `start · stride` is always lane-aligned by construction. The engine
+//!   debug-asserts this invariant.
+//!
+//! The kernels themselves live next to their callers (`engine.rs`,
+//! `weights.rs`); this module owns the layout constants, the fold, and the
+//! backend selector so the invariants are auditable in one place.
+
+/// Lane width of every K-plane kernel, in `f64` elements.
+///
+/// Four doubles = one AVX2 register = two SSE2 registers; the fixed width is
+/// part of the numerical contract (it determines the striped fold order), so
+/// it is a constant, never derived from the machine.
+pub const LANE: usize = 4;
+
+/// The padded row stride for `k` planes: `k` rounded up to a multiple of
+/// [`LANE`].
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::lanes::{padded, LANE};
+///
+/// assert_eq!(padded(1), LANE);
+/// assert_eq!(padded(4), 4);
+/// assert_eq!(padded(5), 8);
+/// assert_eq!(padded(30), 32);
+/// ```
+#[must_use]
+pub const fn padded(k: usize) -> usize {
+    k.div_ceil(LANE) * LANE
+}
+
+/// Canonical cross-stripe fold: `((acc[0] + acc[1]) + acc[2]) + acc[3]`.
+///
+/// Shared by the scalar and lane backends so their reductions are
+/// bit-identical; changing this tree changes results and is a breaking
+/// numerical change.
+#[inline]
+#[must_use]
+pub fn fold(acc: [f64; LANE]) -> f64 {
+    ((acc[0] + acc[1]) + acc[2]) + acc[3]
+}
+
+/// Which spelling of the K-plane kernels the engine runs.
+///
+/// Both backends compute the identical striped-fold arithmetic (see the
+/// module docs); they differ only in loop shape, i.e. in speed. The scalar
+/// spelling exists as the parity baseline for property tests and as the
+/// reference point for the `BENCH_3.json` scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum KernelBackend {
+    /// Element-at-a-time loops over the `K` real entries of each row, with
+    /// striped accumulators. Representative of the pre-vectorization fused
+    /// engine's memory pattern.
+    Scalar,
+    /// Fixed `[f64; LANE]` blocks over the padded row via `chunks_exact`
+    /// (autovectorization-friendly; the default).
+    #[default]
+    Lanes,
+}
+
+/// Infinity norm (largest absolute component) of a slice, computed in lane
+/// blocks with a scalar tail.
+///
+/// `max` is order-independent over finite values, so unlike the sum folds
+/// this needs no striping contract: the result is exactly the sequential
+/// `fold(0.0, f64::max)` for every input without NaNs (NaN entries are
+/// skipped by `f64::max`, matching the sequential spelling).
+#[must_use]
+pub fn max_abs(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANE];
+    let chunks = xs.chunks_exact(LANE);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for j in 0..LANE {
+            acc[j] = acc[j].max(c[j].abs());
+        }
+    }
+    let mut m = acc[0].max(acc[1]).max(acc[2]).max(acc[3]);
+    for &x in tail {
+        m = m.max(x.abs());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_rounds_up_to_lane_multiples() {
+        assert_eq!(padded(1), 4);
+        assert_eq!(padded(2), 4);
+        assert_eq!(padded(3), 4);
+        assert_eq!(padded(4), 4);
+        assert_eq!(padded(5), 8);
+        assert_eq!(padded(8), 8);
+        assert_eq!(padded(30), 32);
+        assert_eq!(padded(33), 36);
+    }
+
+    #[test]
+    fn fold_is_the_documented_tree() {
+        // Pick values where association order matters in f64.
+        let a = [1e16, 1.0, -1e16, 1.0];
+        assert_eq!(fold(a), ((a[0] + a[1]) + a[2]) + a[3]);
+    }
+
+    #[test]
+    fn max_abs_matches_sequential_fold() {
+        let xs: Vec<f64> = (0..37).map(|i| ((i * 7919) % 101) as f64 - 50.0).collect();
+        let expect = xs.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert_eq!(max_abs(&xs), expect);
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[-3.5]), 3.5);
+    }
+
+    #[test]
+    fn max_abs_skips_nans_like_sequential_max() {
+        let xs = [1.0, f64::NAN, 7.0, f64::NAN, 2.0];
+        let expect = xs.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert_eq!(max_abs(&xs), expect);
+        assert_eq!(max_abs(&xs), 7.0);
+    }
+
+    #[test]
+    fn backend_default_is_lanes() {
+        assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
+    }
+}

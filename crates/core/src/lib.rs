@@ -44,7 +44,8 @@
 //! * [`grad`] — analytic gradients (eq. 10; see the note on the sign erratum).
 //! * [`engine`] — fused, allocation-free cost+gradient evaluation (the
 //!   solver's default inner loop); [`kernel`] holds the shared
-//!   integer-exponent power kernels.
+//!   integer-exponent power kernels and [`lanes`] the padded-lane layout
+//!   constants, canonical fold order, and [`KernelBackend`] selector.
 //! * [`solver`] — Algorithm 1 (projected gradient descent) plus restarts.
 //! * [`telemetry`] — zero-cost observer hooks, JSONL traces, solve metrics.
 //! * [`refine`] — optional discrete local-move polish.
@@ -67,6 +68,7 @@ pub mod error;
 pub mod float;
 pub mod grad;
 pub mod kernel;
+pub mod lanes;
 pub mod limit;
 pub mod metrics;
 pub mod multilevel;
@@ -82,6 +84,7 @@ pub use assign::Partition;
 pub use cost::{CostBreakdown, CostModel, CostWeights};
 pub use engine::{CostEngine, EngineOptions};
 pub use error::SolveError;
+pub use lanes::KernelBackend;
 pub use limit::{BiasLimitOutcome, BiasLimitPlanner};
 pub use metrics::PartitionMetrics;
 pub use problem::{PartitionProblem, ProblemError};

@@ -18,10 +18,11 @@
 //!   futex-backed platforms this repo targets. The allocation-sanitizer
 //!   test (`crates/core/tests/alloc_sanitizer.rs`) pins this dynamically.
 //! * **Bit-identical to the serial chunked sweep** — workers run the same
-//!   chunk kernels ([`gate_pass_chunk`], [`edge_pass_chunk`],
-//!   [`grad_pass_chunk`]) over the same fixed bounds, and the engine folds
-//!   the per-chunk partials in chunk order after every epoch. Threading
-//!   changes wall-clock time, never a bit of the result.
+//!   chunk kernels ([`gate_pass_chunk`], [`edge_gather_chunk`],
+//!   [`grad_pass_chunk`]) with the same [`KernelBackend`] over the same
+//!   fixed bounds, and the engine folds the per-chunk partials in chunk
+//!   order after every epoch. Threading changes wall-clock time, never a
+//!   bit of the result.
 //! * **100% safe Rust** — `crates/core` carries `#![forbid(unsafe_code)]`.
 //!   Workers never see a borrow of engine state: inputs are copied into a
 //!   shared [`RwLock`] staging area between epochs, outputs live in
@@ -50,7 +51,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 
-use crate::engine::{edge_pass_chunk, gate_pass_chunk, grad_pass_chunk, GradConsts};
+use crate::engine::{edge_gather_chunk, gate_pass_chunk, grad_pass_chunk, GradConsts};
+use crate::lanes::KernelBackend;
 use crate::weights::WeightMatrix;
 
 /// Locks a mutex, continuing through poisoning: a panicked worker's payload
@@ -67,10 +69,45 @@ enum PassKind {
     Idle,
     /// Fused gate sweep ([`gate_pass_chunk`]) over the gate chunks.
     Gate,
-    /// Edge sweep ([`edge_pass_chunk`]) over the edge chunks.
+    /// CSR edge gather ([`edge_gather_chunk`]) over the edge chunks.
     Edge,
     /// Gradient write sweep ([`grad_pass_chunk`]) over the gate chunks.
     Grad,
+}
+
+/// Everything the workers need that is fixed for the engine's lifetime:
+/// problem data, the CSR adjacency, chunk layout, kernel backend, and the
+/// padded-lane coefficient vectors. Bundled so construction, [`Clone`], and
+/// the worker loop stay in sync by type rather than by argument order.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolSpec {
+    /// Per-gate bias currents (copied from the problem; workers cannot
+    /// borrow engine-lifetime data).
+    pub bias: Vec<f64>,
+    /// Per-gate areas.
+    pub area: Vec<f64>,
+    /// CSR adjacency offsets (`G + 1`).
+    pub csr_offsets: Vec<u32>,
+    /// Packed CSR neighbors (`2·E`, high bit = source side).
+    pub csr_neighbors: Vec<u32>,
+    /// Cost exponent `p`.
+    pub exponent: f64,
+    /// `F₁` normalization `N₁`.
+    pub n1: f64,
+    /// Use the paper's unsigned `F₁` force convention.
+    pub paper_f1_sign: bool,
+    /// Kernel spelling workers run (same as the engine's).
+    pub backend: KernelBackend,
+    /// Fixed gate-sweep chunk bounds.
+    pub gate_bounds: Vec<(usize, usize)>,
+    /// Fixed edge-gather chunk bounds (contiguous gate ranges).
+    pub edge_bounds: Vec<(usize, usize)>,
+    /// Number of planes `K`.
+    pub num_planes: usize,
+    /// Plane numbers `k+1` as floats, padded to the row stride.
+    pub plane_coeff: Vec<f64>,
+    /// `1.0` for real planes, `0.0` for padding.
+    pub mask: Vec<f64>,
 }
 
 /// Staging area the engine fills before each epoch; workers read it through
@@ -85,13 +122,13 @@ struct PassInput {
     row_sums: Vec<f64>,
     /// Folded interconnect forces (gradient sweep).
     force: Vec<f64>,
-    /// Per-plane `F₂` gradient coefficients (gradient sweep).
+    /// Per-plane `F₂` gradient coefficients, padded (gradient sweep).
     coeff_bias: Vec<f64>,
-    /// Per-plane `F₃` gradient coefficients (gradient sweep).
+    /// Per-plane `F₃` gradient coefficients, padded (gradient sweep).
     coeff_area: Vec<f64>,
     /// Per-iteration gradient constants (gradient sweep).
     consts: GradConsts,
-    /// Whether the edge sweep accumulates forces (gradient mode).
+    /// Whether the edge gather writes forces (gradient mode).
     with_force: bool,
 }
 
@@ -102,24 +139,25 @@ struct GateOut {
     labels: Vec<f64>,
     /// Row sums for the chunk's gates (chunk-length prefix used).
     row_sums: Vec<f64>,
-    /// Per-plane bias partial sums (`K`).
+    /// Per-plane bias partial sums, padded to the row stride.
     bias: Vec<f64>,
-    /// Per-plane area partial sums (`K`).
+    /// Per-plane area partial sums, padded to the row stride.
     area: Vec<f64>,
     /// Raw `F₄` partial.
     f4: f64,
 }
 
-/// Per-chunk output slot for the edge sweep.
+/// Per-chunk output slot for the edge gather.
 #[derive(Debug)]
 struct EdgeOut {
     /// Raw `F₁` partial.
     f1: f64,
-    /// Full-length (`G`) force scatter buffer for this chunk.
+    /// Force values for this chunk's gate range (chunk-length prefix used;
+    /// the gather writes each slot exactly once, so no prefill is needed).
     force: Vec<f64>,
 }
 
-/// Per-chunk output slot for the gradient sweep (`chunk_len × K` rows).
+/// Per-chunk output slot for the gradient sweep (`chunk_len × stride` rows).
 #[derive(Debug)]
 struct GradOut {
     out: Vec<f64>,
@@ -139,25 +177,8 @@ struct Job {
 /// State shared between the dispatching engine and the workers.
 #[derive(Debug)]
 struct Shared {
-    /// Per-gate bias currents (copied from the problem; workers cannot
-    /// borrow engine-lifetime data).
-    bias: Vec<f64>,
-    /// Per-gate areas.
-    area: Vec<f64>,
-    /// Edge list.
-    edges: Vec<(u32, u32)>,
-    /// Cost exponent `p`.
-    exponent: f64,
-    /// `F₁` normalization `N₁`.
-    n1: f64,
-    /// Use the paper's unsigned `F₁` force convention.
-    paper_f1_sign: bool,
-    /// Fixed gate-sweep chunk bounds.
-    gate_bounds: Vec<(usize, usize)>,
-    /// Fixed edge-sweep chunk bounds.
-    edge_bounds: Vec<(usize, usize)>,
-    /// Number of planes `K`.
-    num_planes: usize,
+    /// Fixed problem data, chunk layout, and kernel configuration.
+    spec: PoolSpec,
     input: RwLock<PassInput>,
     job: Mutex<Job>,
     job_cv: Condvar,
@@ -186,8 +207,8 @@ impl std::fmt::Debug for ChunkPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkPool")
             .field("workers", &self.workers)
-            .field("gate_chunks", &self.shared.gate_bounds.len())
-            .field("edge_chunks", &self.shared.edge_bounds.len())
+            .field("gate_chunks", &self.shared.spec.gate_bounds.len())
+            .field("edge_chunks", &self.shared.spec.edge_bounds.len())
             .finish()
     }
 }
@@ -196,88 +217,63 @@ impl Clone for ChunkPool {
     /// Clones the configuration, not the threads: the clone gets its own
     /// fresh worker set over the same problem data and chunk layout.
     fn clone(&self) -> Self {
-        let s = &self.shared;
-        ChunkPool::new(
-            s.bias.clone(),
-            s.area.clone(),
-            s.edges.clone(),
-            s.exponent,
-            s.n1,
-            s.paper_f1_sign,
-            s.gate_bounds.clone(),
-            s.edge_bounds.clone(),
-            s.num_planes,
-        )
+        ChunkPool::new(self.shared.spec.clone())
     }
 }
 
 impl ChunkPool {
     /// Builds the shared state, pre-sizes every buffer, and spawns one
     /// worker per chunk (the larger of the two chunk counts).
-    #[allow(clippy::too_many_arguments)] // construction-time plumbing from the engine
-    pub(crate) fn new(
-        bias: Vec<f64>,
-        area: Vec<f64>,
-        edges: Vec<(u32, u32)>,
-        exponent: f64,
-        n1: f64,
-        paper_f1_sign: bool,
-        gate_bounds: Vec<(usize, usize)>,
-        edge_bounds: Vec<(usize, usize)>,
-        num_planes: usize,
-    ) -> Self {
-        let g = bias.len();
-        let k = num_planes;
-        let gate_out = gate_bounds
+    pub(crate) fn new(spec: PoolSpec) -> Self {
+        let g = spec.bias.len();
+        let k = spec.num_planes;
+        let stride = spec.plane_coeff.len();
+        let gate_out = spec
+            .gate_bounds
             .iter()
             .map(|&(start, end)| {
                 Mutex::new(GateOut {
                     labels: vec![0.0; end - start],
                     row_sums: vec![0.0; end - start],
-                    bias: vec![0.0; k],
-                    area: vec![0.0; k],
+                    bias: vec![0.0; stride],
+                    area: vec![0.0; stride],
                     f4: 0.0,
                 })
             })
             .collect();
-        let edge_out = edge_bounds
+        let edge_out = spec
+            .edge_bounds
             .iter()
-            .map(|_| {
+            .map(|&(start, end)| {
                 Mutex::new(EdgeOut {
                     f1: 0.0,
-                    force: vec![0.0; g],
+                    force: vec![0.0; end - start],
                 })
             })
             .collect();
-        let grad_out = gate_bounds
+        let grad_out = spec
+            .gate_bounds
             .iter()
             .map(|&(start, end)| {
                 Mutex::new(GradOut {
-                    out: vec![0.0; (end - start) * k],
+                    out: vec![0.0; (end - start) * stride],
                 })
             })
             .collect();
-        let workers = gate_bounds.len().max(edge_bounds.len());
+        let workers = spec.gate_bounds.len().max(spec.edge_bounds.len());
+        let input = RwLock::new(PassInput {
+            w: WeightMatrix::uniform(g, k),
+            labels: vec![0.0; g],
+            row_sums: vec![0.0; g],
+            force: vec![0.0; g],
+            coeff_bias: vec![0.0; stride],
+            coeff_area: vec![0.0; stride],
+            consts: GradConsts::default(),
+            with_force: false,
+        });
         let shared = Arc::new(Shared {
-            bias,
-            area,
-            edges,
-            exponent,
-            n1,
-            paper_f1_sign,
-            gate_bounds,
-            edge_bounds,
-            num_planes,
-            input: RwLock::new(PassInput {
-                w: WeightMatrix::uniform(g, k),
-                labels: vec![0.0; g],
-                row_sums: vec![0.0; g],
-                force: vec![0.0; g],
-                coeff_bias: vec![0.0; k],
-                coeff_area: vec![0.0; k],
-                consts: GradConsts::default(),
-                with_force: false,
-            }),
+            spec,
+            input,
             job: Mutex::new(Job {
                 epoch: 0,
                 kind: PassKind::Idle,
@@ -334,14 +330,15 @@ impl ChunkPool {
 
     /// Dispatches the gate sweep and writes the per-chunk results back into
     /// the engine's buffers: `labels`/`row_sums` (length `G`) and the
-    /// `[bias K | area K | f4]` partials laid out with `stride` per chunk.
+    /// `[bias stride | area stride | f4]` partials laid out with `pstride`
+    /// per chunk.
     pub(crate) fn gate_pass(
         &self,
         w: &WeightMatrix,
         labels: &mut [f64],
         row_sums: &mut [f64],
         partials: &mut [f64],
-        stride: usize,
+        pstride: usize,
     ) {
         {
             let mut input = self
@@ -352,28 +349,28 @@ impl ChunkPool {
             input.w.as_mut_slice().copy_from_slice(w.as_slice());
         }
         self.run_epoch(PassKind::Gate);
-        let k = self.shared.num_planes;
-        for (idx, &(start, end)) in self.shared.gate_bounds.iter().enumerate() {
+        let stride = self.shared.spec.plane_coeff.len();
+        for (idx, &(start, end)) in self.shared.spec.gate_bounds.iter().enumerate() {
             let out = lock(&self.shared.gate_out[idx]);
             let len = end - start;
             labels[start..end].copy_from_slice(&out.labels[..len]);
             row_sums[start..end].copy_from_slice(&out.row_sums[..len]);
-            let base = idx * stride;
-            partials[base..base + k].copy_from_slice(&out.bias);
-            partials[base + k..base + 2 * k].copy_from_slice(&out.area);
-            partials[base + 2 * k] = out.f4;
+            let base = idx * pstride;
+            partials[base..base + stride].copy_from_slice(&out.bias);
+            partials[base + stride..base + 2 * stride].copy_from_slice(&out.area);
+            partials[base + 2 * stride] = out.f4;
         }
     }
 
-    /// Dispatches the edge sweep and writes the per-chunk `F₁` partials and
-    /// (in gradient mode) the per-chunk force scatters back into the
-    /// engine's buffers.
+    /// Dispatches the edge gather and writes the per-chunk `F₁` partials and
+    /// (in gradient mode) each chunk's gate-range force values directly into
+    /// the engine's force buffer — no per-chunk scatter, no fold.
     pub(crate) fn edge_pass(
         &self,
         labels: &[f64],
         with_force: bool,
         f1_partials: &mut [f64],
-        chunk_force: &mut [f64],
+        force: &mut [f64],
     ) {
         {
             let mut input = self
@@ -385,18 +382,17 @@ impl ChunkPool {
             input.with_force = with_force;
         }
         self.run_epoch(PassKind::Edge);
-        let g = self.shared.bias.len();
-        for (idx, _) in self.shared.edge_bounds.iter().enumerate() {
+        for (idx, &(start, end)) in self.shared.spec.edge_bounds.iter().enumerate() {
             let out = lock(&self.shared.edge_out[idx]);
             f1_partials[idx] = out.f1;
             if with_force {
-                chunk_force[idx * g..(idx + 1) * g].copy_from_slice(&out.force);
+                force[start..end].copy_from_slice(&out.force[..end - start]);
             }
         }
     }
 
     /// Dispatches the gradient write sweep and copies the per-chunk rows
-    /// back into `out` (row-major `G×K`).
+    /// back into `out` (padded row-major `G×stride`).
     #[allow(clippy::too_many_arguments)] // hot-loop plumbing, kept flat on purpose
     pub(crate) fn grad_pass(
         &self,
@@ -422,10 +418,10 @@ impl ChunkPool {
             input.consts = consts;
         }
         self.run_epoch(PassKind::Grad);
-        let k = self.shared.num_planes;
-        for (idx, &(start, end)) in self.shared.gate_bounds.iter().enumerate() {
+        let stride = self.shared.spec.plane_coeff.len();
+        for (idx, &(start, end)) in self.shared.spec.gate_bounds.iter().enumerate() {
             let slot = lock(&self.shared.grad_out[idx]);
-            out[start * k..end * k].copy_from_slice(&slot.out[..(end - start) * k]);
+            out[start * stride..end * stride].copy_from_slice(&slot.out[..(end - start) * stride]);
         }
     }
 }
@@ -487,11 +483,12 @@ fn worker_loop(shared: &Shared, idx: usize) {
 /// no chunk in this sweep (gate and edge chunk counts can differ) return
 /// immediately and only participate in the barrier.
 fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
+    let spec = &shared.spec;
     let input = shared.input.read().unwrap_or_else(PoisonError::into_inner);
     match kind {
         PassKind::Idle => {}
         PassKind::Gate => {
-            let Some(&(start, end)) = shared.gate_bounds.get(idx) else {
+            let Some(&(start, end)) = spec.gate_bounds.get(idx) else {
                 return;
             };
             let Some(slot) = shared.gate_out.get(idx) else {
@@ -510,9 +507,11 @@ fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
                 f4,
             } = out;
             gate_pass_chunk(
+                spec.backend,
                 &input.w,
-                &shared.bias,
-                &shared.area,
+                &spec.plane_coeff,
+                &spec.bias,
+                &spec.area,
                 start,
                 end,
                 &mut labels[..len],
@@ -523,7 +522,7 @@ fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
             );
         }
         PassKind::Edge => {
-            let Some(&(start, end)) = shared.edge_bounds.get(idx) else {
+            let Some(&(start, end)) = spec.edge_bounds.get(idx) else {
                 return;
             };
             let Some(slot) = shared.edge_out.get(idx) else {
@@ -532,24 +531,27 @@ fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
             let out = &mut *lock(slot);
             out.f1 = 0.0;
             let EdgeOut { f1, force } = out;
+            let len = end - start;
             let force = if input.with_force {
-                force.fill(0.0);
-                Some(&mut force[..])
+                Some(&mut force[..len])
             } else {
                 None
             };
-            edge_pass_chunk(
-                &shared.edges[start..end],
+            edge_gather_chunk(
+                &spec.csr_offsets,
+                &spec.csr_neighbors,
                 &input.labels,
-                shared.exponent,
-                shared.n1,
-                shared.paper_f1_sign,
+                spec.exponent,
+                spec.n1,
+                spec.paper_f1_sign,
+                start,
+                end,
                 f1,
                 force,
             );
         }
         PassKind::Grad => {
-            let Some(&(start, end)) = shared.gate_bounds.get(idx) else {
+            let Some(&(start, end)) = spec.gate_bounds.get(idx) else {
                 return;
             };
             let Some(slot) = shared.grad_out.get(idx) else {
@@ -557,9 +559,12 @@ fn run_chunk(shared: &Shared, idx: usize, kind: PassKind) {
             };
             let out = &mut *lock(slot);
             grad_pass_chunk(
+                spec.backend,
                 &input.w,
-                &shared.bias,
-                &shared.area,
+                &spec.plane_coeff,
+                &spec.mask,
+                &spec.bias,
+                &spec.area,
                 start,
                 end,
                 &input.row_sums[start..end],

@@ -60,6 +60,7 @@ use crate::engine::{CostEngine, EngineOptions};
 use crate::error::SolveError;
 use crate::float;
 use crate::grad::{Gradient, GradientOptions};
+use crate::lanes::KernelBackend;
 use crate::problem::PartitionProblem;
 use crate::refine::{discrete_cost, refine, RefineOptions};
 use crate::telemetry::{
@@ -198,6 +199,11 @@ pub struct SolverOptions {
     /// results: chunk layout and fold order are fixed per problem. Ignored
     /// when `fused` is off.
     pub intra_parallel: bool,
+    /// Kernel spelling for the fused engine's K-plane inner loops
+    /// ([`KernelBackend::Lanes`] by default). Both backends are
+    /// bit-identical; the scalar one exists for parity testing and as the
+    /// scaling-benchmark baseline. Ignored when `fused` is off.
+    pub kernel_backend: KernelBackend,
     /// Wall-clock deadline for the whole solve (all restarts), in
     /// milliseconds. A run that overshoots stops gracefully with
     /// [`StopReason::BudgetExhausted`] and the best result so far wins.
@@ -234,6 +240,7 @@ impl Default for SolverOptions {
             parallel: false,
             fused: true,
             intra_parallel: false,
+            kernel_backend: KernelBackend::default(),
             deadline_ms: None,
             iteration_budget: None,
             fault_injection: None,
@@ -468,6 +475,14 @@ impl Solver {
     }
 
     /// Runs all restarts and selects the winner.
+    ///
+    /// `inline(never)` pins one compiled copy per observer instantiation:
+    /// without it, every call site (detached `solve`, `solve_observed`,
+    /// benches timing both) can inline its own copy of the whole descent
+    /// loop, and the copies optimize differently — the observer-overhead
+    /// A/B in `perfsnap_observer` then compares codegen luck instead of
+    /// observer cost.
+    #[inline(never)]
     fn run_restarts<O: SolveObserver>(
         &self,
         problem: &PartitionProblem,
@@ -612,6 +627,7 @@ impl Solver {
                 opts.exponent,
                 EngineOptions {
                     gradient: grad_opts,
+                    backend: opts.kernel_backend,
                     intra_parallel: opts.intra_parallel,
                     ..EngineOptions::default()
                 },
@@ -631,13 +647,16 @@ impl Solver {
                 };
             }
         }
-        let mut step = vec![0.0; g * k];
+        // Step/gradient buffers use the matrix's padded lane layout; the
+        // padding slots stay `±0.0` (both backends guarantee it), so the
+        // descend kernels can stream whole padded rows.
+        let mut step = vec![0.0; w.padded_len()];
         // Rollback state for divergence recovery: the weights and gradient
         // step of the last completed (finite) iteration. The clamp in
         // `descend_scaled` is not invertible, so the pre-descent weights
         // must be kept explicitly.
         let mut w_prev = w.clone();
-        let mut prev_step = vec![0.0; g * k];
+        let mut prev_step = vec![0.0; w.padded_len()];
 
         let mut history = Vec::new();
         let mut learning_rate = 0.0f64;
@@ -727,6 +746,10 @@ impl Solver {
                     cost: breakdown,
                     learning_rate: 0.0,
                     gradient: step,
+                    // At most one stopped event per restart, so this extra
+                    // pass is off the per-iteration hot path (stepped
+                    // iterations get the norm fused into the descent sweep).
+                    gradient_norm: crate::lanes::max_abs(step),
                     clipped: 0,
                     recovered,
                 }
@@ -770,20 +793,21 @@ impl Solver {
             w_prev.as_mut_slice().copy_from_slice(w.as_slice());
             prev_step.copy_from_slice(&step);
             // The counting variant applies the bit-identical update (see
-            // `WeightMatrix::descend_scaled_counting`); the count itself is
-            // telemetry-only work, so the disabled path keeps the plain
-            // call.
-            let clipped = if R::ENABLED {
+            // `WeightMatrix::descend_scaled_counting`); the count and the
+            // fused infinity norm are telemetry-only work, so the disabled
+            // path keeps the plain call.
+            let (clipped, gradient_norm) = if R::ENABLED {
                 w.descend_scaled_counting(&step, learning_rate)
             } else {
                 w.descend_scaled(&step, learning_rate);
-                0
+                (0, f64::NAN)
             };
             observer.on_iteration(&IterationEvent {
                 iteration: iter,
                 cost: breakdown,
                 learning_rate,
                 gradient: &step,
+                gradient_norm,
                 clipped,
                 recovered,
             });

@@ -83,6 +83,14 @@ pub struct IterationEvent<'a> {
     pub learning_rate: f64,
     /// The gradient step, borrowed from the solver's scratch buffer.
     pub gradient: &'a [f64],
+    /// Infinity norm (largest absolute component) of [`Self::gradient`].
+    /// Folded into the descent sweep while the step buffer is hot (see
+    /// [`WeightMatrix::descend_scaled_counting`](crate::WeightMatrix::descend_scaled_counting))
+    /// so enabled trace sinks don't pay a second O(G·stride) pass per
+    /// iteration; max is order-free, so the value equals
+    /// [`crate::lanes::max_abs`] of the slice bit for bit. NaN when no
+    /// enabled observer asked for it ([`RestartObserver::ENABLED`] false).
+    pub gradient_norm: f64,
     /// Entries the `[0,1]` projection clipped while applying the step.
     /// Counted only when [`RestartObserver::ENABLED`]; 0 when no step was
     /// applied this iteration.
@@ -90,14 +98,6 @@ pub struct IterationEvent<'a> {
     /// Whether this iteration's evaluation went through divergence
     /// recovery before producing finite values.
     pub recovered: bool,
-}
-
-impl IterationEvent<'_> {
-    /// Infinity norm (largest absolute component) of the gradient step.
-    #[must_use]
-    pub fn gradient_norm(&self) -> f64 {
-        self.gradient.iter().fold(0.0f64, |m, &g| m.max(g.abs()))
-    }
 }
 
 /// Emitted for every divergence-recovery retry (rollback + halved rate).
@@ -568,6 +568,15 @@ impl TraceEvent {
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(128);
+        self.write_jsonl_into(&mut out);
+        out
+    }
+
+    /// Appends the record's JSONL form (no trailing newline) to `out`,
+    /// reusing the buffer's existing capacity. [`JsonlTraceWriter`] batches
+    /// a whole restart through one buffer this way instead of allocating a
+    /// fresh `String` per event.
+    pub fn write_jsonl_into(&self, out: &mut String) {
         let _ = write!(
             out,
             "{{\"v\":{TRACE_SCHEMA_VERSION},\"ev\":\"{}\"",
@@ -584,17 +593,17 @@ impl TraceEvent {
                 parallel,
                 intra_parallel,
             } => {
-                push_json_u64(&mut out, "gates", gates);
-                push_json_u64(&mut out, "planes", planes);
-                push_json_u64(&mut out, "edges", edges);
-                push_json_u64(&mut out, "restarts", restarts);
-                push_json_u64(&mut out, "max_iterations", max_iterations);
-                push_json_bool(&mut out, "fused", fused);
-                push_json_bool(&mut out, "parallel", parallel);
-                push_json_bool(&mut out, "intra_parallel", intra_parallel);
+                push_json_u64(out, "gates", gates);
+                push_json_u64(out, "planes", planes);
+                push_json_u64(out, "edges", edges);
+                push_json_u64(out, "restarts", restarts);
+                push_json_u64(out, "max_iterations", max_iterations);
+                push_json_bool(out, "fused", fused);
+                push_json_bool(out, "parallel", parallel);
+                push_json_bool(out, "intra_parallel", intra_parallel);
             }
             TraceEvent::RestartStart { restart } => {
-                push_json_u64(&mut out, "restart", restart);
+                push_json_u64(out, "restart", restart);
             }
             TraceEvent::Iteration {
                 restart,
@@ -609,17 +618,17 @@ impl TraceEvent {
                 clipped,
                 recovered,
             } => {
-                push_json_u64(&mut out, "restart", restart);
-                push_json_u64(&mut out, "iter", iteration);
-                push_json_f64(&mut out, "f1", f1);
-                push_json_f64(&mut out, "f2", f2);
-                push_json_f64(&mut out, "f3", f3);
-                push_json_f64(&mut out, "f4", f4);
-                push_json_f64(&mut out, "total", total);
-                push_json_f64(&mut out, "rate", learning_rate);
-                push_json_f64(&mut out, "grad_norm", grad_norm);
-                push_json_u64(&mut out, "clipped", clipped);
-                push_json_bool(&mut out, "recovered", recovered);
+                push_json_u64(out, "restart", restart);
+                push_json_u64(out, "iter", iteration);
+                push_json_f64(out, "f1", f1);
+                push_json_f64(out, "f2", f2);
+                push_json_f64(out, "f3", f3);
+                push_json_f64(out, "f4", f4);
+                push_json_f64(out, "total", total);
+                push_json_f64(out, "rate", learning_rate);
+                push_json_f64(out, "grad_norm", grad_norm);
+                push_json_u64(out, "clipped", clipped);
+                push_json_bool(out, "recovered", recovered);
             }
             TraceEvent::Recovery {
                 restart,
@@ -627,10 +636,10 @@ impl TraceEvent {
                 attempt,
                 learning_rate,
             } => {
-                push_json_u64(&mut out, "restart", restart);
-                push_json_u64(&mut out, "iter", iteration);
-                push_json_u64(&mut out, "attempt", attempt);
-                push_json_f64(&mut out, "rate", learning_rate);
+                push_json_u64(out, "restart", restart);
+                push_json_u64(out, "iter", iteration);
+                push_json_u64(out, "attempt", attempt);
+                push_json_f64(out, "rate", learning_rate);
             }
             TraceEvent::Refine {
                 restart,
@@ -638,10 +647,10 @@ impl TraceEvent {
                 cost_before,
                 cost_after,
             } => {
-                push_json_u64(&mut out, "restart", restart);
-                push_json_u64(&mut out, "moves", moves);
-                push_json_f64(&mut out, "cost_before", cost_before);
-                push_json_f64(&mut out, "cost_after", cost_after);
+                push_json_u64(out, "restart", restart);
+                push_json_u64(out, "moves", moves);
+                push_json_f64(out, "cost_before", cost_before);
+                push_json_f64(out, "cost_after", cost_after);
             }
             TraceEvent::RestartEnd {
                 restart,
@@ -649,10 +658,10 @@ impl TraceEvent {
                 stop,
                 discrete_cost,
             } => {
-                push_json_u64(&mut out, "restart", restart);
-                push_json_u64(&mut out, "iterations", iterations);
-                push_json_str(&mut out, "stop", stop_reason_str(stop));
-                push_json_f64(&mut out, "discrete_cost", discrete_cost);
+                push_json_u64(out, "restart", restart);
+                push_json_u64(out, "iterations", iterations);
+                push_json_str(out, "stop", stop_reason_str(stop));
+                push_json_f64(out, "discrete_cost", discrete_cost);
             }
             TraceEvent::Coarsen {
                 level,
@@ -661,20 +670,20 @@ impl TraceEvent {
                 coarse_gates,
                 coarse_edges,
             } => {
-                push_json_u64(&mut out, "level", level);
-                push_json_u64(&mut out, "fine_gates", fine_gates);
-                push_json_u64(&mut out, "fine_edges", fine_edges);
-                push_json_u64(&mut out, "coarse_gates", coarse_gates);
-                push_json_u64(&mut out, "coarse_edges", coarse_edges);
+                push_json_u64(out, "level", level);
+                push_json_u64(out, "fine_gates", fine_gates);
+                push_json_u64(out, "fine_edges", fine_edges);
+                push_json_u64(out, "coarse_gates", coarse_gates);
+                push_json_u64(out, "coarse_edges", coarse_edges);
             }
             TraceEvent::Uncoarsen {
                 level,
                 gates,
                 refine_moves,
             } => {
-                push_json_u64(&mut out, "level", level);
-                push_json_u64(&mut out, "gates", gates);
-                push_json_u64(&mut out, "refine_moves", refine_moves);
+                push_json_u64(out, "level", level);
+                push_json_u64(out, "gates", gates);
+                push_json_u64(out, "refine_moves", refine_moves);
             }
             TraceEvent::SolveEnd {
                 best_restart,
@@ -683,15 +692,14 @@ impl TraceEvent {
                 discrete_cost,
                 diverged_restarts,
             } => {
-                push_json_u64(&mut out, "best_restart", best_restart);
-                push_json_u64(&mut out, "iterations", iterations);
-                push_json_str(&mut out, "stop", stop_reason_str(stop));
-                push_json_f64(&mut out, "discrete_cost", discrete_cost);
-                push_json_u64(&mut out, "diverged_restarts", diverged_restarts);
+                push_json_u64(out, "best_restart", best_restart);
+                push_json_u64(out, "iterations", iterations);
+                push_json_str(out, "stop", stop_reason_str(stop));
+                push_json_f64(out, "discrete_cost", discrete_cost);
+                push_json_u64(out, "diverged_restarts", diverged_restarts);
             }
         }
         out.push('}');
-        out
     }
 
     /// Parses one JSONL line back into a record.
@@ -1052,14 +1060,25 @@ pub struct RestartTrace {
 }
 
 impl RestartTrace {
-    fn new(restart: usize) -> Self {
+    /// A buffer pre-sized for `events` records, so a restart that runs to
+    /// its iteration cap never reallocates mid-descent.
+    fn with_capacity(restart: usize, events: usize) -> Self {
+        let mut buf = Vec::with_capacity(events.max(1));
+        buf.push(TraceEvent::RestartStart {
+            restart: restart as u64,
+        });
         RestartTrace {
             restart: restart as u64,
-            events: vec![TraceEvent::RestartStart {
-                restart: restart as u64,
-            }],
+            events: buf,
         }
     }
+}
+
+/// Event-count hint for one restart's trace buffer: one record per
+/// iteration plus the restart-scoped bookkeeping records (start, refine,
+/// end, and recovery slack).
+fn restart_trace_capacity(max_iterations: usize) -> usize {
+    max_iterations.saturating_add(4).min(1 << 20)
 }
 
 impl RestartObserver for RestartTrace {
@@ -1073,7 +1092,7 @@ impl RestartObserver for RestartTrace {
             f4: event.cost.f4,
             total: event.cost.total,
             learning_rate: event.learning_rate,
-            grad_norm: event.gradient_norm(),
+            grad_norm: event.gradient_norm,
             clipped: event.clipped as u64,
             recovered: event.recovered,
         });
@@ -1112,6 +1131,7 @@ impl RestartObserver for RestartTrace {
 #[derive(Debug, Default)]
 pub struct TraceCollector {
     events: Vec<TraceEvent>,
+    iter_hint: usize,
 }
 
 impl TraceCollector {
@@ -1138,11 +1158,21 @@ impl SolveObserver for TraceCollector {
     type Restart = RestartTrace;
 
     fn on_solve_start(&mut self, event: &SolveStartEvent) {
+        self.iter_hint = restart_trace_capacity(event.max_iterations);
+        // Pre-size for the expected whole-solve record count so absorbing
+        // restarts is a straight memcpy; cap the reservation so a huge
+        // configured budget cannot balloon the collector up front.
+        let solve_hint = event
+            .restarts
+            .saturating_mul(self.iter_hint)
+            .saturating_add(2)
+            .min(1 << 20);
+        self.events.reserve(solve_hint);
         self.events.push(solve_start_record(event));
     }
 
     fn begin_restart(&mut self, restart: usize) -> RestartTrace {
-        RestartTrace::new(restart)
+        RestartTrace::with_capacity(restart, self.iter_hint)
     }
 
     fn absorb_restart(&mut self, _restart: usize, observer: RestartTrace) {
@@ -1207,28 +1237,39 @@ fn solve_end_record(event: &SolveEndEvent) -> TraceEvent {
 ///
 /// Restart events are buffered per restart and written at absorb time, so
 /// the file is byte-identical for serial and parallel solves of the same
-/// configuration. I/O errors are sticky: the first one is kept and returned
+/// configuration. Each restart's records are serialized into one reused
+/// `String` and flushed with a single `write_all` — the per-iteration cost
+/// on the observed solve is a `Vec` push, not a heap-allocating
+/// serialization. I/O errors are sticky: the first one is kept and returned
 /// by [`JsonlTraceWriter::finish`], and nothing further is written — the
 /// solve itself is never interrupted by a failing trace file.
 #[derive(Debug)]
 pub struct JsonlTraceWriter<W: Write> {
     out: W,
+    buf: String,
+    iter_hint: usize,
     error: Option<std::io::Error>,
 }
 
 impl<W: Write> JsonlTraceWriter<W> {
     /// Wraps a byte sink (callers usually pass a `BufWriter<File>`).
     pub fn new(out: W) -> Self {
-        JsonlTraceWriter { out, error: None }
+        JsonlTraceWriter {
+            out,
+            buf: String::new(),
+            iter_hint: 0,
+            error: None,
+        }
     }
 
     fn write_record(&mut self, event: &TraceEvent) {
         if self.error.is_some() {
             return;
         }
-        let mut line = event.to_jsonl();
-        line.push('\n');
-        if let Err(e) = self.out.write_all(line.as_bytes()) {
+        self.buf.clear();
+        event.write_jsonl_into(&mut self.buf);
+        self.buf.push('\n');
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
             self.error = Some(e);
         }
     }
@@ -1252,16 +1293,27 @@ impl<W: Write> SolveObserver for JsonlTraceWriter<W> {
     type Restart = RestartTrace;
 
     fn on_solve_start(&mut self, event: &SolveStartEvent) {
+        self.iter_hint = restart_trace_capacity(event.max_iterations);
         self.write_record(&solve_start_record(event));
     }
 
     fn begin_restart(&mut self, restart: usize) -> RestartTrace {
-        RestartTrace::new(restart)
+        RestartTrace::with_capacity(restart, self.iter_hint)
     }
 
     fn absorb_restart(&mut self, _restart: usize, observer: RestartTrace) {
+        if self.error.is_some() {
+            return;
+        }
+        // Serialize the whole restart into one buffer and write it with a
+        // single call; the buffer's capacity is retained across restarts.
+        self.buf.clear();
         for event in &observer.events {
-            self.write_record(event);
+            event.write_jsonl_into(&mut self.buf);
+            self.buf.push('\n');
+        }
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
         }
     }
 
@@ -1687,6 +1739,7 @@ mod tests {
             },
             learning_rate: 0.1,
             gradient: &[0.5, -0.25],
+            gradient_norm: 0.5,
             clipped: 2,
             recovered: false,
         });
@@ -1711,6 +1764,10 @@ mod tests {
 
     #[test]
     fn gradient_norm_is_infinity_norm() {
+        // The solver fills the field from the fused descent sweep; its
+        // contract is bit-equality with the lane-blocked kernel over the
+        // borrowed slice.
+        let gradient = &[0.5, -2.0, 1.5];
         let event = IterationEvent {
             iteration: 0,
             cost: CostBreakdown {
@@ -1721,10 +1778,11 @@ mod tests {
                 total: 0.0,
             },
             learning_rate: 0.0,
-            gradient: &[0.5, -2.0, 1.5],
+            gradient,
+            gradient_norm: crate::lanes::max_abs(gradient),
             clipped: 0,
             recovered: false,
         };
-        assert!(crate::float::exactly(event.gradient_norm(), 2.0));
+        assert!(crate::float::exactly(event.gradient_norm, 2.0));
     }
 }

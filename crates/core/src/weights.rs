@@ -4,12 +4,26 @@ use rand::distr::{Distribution, Uniform};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A row-major `G×K` matrix of relaxed assignment weights.
+use crate::lanes::{self, LANE};
+
+/// A `G×K` matrix of relaxed assignment weights, stored with padded K-lanes.
 ///
 /// Row `i` is the paper's vector `[w_{i,1}, …, w_{i,K}]`. Algorithm 1
 /// initializes every entry uniformly at random and normalizes each row to sum
 /// to one ([`WeightMatrix::random`]); the solver then clamps entries to
 /// `[0,1]` after every step and finally snaps each row to its argmax.
+///
+/// # Layout
+///
+/// Rows are stored contiguously with stride [`lanes::padded`]`(K)` — `K`
+/// rounded up to a multiple of [`LANE`] — and the padding entries pinned to
+/// exactly `0.0`. The padding lets every kernel iterate rows in fixed
+/// `[f64; LANE]` blocks without a remainder loop, and `0.0` padding is an
+/// exact no-op in every sum the kernels fold (see the `lanes` module docs).
+/// [`WeightMatrix::row`] still returns the length-`K` view;
+/// [`WeightMatrix::padded_row`] and [`WeightMatrix::as_slice`] expose the
+/// padded storage for kernels and flat buffers sized via
+/// [`WeightMatrix::padded_len`].
 ///
 /// # Example
 ///
@@ -28,6 +42,7 @@ use serde::{Deserialize, Serialize};
 pub struct WeightMatrix {
     num_gates: usize,
     num_planes: usize,
+    stride: usize,
     data: Vec<f64>,
 }
 
@@ -35,10 +50,19 @@ impl WeightMatrix {
     /// Creates a matrix filled with `1/K` (the fully undecided point).
     pub fn uniform(num_gates: usize, num_planes: usize) -> Self {
         assert!(num_planes > 0, "need at least one plane");
+        let stride = lanes::padded(num_planes);
+        let mut data = vec![0.0; num_gates * stride];
+        let fill = 1.0 / num_planes as f64;
+        for row in data.chunks_exact_mut(stride) {
+            for w in &mut row[..num_planes] {
+                *w = fill;
+            }
+        }
         WeightMatrix {
             num_gates,
             num_planes,
-            data: vec![1.0 / num_planes as f64; num_gates * num_planes],
+            stride,
+            data,
         }
     }
 
@@ -48,22 +72,23 @@ impl WeightMatrix {
         assert!(num_planes > 0, "need at least one plane");
         let dist =
             Uniform::new(0.0f64, 1.0).unwrap_or_else(|_| unreachable!("0..1 is a valid range"));
-        let mut data = Vec::with_capacity(num_gates * num_planes);
-        for _ in 0..num_gates {
-            let start = data.len();
+        let stride = lanes::padded(num_planes);
+        let mut data = vec![0.0; num_gates * stride];
+        for row in data.chunks_exact_mut(stride) {
             let mut sum = 0.0;
-            for _ in 0..num_planes {
+            for w in &mut row[..num_planes] {
                 let x = dist.sample(rng).max(1e-12);
                 sum += x;
-                data.push(x);
+                *w = x;
             }
-            for w in &mut data[start..] {
+            for w in &mut row[..num_planes] {
                 *w /= sum;
             }
         }
         WeightMatrix {
             num_gates,
             num_planes,
+            stride,
             data,
         }
     }
@@ -111,14 +136,16 @@ impl WeightMatrix {
     ///
     /// Panics if any label is `>= num_planes`.
     pub fn from_labels(labels: &[usize], num_planes: usize) -> Self {
+        let stride = lanes::padded(num_planes);
         let mut m = WeightMatrix {
             num_gates: labels.len(),
             num_planes,
-            data: vec![0.0; labels.len() * num_planes],
+            stride,
+            data: vec![0.0; labels.len() * stride],
         };
         for (i, &l) in labels.iter().enumerate() {
             assert!(l < num_planes, "label {l} out of range for K={num_planes}");
-            m.data[i * num_planes + l] = 1.0;
+            m.data[i * stride + l] = 1.0;
         }
         m
     }
@@ -133,45 +160,74 @@ impl WeightMatrix {
         self.num_planes
     }
 
-    /// Row `i` as a slice of length `K`.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.num_planes..(i + 1) * self.num_planes]
+    /// The padded row stride — [`lanes::padded`]`(K)`, a multiple of
+    /// [`LANE`].
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
-    /// Mutable row `i`.
+    /// Length of the flat padded buffer, `G · stride`. Step and gradient
+    /// buffers that pair with this matrix must use this length, not `G·K`.
+    pub fn padded_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row `i` as a slice of length `K` (the real entries, no padding).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..i * self.stride + self.num_planes]
+    }
+
+    /// Mutable row `i` of length `K` (cannot touch the padding).
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.data[i * self.num_planes..(i + 1) * self.num_planes]
+        &mut self.data[i * self.stride..i * self.stride + self.num_planes]
+    }
+
+    /// Row `i` including its zero padding, length [`Self::stride`].
+    pub fn padded_row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Mutable padded row `i`. Callers must leave the padding entries
+    /// (`row[K..]`) at exactly `0.0`.
+    pub fn padded_row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.stride..(i + 1) * self.stride]
     }
 
     /// Entry `w[i][k]` with `k` 0-based.
     pub fn get(&self, i: usize, k: usize) -> f64 {
-        self.data[i * self.num_planes + k]
+        assert!(k < self.num_planes, "plane index out of range");
+        self.data[i * self.stride + k]
     }
 
     /// Sets entry `w[i][k]` with `k` 0-based.
     pub fn set(&mut self, i: usize, k: usize, value: f64) {
-        self.data[i * self.num_planes + k] = value;
+        assert!(k < self.num_planes, "plane index out of range");
+        self.data[i * self.stride + k] = value;
     }
 
-    /// The flat row-major buffer.
+    /// The flat padded row-major buffer (stride [`Self::stride`], padding
+    /// entries exactly `0.0`).
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
-    /// The flat row-major buffer, mutable.
+    /// The flat padded buffer, mutable. Callers must leave every padding
+    /// entry (`row[K..stride]`) at exactly `0.0`.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
 
-    /// The paper's label `l_i = Σ_k k·w[i][k]` with `k = 1..K`.
+    /// The paper's label `l_i = Σ_k k·w[i][k]` with `k = 1..K`, computed in
+    /// the canonical striped fold order (see [`lanes::fold`]); the zero
+    /// padding contributes exact `+0.0` terms.
     ///
     /// For a row-stochastic row this is the "expected plane" of gate `i`.
     pub fn label(&self, i: usize) -> f64 {
-        self.row(i)
-            .iter()
-            .enumerate()
-            .map(|(k, &w)| (k + 1) as f64 * w)
-            .sum()
+        let mut acc = [0.0f64; LANE];
+        for (k, &w) in self.padded_row(i).iter().enumerate() {
+            acc[k % LANE] += (k + 1) as f64 * w;
+        }
+        lanes::fold(acc)
     }
 
     /// Writes all labels `l_i` into `out` (length `G`).
@@ -188,17 +244,53 @@ impl WeightMatrix {
 
     /// Argmax plane (0-based) of row `i`; ties break toward the lower index,
     /// matching a stable `argmax` over `k = 1..K`.
+    ///
+    /// Scans the padded row in `[f64; LANE]` blocks keeping a per-stripe
+    /// running max (strict `>` keeps the earliest index), then combines the
+    /// four stripe candidates with a lowest-index tie-break. If the `0.0`
+    /// padding wins — every real entry is negative, which cannot happen for
+    /// the solver's clamped matrices — it falls back to a scalar scan of the
+    /// real prefix. Rows must be finite; the solver checks
+    /// [`Self::all_finite`] before snapping.
     pub fn argmax_plane(&self, i: usize) -> usize {
-        let row = self.row(i);
-        let mut best = 0usize;
-        let mut best_val = row[0];
-        for (k, &v) in row.iter().enumerate().skip(1) {
-            if v > best_val {
-                best = k;
-                best_val = v;
+        let row = self.padded_row(i);
+        let mut val = [0.0f64; LANE];
+        val.copy_from_slice(&row[..LANE]);
+        let mut idx = [0usize, 1, 2, 3];
+        for (b, block) in row.chunks_exact(LANE).enumerate().skip(1) {
+            for j in 0..LANE {
+                if block[j] > val[j] {
+                    val[j] = block[j];
+                    idx[j] = b * LANE + j;
+                }
             }
         }
-        best
+        let mut best_val = val[0];
+        let mut best = idx[0];
+        for j in 1..LANE {
+            // Exact comparison: the tie-break must fire only when the stripe
+            // maxima are identical, to pick the lower index.
+            if val[j] > best_val || (crate::float::exactly(val[j], best_val) && idx[j] < best) {
+                best_val = val[j];
+                best = idx[j];
+            }
+        }
+        if best < self.num_planes {
+            best
+        } else {
+            // The zero padding beat every real entry (all negative): redo the
+            // scan over the real prefix only.
+            let real = &row[..self.num_planes];
+            let mut best = 0usize;
+            let mut best_val = real[0];
+            for (k, &v) in real.iter().enumerate().skip(1) {
+                if v > best_val {
+                    best = k;
+                    best_val = v;
+                }
+            }
+            best
+        }
     }
 
     /// True when every entry is a finite number — the invariant the solver's
@@ -214,15 +306,43 @@ impl WeightMatrix {
         }
     }
 
+    /// Debug-build check that a step buffer keeps the padding invariant:
+    /// padding entries must be `±0.0` so `w − rate·s` leaves the matrix
+    /// padding at exactly `+0.0`. The gradient kernels guarantee this.
+    fn debug_assert_step_padding(&self, step: &[f64]) {
+        if cfg!(debug_assertions) && self.stride != self.num_planes {
+            for (i, row) in step.chunks_exact(self.stride).enumerate() {
+                for &s in &row[self.num_planes..] {
+                    debug_assert!(
+                        crate::float::exactly(s, 0.0),
+                        "step padding must be zero (gate {i})"
+                    );
+                }
+            }
+        }
+    }
+
     /// Applies `w ← w − step` element-wise with clamping to `[0,1]`.
+    ///
+    /// `step` is a padded buffer of [`Self::padded_len`] elements whose
+    /// padding entries are `±0.0` (as the gradient kernels produce); the
+    /// update runs over full `[f64; LANE]` blocks and leaves the matrix
+    /// padding at exactly `+0.0` (`0.0 − ±0.0` clamps to `+0.0`).
     ///
     /// # Panics
     ///
-    /// Panics if `step.len()` differs from the matrix size.
+    /// Panics if `step.len()` differs from [`Self::padded_len`].
     pub fn descend(&mut self, step: &[f64]) {
         assert_eq!(step.len(), self.data.len());
-        for (w, &s) in self.data.iter_mut().zip(step) {
-            *w = (*w - s).clamp(0.0, 1.0);
+        self.debug_assert_step_padding(step);
+        for (wb, sb) in self
+            .data
+            .chunks_exact_mut(LANE)
+            .zip(step.chunks_exact(LANE))
+        {
+            for j in 0..LANE {
+                wb[j] = (wb[j] - sb[j]).clamp(0.0, 1.0);
+            }
         }
     }
 
@@ -231,38 +351,67 @@ impl WeightMatrix {
     /// Equivalent to scaling `step` by `rate` in place and then calling
     /// [`Self::descend`], without the extra sweep over the step buffer —
     /// and bit-identical to it, since `rate·s` is rounded once either way.
+    /// Same padded-buffer contract as [`Self::descend`].
     pub fn descend_scaled(&mut self, step: &[f64], rate: f64) {
         assert_eq!(step.len(), self.data.len());
-        for (w, &s) in self.data.iter_mut().zip(step) {
-            *w = (*w - rate * s).clamp(0.0, 1.0);
+        self.debug_assert_step_padding(step);
+        for (wb, sb) in self
+            .data
+            .chunks_exact_mut(LANE)
+            .zip(step.chunks_exact(LANE))
+        {
+            for j in 0..LANE {
+                wb[j] = (wb[j] - rate * sb[j]).clamp(0.0, 1.0);
+            }
         }
     }
 
     /// [`Self::descend_scaled`] plus a count of the entries the `[0, 1]`
-    /// projection actually clipped.
+    /// projection actually clipped and the infinity norm of `step`.
     ///
     /// The update expression is character-for-character the one in
     /// [`Self::descend_scaled`], so the resulting matrix is bit-identical —
     /// the telemetry layer relies on this to keep observer-on and
     /// observer-off solves exactly equal (see `solver::tests` and the
-    /// `observer_exactness` suite). Only the count is extra work, which is
-    /// why the solver calls this variant solely when an enabled observer
-    /// asked for clip statistics.
-    pub fn descend_scaled_counting(&mut self, step: &[f64], rate: f64) -> usize {
+    /// `observer_exactness` suite). Only the count and the norm are extra
+    /// work, which is why the solver calls this variant solely when an
+    /// enabled observer asked for iteration statistics. The norm rides the
+    /// descent sweep — the step buffer is already streaming through cache —
+    /// so enabled trace sinks don't pay a second O(G·stride) pass per
+    /// iteration; max over absolute values is order-free, so the result
+    /// equals [`crate::lanes::max_abs`] bit for bit. Padding entries never
+    /// clip (`0.0 − ±0.0` is `+0.0`, which the clamp leaves untouched) and
+    /// contribute `0.0` to the norm.
+    pub fn descend_scaled_counting(&mut self, step: &[f64], rate: f64) -> (usize, f64) {
         assert_eq!(step.len(), self.data.len());
+        self.debug_assert_step_padding(step);
         let mut clipped = 0usize;
-        for (w, &s) in self.data.iter_mut().zip(step) {
-            let raw = *w - rate * s;
-            let projected = raw.clamp(0.0, 1.0);
-            // Exact comparison on purpose: a clip is precisely "clamp
-            // changed the value" (NaN never reaches here — the solver
-            // checks finiteness before stepping).
-            if !crate::float::exactly(raw, projected) {
-                clipped += 1;
+        // Lane-striped accumulators, folded once at the end: a single scalar
+        // running max would be a loop-carried dependency that blocks the
+        // autovectorizer for the whole update loop. Max is order-free, so
+        // the striped fold equals `lanes::max_abs` (and a sequential fold)
+        // bit for bit.
+        let mut norm = [0.0f64; LANE];
+        for (wb, sb) in self
+            .data
+            .chunks_exact_mut(LANE)
+            .zip(step.chunks_exact(LANE))
+        {
+            for j in 0..LANE {
+                let raw = wb[j] - rate * sb[j];
+                let projected = raw.clamp(0.0, 1.0);
+                // Exact comparison on purpose: a clip is precisely "clamp
+                // changed the value" (NaN never reaches here — the solver
+                // checks finiteness before stepping).
+                if !crate::float::exactly(raw, projected) {
+                    clipped += 1;
+                }
+                norm[j] = norm[j].max(sb[j].abs());
+                wb[j] = projected;
             }
-            *w = projected;
         }
-        clipped
+        let norm = norm.iter().fold(0.0f64, |m, &v| m.max(v));
+        (clipped, norm)
     }
 }
 
@@ -280,6 +429,23 @@ mod tests {
             let sum: f64 = w.row(i).iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
             assert!(w.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn stride_is_padded_and_padding_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for k in [1, 2, 4, 5, 7, 8, 30] {
+            let w = WeightMatrix::random(9, k, &mut rng);
+            assert_eq!(w.stride(), lanes::padded(k));
+            assert_eq!(w.padded_len(), 9 * w.stride());
+            for i in 0..9 {
+                assert_eq!(w.row(i).len(), k);
+                assert_eq!(w.padded_row(i).len(), w.stride());
+                assert!(w.padded_row(i)[k..]
+                    .iter()
+                    .all(|&p| crate::float::exactly(p, 0.0)));
+            }
         }
     }
 
@@ -309,11 +475,70 @@ mod tests {
     }
 
     #[test]
+    fn argmax_matches_scalar_scan_across_widths() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in [1, 2, 3, 4, 5, 8, 9, 30, 33] {
+            let w = WeightMatrix::random(25, k, &mut rng);
+            for i in 0..25 {
+                let row = w.row(i);
+                let mut best = 0usize;
+                let mut best_val = row[0];
+                for (kk, &v) in row.iter().enumerate().skip(1) {
+                    if v > best_val {
+                        best = kk;
+                        best_val = v;
+                    }
+                }
+                assert_eq!(w.argmax_plane(i), best, "k={k} gate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_falls_back_when_all_entries_negative() {
+        let mut w = WeightMatrix::uniform(1, 3);
+        w.set(0, 0, -3.0);
+        w.set(0, 1, -1.0);
+        w.set(0, 2, -2.0);
+        // The 0.0 padding beats every real entry; the fallback must still
+        // pick the largest *real* entry.
+        assert_eq!(w.argmax_plane(0), 1);
+    }
+
+    #[test]
     fn descend_clamps() {
         let mut w = WeightMatrix::from_labels(&[0], 2);
         // Step pushes entry 0 above 1 and entry 1 below 0 — both clamp.
-        w.descend(&[-0.5, 0.5]);
+        // (Padded step: stride is 4 for K=2.)
+        w.descend(&[-0.5, 0.5, 0.0, 0.0]);
         assert_eq!(w.row(0), &[1.0, 0.0]);
+        assert!(w.padded_row(0)[2..]
+            .iter()
+            .all(|&p| crate::float::exactly(p, 0.0)));
+    }
+
+    #[test]
+    fn descend_preserves_zero_padding() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut w = WeightMatrix::random(8, 5, &mut rng);
+        let stride = w.stride();
+        // Negative-zero padding in the step (as a masked gradient kernel can
+        // produce) must leave the matrix padding at exactly +0.0.
+        let step: Vec<f64> = (0..8 * stride)
+            .map(|i| {
+                if i % stride < 5 {
+                    0.3 - (i % 3) as f64 * 0.3
+                } else {
+                    -0.0
+                }
+            })
+            .collect();
+        w.descend_scaled(&step, 0.7);
+        for i in 0..8 {
+            assert!(w.padded_row(i)[5..]
+                .iter()
+                .all(|&p| p.to_bits() == 0.0f64.to_bits()));
+        }
     }
 
     #[test]
@@ -321,15 +546,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut a = WeightMatrix::random(30, 5, &mut rng);
         let mut b = a.clone();
-        let step: Vec<f64> = (0..150).map(|i| ((i % 7) as f64 - 3.0) * 0.4).collect();
+        let stride = a.stride();
+        let step: Vec<f64> = (0..30 * stride)
+            .map(|i| {
+                if i % stride < 5 {
+                    ((i % 7) as f64 - 3.0) * 0.4
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         a.descend_scaled(&step, 0.9);
-        let clipped = b.descend_scaled_counting(&step, 0.9);
+        let (clipped, norm) = b.descend_scaled_counting(&step, 0.9);
         assert_eq!(a, b, "counting variant must not perturb the update");
+        // The fused norm must match the lane-blocked kernel bit for bit.
+        assert!(crate::float::exactly(norm, crate::lanes::max_abs(&step)));
         // A ±1.2 step on weights in [0,1] clips plenty of entries.
         assert!(clipped > 0);
-        let expected = a
-            .as_slice()
-            .iter()
+        let expected = (0..30)
+            .flat_map(|i| a.row(i))
             .filter(|w| crate::float::exactly(**w, 0.0) || crate::float::exactly(**w, 1.0))
             .count();
         assert!(

@@ -1,7 +1,8 @@
 //! Dynamic cross-check of sfqlint's A1 rule: a counting global allocator
 //! proves that one full fused descent iteration — `evaluate_with_gradient`
 //! plus the weight update — performs **zero** allocations after warm-up, on
-//! the roadmap benchmarks across the {serial, intra-parallel} matrix.
+//! the roadmap benchmarks across the {serial, intra-parallel} ×
+//! {scalar, lanes} kernel-backend matrix.
 //!
 //! A1 establishes allocation-freedom statically through the workspace call
 //! graph; this test is the runtime tripwire if the graph approximation ever
@@ -26,7 +27,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sfq_circuits::registry::{generate, Benchmark};
 use sfq_partition::engine::{CostEngine, EngineOptions};
-use sfq_partition::{CostWeights, PartitionProblem, WeightMatrix};
+use sfq_partition::{CostWeights, KernelBackend, PartitionProblem, WeightMatrix};
 
 /// Counts every allocator entry point, then defers to [`System`].
 struct CountingAlloc;
@@ -95,16 +96,25 @@ fn main() {
     for (bench, k, iters) in [(Benchmark::Ksa16, 5, 50), (Benchmark::C1908, 30, 20)] {
         let p = problem(bench, k);
         let g = p.num_gates();
-        for intra_parallel in [false, true] {
-            let tag = format!("{} k={k} intra_parallel={intra_parallel}", bench.name());
+        for (intra_parallel, backend) in [
+            (false, KernelBackend::Lanes),
+            (true, KernelBackend::Lanes),
+            (false, KernelBackend::Scalar),
+            (true, KernelBackend::Scalar),
+        ] {
+            let tag = format!(
+                "{} k={k} intra_parallel={intra_parallel} backend={backend:?}",
+                bench.name()
+            );
             let options = EngineOptions {
                 intra_parallel,
+                backend,
                 ..EngineOptions::default()
             };
             let mut engine = CostEngine::new(&p, CostWeights::default(), 4.0, options);
             let mut rng = StdRng::seed_from_u64(7);
             let mut w = WeightMatrix::random(g, k, &mut rng);
-            let mut step = vec![0.0; g * k];
+            let mut step = vec![0.0; w.padded_len()];
 
             // Warm-up: any lazy first-touch work (thread-local init in the
             // pool workers, allocator arenas) happens here, outside the

@@ -1,0 +1,104 @@
+//! Scalar and lane kernel backends must be bit-identical.
+//!
+//! The vectorized engine's contract (see `lanes`) is that the explicit-width
+//! lane kernels are a pure re-bracketing of the striped scalar fold: same
+//! additions, same order, padding lanes contribute exact-no-op `+0.0`s.
+//! This suite pins that contract on the paper benchmarks named in the
+//! roadmap — KSA16 at K=5 and C1908 at K=30 — across {serial,
+//! intra-parallel} × {fast-path, chunked}, at both the engine level (every
+//! cost component and every gradient entry compared with `assert_eq`, i.e.
+//! bitwise for non-NaN f64) and the solver level (full multi-restart solves
+//! must emit identical partitions, cost histories, and discrete costs).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_circuits::registry::{generate, Benchmark};
+use sfq_partition::engine::{CostEngine, EngineOptions};
+use sfq_partition::{
+    CostWeights, KernelBackend, PartitionProblem, Solver, SolverOptions, WeightMatrix,
+};
+
+fn problem(bench: Benchmark, k: usize) -> PartitionProblem {
+    let netlist = generate(bench);
+    PartitionProblem::from_netlist(&netlist, k).expect("suite circuits are valid")
+}
+
+fn engine(problem: &PartitionProblem, backend: KernelBackend, intra: bool) -> CostEngine<'_> {
+    let options = EngineOptions {
+        backend,
+        intra_parallel: intra,
+        // Force the chunked path even on these mid-sized circuits so the
+        // chunk fold order is part of what the comparison pins.
+        chunk_min_items: 1,
+        num_chunks: 4,
+        ..EngineOptions::default()
+    };
+    CostEngine::new(problem, CostWeights::default(), 4.0, options)
+}
+
+/// Engine level: evaluate and evaluate_with_gradient agree bitwise between
+/// backends on several random iterates.
+fn assert_engines_bit_identical(problem: &PartitionProblem, seed: u64, tag: &str) {
+    let k = problem.num_planes();
+    for intra in [false, true] {
+        let mut scalar = engine(problem, KernelBackend::Scalar, intra);
+        let mut lanes = engine(problem, KernelBackend::Lanes, intra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for trial in 0..4 {
+            let w = WeightMatrix::random(problem.num_gates(), k, &mut rng);
+            let mut gs = vec![0.0; w.padded_len()];
+            let mut gl = vec![0.0; w.padded_len()];
+            let cs = scalar.evaluate_with_gradient(&w, &mut gs);
+            let cl = lanes.evaluate_with_gradient(&w, &mut gl);
+            assert_eq!(
+                cs, cl,
+                "{tag} intra={intra} trial={trial}: cost breakdown diverged"
+            );
+            assert_eq!(
+                gs, gl,
+                "{tag} intra={intra} trial={trial}: gradient diverged"
+            );
+            assert_eq!(
+                scalar.evaluate(&w),
+                lanes.evaluate(&w),
+                "{tag} intra={intra} trial={trial}: evaluate-only diverged"
+            );
+        }
+    }
+}
+
+/// Solver level: end-to-end solves differ only in the kernel backend and
+/// must produce identical results — labels, history, and discrete cost.
+fn assert_solves_bit_identical(problem: &PartitionProblem, max_iterations: usize, tag: &str) {
+    for intra in [false, true] {
+        let opts = |backend| SolverOptions {
+            fused: true,
+            kernel_backend: backend,
+            intra_parallel: intra,
+            max_iterations,
+            restarts: 2,
+            parallel: true,
+            ..SolverOptions::default()
+        };
+        let scalar = Solver::new(opts(KernelBackend::Scalar)).solve(problem);
+        let lanes = Solver::new(opts(KernelBackend::Lanes)).solve(problem);
+        assert_eq!(
+            scalar, lanes,
+            "{tag} intra={intra}: solver backends diverged (partition/history/cost)"
+        );
+    }
+}
+
+#[test]
+fn ksa16_k5_backends_are_bit_identical() {
+    let p = problem(Benchmark::Ksa16, 5);
+    assert_engines_bit_identical(&p, 11, "KSA16@5");
+    assert_solves_bit_identical(&p, 300, "KSA16@5");
+}
+
+#[test]
+fn c1908_k30_backends_are_bit_identical() {
+    let p = problem(Benchmark::C1908, 30);
+    assert_engines_bit_identical(&p, 13, "C1908@30");
+    assert_solves_bit_identical(&p, 220, "C1908@30");
+}

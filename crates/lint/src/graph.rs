@@ -125,6 +125,7 @@ pub const KNOWN_NO_ALLOC: &[&str] = &[
     "chunks_mut",
     "chunks_exact",
     "chunks_exact_mut",
+    "remainder",
     "split_at",
     "split_at_mut",
     "split_first",

@@ -93,15 +93,17 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let w = WeightMatrix::random(g, k, &mut rng);
         let mut grad = Gradient::new(GradientOptions::exact());
-        let mut analytic = vec![0.0; g * k];
+        let mut analytic = vec![0.0; w.padded_len()];
         grad.compute(&model, &w, &mut analytic);
 
         // Spot-check a handful of coordinates (full FD is O((GK)^2)).
+        let stride = w.stride();
         let mut wp = w.clone();
         let eps = 1e-6;
         for probe in 0..8usize.min(g * k) {
             let idx = (probe * 7919) % (g * k);
             let (i, kk) = (idx / k, idx % k);
+            let flat = i * stride + kk;
             let orig = wp.get(i, kk);
             wp.set(i, kk, orig + eps);
             let up = model.evaluate(&wp).total;
@@ -109,11 +111,11 @@ proptest! {
             let down = model.evaluate(&wp).total;
             wp.set(i, kk, orig);
             let numeric = (up - down) / (2.0 * eps);
-            let scale = analytic[idx].abs().max(numeric.abs()).max(1e-6);
+            let scale = analytic[flat].abs().max(numeric.abs()).max(1e-6);
             prop_assert!(
-                (analytic[idx] - numeric).abs() / scale < 1e-3,
+                (analytic[flat] - numeric).abs() / scale < 1e-3,
                 "coordinate ({i},{kk}): analytic {} vs numeric {}",
-                analytic[idx],
+                analytic[flat],
                 numeric
             );
         }
@@ -135,7 +137,7 @@ proptest! {
         let model = CostModel::new(&problem, CostWeights::default());
         let expect_cost = model.evaluate(&w);
         let mut reference = Gradient::new(GradientOptions::exact());
-        let mut expect_grad = vec![0.0; g * k];
+        let mut expect_grad = vec![0.0; w.padded_len()];
         reference.compute(&model, &w, &mut expect_grad);
 
         let close = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1.0) < 1e-12;
@@ -147,7 +149,7 @@ proptest! {
         for options in layouts {
             let mut engine =
                 CostEngine::new(&problem, CostWeights::default(), 4.0, options);
-            let mut grad = vec![0.0; g * k];
+            let mut grad = vec![0.0; w.padded_len()];
             let cost = engine.evaluate_with_gradient(&w, &mut grad);
             prop_assert!(close(cost.f1, expect_cost.f1), "f1 {} vs {}", cost.f1, expect_cost.f1);
             prop_assert!(close(cost.f2, expect_cost.f2), "f2 {} vs {}", cost.f2, expect_cost.f2);
@@ -183,12 +185,84 @@ proptest! {
             4.0,
             EngineOptions { intra_parallel: true, ..chunked },
         );
-        let mut gs = vec![0.0; g * k];
-        let mut gp = vec![0.0; g * k];
+        let mut gs = vec![0.0; w.padded_len()];
+        let mut gp = vec![0.0; w.padded_len()];
         let cs = sequential.evaluate_with_gradient(&w, &mut gs);
         let cp = parallel.evaluate_with_gradient(&w, &mut gp);
         prop_assert_eq!(cs, cp);
         prop_assert_eq!(gs, gp);
+    }
+
+    #[test]
+    fn kernel_backends_are_bit_identical(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+        chunked in any::<bool>(),
+        threaded in any::<bool>(),
+    ) {
+        // The scalar and lane kernel spellings share the striped fold order,
+        // so cost and gradient must be *exactly* equal — across plain,
+        // chunked, and intra-parallel layouts, and for every K in the
+        // strategy (including K not a multiple of the lane width).
+        use current_recycling::partition::KernelBackend;
+        let g = problem.num_gates();
+        let k = problem.num_planes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = WeightMatrix::random(g, k, &mut rng);
+        let base = if chunked {
+            EngineOptions {
+                chunk_min_items: 1,
+                num_chunks: 4,
+                intra_parallel: threaded,
+                ..EngineOptions::default()
+            }
+        } else {
+            EngineOptions::default()
+        };
+        let mut scalar = CostEngine::new(
+            &problem,
+            CostWeights::default(),
+            4.0,
+            EngineOptions { backend: KernelBackend::Scalar, ..base },
+        );
+        let mut lanes = CostEngine::new(
+            &problem,
+            CostWeights::default(),
+            4.0,
+            EngineOptions { backend: KernelBackend::Lanes, ..base },
+        );
+        let mut gs = vec![0.0; w.padded_len()];
+        let mut gl = vec![0.0; w.padded_len()];
+        let cs = scalar.evaluate_with_gradient(&w, &mut gs);
+        let cl = lanes.evaluate_with_gradient(&w, &mut gl);
+        prop_assert_eq!(cs, cl);
+        prop_assert_eq!(gs, gl);
+        prop_assert_eq!(scalar.evaluate(&w), lanes.evaluate(&w));
+    }
+
+    #[test]
+    fn solver_backends_agree_end_to_end(problem in arb_problem()) {
+        // Whole solves (descent, snap, refine) must not depend on the kernel
+        // spelling: identical partitions and cost histories, bit for bit.
+        use current_recycling::partition::KernelBackend;
+        let opts = SolverOptions {
+            max_iterations: 120,
+            restarts: 2,
+            ..SolverOptions::default()
+        };
+        let scalar = Solver::new(SolverOptions {
+            kernel_backend: KernelBackend::Scalar,
+            ..opts.clone()
+        })
+        .solve(&problem);
+        let lanes = Solver::new(SolverOptions {
+            kernel_backend: KernelBackend::Lanes,
+            ..opts
+        })
+        .solve(&problem);
+        prop_assert_eq!(scalar.partition.labels(), lanes.partition.labels());
+        prop_assert_eq!(scalar.cost_history, lanes.cost_history);
+        prop_assert_eq!(scalar.discrete_cost, lanes.discrete_cost);
     }
 
     #[test]
