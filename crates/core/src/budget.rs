@@ -12,6 +12,8 @@
 //! iterations that do complete are bit-identical, which is why clock reads
 //! must not leak into any arithmetic path.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An optional wall-clock cutoff for a solve.
@@ -47,6 +49,135 @@ impl Deadline {
     #[must_use]
     pub fn is_unbounded(&self) -> bool {
         self.0.is_none()
+    }
+
+    /// The earlier of two cutoffs (an unbounded side never wins).
+    #[must_use]
+    pub fn earliest(self, other: Deadline) -> Deadline {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => Deadline(Some(a.min(b))),
+            (Some(a), None) => Deadline(Some(a)),
+            (None, b) => Deadline(b),
+        }
+    }
+}
+
+/// A cooperative cancellation flag shared between a solve and whoever may
+/// abort it (a service connection handler, a signal handler, a test).
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same flag.
+/// Cancellation is one-way and sticky: once [`CancelToken::cancel`] is
+/// called, every observer sees it forever. The solver polls the token at
+/// iteration boundaries and between refinement passes — never inside an
+/// arithmetic kernel — so a cancelled run stops on a completed, finite
+/// iterate, exactly like a deadline'd one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why an [`Interrupt`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancel token was raised.
+    Cancelled,
+}
+
+/// Everything that can stop a solve from the outside, bundled: an optional
+/// wall-clock [`Deadline`] and an optional [`CancelToken`].
+///
+/// The solver polls this at iteration boundaries, between restart forks,
+/// and inside the refinement pass ([`crate::refine`]), so neither a
+/// deadline nor a cancellation can overrun into a long refinement sweep.
+/// Cancellation wins ties: a poll that observes both reports
+/// [`StopCause::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    deadline: Deadline,
+    cancel: Option<CancelToken>,
+}
+
+impl Interrupt {
+    /// Never fires: no deadline, no cancel token.
+    #[must_use]
+    pub fn none() -> Self {
+        Interrupt::default()
+    }
+
+    /// An interrupt from both sources.
+    #[must_use]
+    pub fn new(deadline: Deadline, cancel: Option<CancelToken>) -> Self {
+        Interrupt { deadline, cancel }
+    }
+
+    /// Deadline-only interrupt (how [`SolverOptions::deadline_ms`]
+    /// (crate::SolverOptions::deadline_ms) is enforced internally).
+    #[must_use]
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        Interrupt {
+            deadline,
+            cancel: None,
+        }
+    }
+
+    /// Cancellation-only interrupt (what a service plumbs into a job).
+    #[must_use]
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        Interrupt {
+            deadline: Deadline::none(),
+            cancel: Some(cancel),
+        }
+    }
+
+    /// This interrupt with its deadline tightened to the earlier of its own
+    /// and `deadline`.
+    #[must_use]
+    pub fn tightened(mut self, deadline: Deadline) -> Self {
+        self.deadline = self.deadline.earliest(deadline);
+        self
+    }
+
+    /// Polls both sources. Returns `None` while neither has fired;
+    /// cancellation is reported over an expired deadline when both have.
+    ///
+    /// The cancel check is one atomic load; the deadline check reads the
+    /// monotonic clock only when a cutoff is set. Poll at work-item
+    /// granularity (an iteration, a refinement batch), not per arithmetic
+    /// operation.
+    #[must_use]
+    pub fn poll(&self) -> Option<StopCause> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopCause::Cancelled);
+        }
+        if self.deadline.expired() {
+            return Some(StopCause::Deadline);
+        }
+        None
+    }
+
+    /// Whether this interrupt can ever fire.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.deadline.is_unbounded() && self.cancel.is_none()
     }
 }
 

@@ -72,7 +72,7 @@ pub mod lanes;
 pub mod limit;
 pub mod metrics;
 pub mod multilevel;
-mod pool;
+pub mod pool;
 mod problem;
 pub mod refine;
 pub mod solver;
@@ -81,12 +81,14 @@ pub mod telemetry;
 mod weights;
 
 pub use assign::Partition;
+pub use budget::{CancelToken, Deadline, Interrupt, StopCause};
 pub use cost::{CostBreakdown, CostModel, CostWeights};
 pub use engine::{CostEngine, EngineOptions};
 pub use error::SolveError;
 pub use lanes::KernelBackend;
 pub use limit::{BiasLimitOutcome, BiasLimitPlanner};
 pub use metrics::PartitionMetrics;
+pub use pool::{SlotGuard, SlotPool};
 pub use problem::{PartitionProblem, ProblemError};
 pub use solver::{FaultInjection, SolveResult, Solver, SolverOptions, StopReason};
 pub use telemetry::{

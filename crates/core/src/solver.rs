@@ -54,7 +54,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::assign::Partition;
-use crate::budget::Deadline;
+use crate::budget::{Deadline, Interrupt, StopCause};
 use crate::cost::{CostBreakdown, CostModel, CostWeights};
 use crate::engine::{CostEngine, EngineOptions};
 use crate::error::SolveError;
@@ -62,7 +62,9 @@ use crate::float;
 use crate::grad::{Gradient, GradientOptions};
 use crate::lanes::KernelBackend;
 use crate::problem::PartitionProblem;
-use crate::refine::{discrete_cost, refine, RefineOptions};
+use crate::refine::{
+    discrete_cost, refine_interruptible, refine_with_swaps_interruptible, RefineOptions,
+};
 use crate::telemetry::{
     IterationEvent, NoopObserver, RecoveryEvent, RefineEvent, RestartEndEvent, RestartObserver,
     SolveEndEvent, SolveObserver, SolveStartEvent,
@@ -95,6 +97,23 @@ pub enum StopReason {
     /// [`SolverOptions::iteration_budget`]) truncated the run before its own
     /// [`SolverOptions::max_iterations`] cap.
     BudgetExhausted,
+    /// An external [`CancelToken`](crate::budget::CancelToken) (passed via
+    /// [`Solver::try_solve_interruptible`]) aborted the run between
+    /// iterations or inside the refinement pass. The returned partition is
+    /// the best finite iterate completed before the abort.
+    Cancelled,
+}
+
+/// Maps an interrupt cause onto the stop reason it reports. An expired
+/// deadline keeps the historical [`StopReason::BudgetExhausted`] spelling
+/// (external deadlines and [`SolverOptions::deadline_ms`] are one
+/// mechanism); cancellation gets its own variant so callers can tell an
+/// abort from a timeout.
+fn stop_reason_for(cause: StopCause) -> StopReason {
+    match cause {
+        StopCause::Deadline => StopReason::BudgetExhausted,
+        StopCause::Cancelled => StopReason::Cancelled,
+    }
 }
 
 /// Scripted fault plan for the test-only fault-injecting evaluation backend.
@@ -428,7 +447,7 @@ impl Solver {
         observer: &mut O,
     ) -> SolveResult {
         assert!(self.options.restarts > 0, "need at least one restart");
-        match self.run_restarts(problem, observer) {
+        match self.run_restarts(problem, &Interrupt::none(), observer) {
             Ok(result) => result,
             Err(e) => panic!("solve failed: {e}"),
         }
@@ -469,9 +488,48 @@ impl Solver {
         problem: &PartitionProblem,
         observer: &mut O,
     ) -> Result<SolveResult, SolveError> {
+        self.try_solve_interruptible_observed(problem, &Interrupt::none(), observer)
+    }
+
+    /// [`Solver::try_solve`] under external control: `interrupt` bundles an
+    /// optional wall-clock [`Deadline`] and an optional
+    /// [`CancelToken`](crate::budget::CancelToken), polled between
+    /// iterations, between restart forks, and inside the refinement pass.
+    ///
+    /// An interrupt deadline composes with [`SolverOptions::deadline_ms`]
+    /// (whichever cuts off first wins). A fired interrupt is not an error:
+    /// the solve still returns the best finite partition completed so far,
+    /// with [`StopReason::BudgetExhausted`] (deadline) or
+    /// [`StopReason::Cancelled`] (token) on the winning run. An interrupt
+    /// that never fires leaves the solve bit-identical to
+    /// [`Solver::try_solve`] — polling is read-only.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Solver::try_solve`].
+    pub fn try_solve_interruptible(
+        &self,
+        problem: &PartitionProblem,
+        interrupt: &Interrupt,
+    ) -> Result<SolveResult, SolveError> {
+        self.try_solve_interruptible_observed(problem, interrupt, &mut NoopObserver)
+    }
+
+    /// [`Solver::try_solve_interruptible`] with a telemetry observer
+    /// attached; see [`Solver::solve_observed`] for the observer contract.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Solver::try_solve`].
+    pub fn try_solve_interruptible_observed<O: SolveObserver>(
+        &self,
+        problem: &PartitionProblem,
+        interrupt: &Interrupt,
+        observer: &mut O,
+    ) -> Result<SolveResult, SolveError> {
         self.options.validate()?;
         problem.validate()?;
-        self.run_restarts(problem, observer)
+        self.run_restarts(problem, interrupt, observer)
     }
 
     /// Runs all restarts and selects the winner.
@@ -486,10 +544,15 @@ impl Solver {
     fn run_restarts<O: SolveObserver>(
         &self,
         problem: &PartitionProblem,
+        interrupt: &Interrupt,
         observer: &mut O,
     ) -> Result<SolveResult, SolveError> {
         let opts = &self.options;
-        let deadline = Deadline::after_ms(opts.deadline_ms);
+        // One merged interrupt drives every stop check: the external
+        // deadline/cancel plus the options' own wall-clock budget.
+        let interrupt = interrupt
+            .clone()
+            .tightened(Deadline::after_ms(opts.deadline_ms));
 
         observer.on_solve_start(&SolveStartEvent {
             gates: problem.num_gates(),
@@ -539,13 +602,13 @@ impl Solver {
             // Thread creation is confined to the engine (rule D3); results
             // come back in restart order, matching the serial branch.
             crate::engine::parallel_map_owned(jobs, |(r, cap, mut restart_observer)| {
-                let result = self.run_once(problem, r, cap, deadline, &mut restart_observer);
+                let result = self.run_once(problem, r, cap, &interrupt, &mut restart_observer);
                 (r, result, restart_observer)
             })
         } else {
             jobs.into_iter()
                 .map(|(r, cap, mut restart_observer)| {
-                    let result = self.run_once(problem, r, cap, deadline, &mut restart_observer);
+                    let result = self.run_once(problem, r, cap, &interrupt, &mut restart_observer);
                     (r, result, restart_observer)
                 })
                 .collect()
@@ -606,7 +669,7 @@ impl Solver {
         problem: &PartitionProblem,
         restart: usize,
         iter_cap: usize,
-        deadline: Deadline,
+        interrupt: &Interrupt,
         observer: &mut R,
     ) -> SolveResult {
         let opts = &self.options;
@@ -614,6 +677,38 @@ impl Solver {
         let k = problem.num_planes();
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
         let mut w = WeightMatrix::random_spread(g, k, opts.init_spread, &mut rng);
+
+        // Checked *between restart forks*: a restart that starts after the
+        // interrupt fired (deadline expired or job cancelled while an
+        // earlier restart ran) skips engine construction, descent, and
+        // refinement entirely — it snaps its random init and returns, so a
+        // fired interrupt costs at most one O(G·K) snap per remaining
+        // restart instead of a CSR build plus a full refinement sweep.
+        if let Some(cause) = interrupt.poll() {
+            let stop_reason = stop_reason_for(cause);
+            let snapped = Partition::from_weights(&w);
+            let dc = discrete_cost(problem, &snapped, opts.weights, opts.exponent);
+            observer.on_refine(&RefineEvent {
+                moves: 0,
+                cost_before: if R::ENABLED { dc } else { f64::NAN },
+                cost_after: dc,
+            });
+            observer.on_restart_end(&RestartEndEvent {
+                iterations: 0,
+                stop_reason,
+                discrete_cost: dc,
+            });
+            return SolveResult {
+                partition: snapped,
+                cost_history: Vec::new(),
+                iterations: 0,
+                stop_reason,
+                discrete_cost: dc,
+                best_restart: restart,
+                refine_moves: 0,
+                diverged_restarts: 0,
+            };
+        }
 
         let grad_opts = if opts.paper_gradients {
             GradientOptions::as_printed()
@@ -670,8 +765,8 @@ impl Solver {
         let mut iterations = 0usize;
 
         for iter in 0..iter_cap {
-            if deadline.expired() {
-                stop_reason = StopReason::BudgetExhausted;
+            if let Some(cause) = interrupt.poll() {
+                stop_reason = stop_reason_for(cause);
                 break;
             }
 
@@ -828,13 +923,22 @@ impl Solver {
         } else {
             f64::NAN
         };
-        let (partition, refine_moves) = if opts.refine && opts.swap_refine {
-            crate::refine::refine_with_swaps(problem, &snapped, &refine_options)
+        let (partition, refine_moves, refine_stop) = if opts.refine && opts.swap_refine {
+            refine_with_swaps_interruptible(problem, &snapped, &refine_options, interrupt)
         } else if opts.refine {
-            refine(problem, &snapped, &refine_options)
+            refine_interruptible(problem, &snapped, &refine_options, interrupt)
         } else {
-            (snapped, 0)
+            (snapped, 0, None)
         };
+        // An interrupt that truncated refinement overrides the descent's
+        // stop reason — the run did not finish its polish, and a service
+        // needs Cancelled/BudgetExhausted to surface. NonFinite stays
+        // sticky: the restart selection uses it to demote diverged runs.
+        if stop_reason != StopReason::NonFinite {
+            if let Some(cause) = refine_stop {
+                stop_reason = stop_reason_for(cause);
+            }
+        }
         let dc = discrete_cost(problem, &partition, opts.weights, opts.exponent);
         observer.on_refine(&RefineEvent {
             moves: refine_moves,

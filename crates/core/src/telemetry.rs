@@ -461,6 +461,7 @@ pub fn stop_reason_str(reason: StopReason) -> &'static str {
         StopReason::StepVanished => "step_vanished",
         StopReason::NonFinite => "non_finite",
         StopReason::BudgetExhausted => "budget_exhausted",
+        StopReason::Cancelled => "cancelled",
     }
 }
 
@@ -476,6 +477,7 @@ pub fn parse_stop_reason(s: &str) -> Result<StopReason, TraceParseError> {
         "step_vanished" => Ok(StopReason::StepVanished),
         "non_finite" => Ok(StopReason::NonFinite),
         "budget_exhausted" => Ok(StopReason::BudgetExhausted),
+        "cancelled" => Ok(StopReason::Cancelled),
         other => Err(TraceParseError::new(format!(
             "unknown stop reason `{other}`"
         ))),
@@ -1427,6 +1429,8 @@ pub struct SolveMetrics {
     pub cap_stops: u64,
     /// Restarts truncated by a solve budget (iteration budget or deadline).
     pub budget_truncations: u64,
+    /// Restarts aborted by an external cancellation.
+    pub cancelled_stops: u64,
     /// Restarts whose step vanished.
     pub step_vanished: u64,
     /// Restarts that ended terminally non-finite.
@@ -1508,6 +1512,7 @@ impl SolveObserver for SolveMetrics {
             Some(StopReason::Margin) => self.margin_stops += 1,
             Some(StopReason::MaxIterations) => self.cap_stops += 1,
             Some(StopReason::BudgetExhausted) => self.budget_truncations += 1,
+            Some(StopReason::Cancelled) => self.cancelled_stops += 1,
             Some(StopReason::StepVanished) => self.step_vanished += 1,
             Some(StopReason::NonFinite) => self.nonfinite_restarts += 1,
             None => {}
@@ -1542,10 +1547,11 @@ impl SolveMetrics {
         );
         let _ = writeln!(
             out,
-            "  stops: margin={} cap={} budget={} step_vanished={} non_finite={}",
+            "  stops: margin={} cap={} budget={} cancelled={} step_vanished={} non_finite={}",
             self.margin_stops,
             self.cap_stops,
             self.budget_truncations,
+            self.cancelled_stops,
             self.step_vanished,
             self.nonfinite_restarts
         );
@@ -1571,11 +1577,13 @@ mod tests {
 
     #[test]
     fn noop_observer_is_disabled() {
-        assert!(!<NoopObserver as RestartObserver>::ENABLED);
-        assert!(!<NoopObserver as SolveObserver>::ENABLED);
-        assert!(<RestartTrace as RestartObserver>::ENABLED);
-        assert!(<PairRestart<NoopObserver, RestartTrace> as RestartObserver>::ENABLED);
-        assert!(!<PairRestart<NoopObserver, NoopObserver> as RestartObserver>::ENABLED);
+        const {
+            assert!(!<NoopObserver as RestartObserver>::ENABLED);
+            assert!(!<NoopObserver as SolveObserver>::ENABLED);
+            assert!(<RestartTrace as RestartObserver>::ENABLED);
+            assert!(<PairRestart<NoopObserver, RestartTrace> as RestartObserver>::ENABLED);
+            assert!(!<PairRestart<NoopObserver, NoopObserver> as RestartObserver>::ENABLED);
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Divergence-recovery matrix: injected NaN/Inf at scripted evaluations
 //! must be rescued (or cleanly abandoned) on every backend combination —
-//! {fused, reference} × {serial, intra-parallel} — and the solver must
-//! never return a partition derived from non-finite weights.
+//! {fused, reference} × {scalar, lanes} × {serial, intra-parallel} — and
+//! the solver must never return a partition derived from non-finite
+//! weights. The scalar and lanes kernels are bit-identical by contract, so
+//! recovery must also be *identical* between them, not merely equivalent.
 
-use sfq_partition::{FaultInjection, PartitionProblem, Solver, SolverOptions, StopReason};
+use sfq_partition::{
+    FaultInjection, KernelBackend, PartitionProblem, Solver, SolverOptions, StopReason,
+};
 
 fn chain(n: u32, k: usize) -> PartitionProblem {
     PartitionProblem::new(
@@ -15,14 +19,24 @@ fn chain(n: u32, k: usize) -> PartitionProblem {
     .unwrap()
 }
 
-/// The backend matrix; `intra_parallel` is a no-op for the reference
-/// backend but must still be accepted and produce identical results.
-const MATRIX: [(bool, bool); 4] = [(true, false), (true, true), (false, false), (false, true)];
+/// The backend matrix: `(fused, intra_parallel, kernel_backend)`.
+/// `intra_parallel` is a no-op for the reference backend but must still be
+/// accepted and produce identical results; `kernel_backend` is ignored by
+/// the reference backend, so one reference row per threading mode suffices.
+const MATRIX: [(bool, bool, KernelBackend); 6] = [
+    (true, false, KernelBackend::Lanes),
+    (true, true, KernelBackend::Lanes),
+    (true, false, KernelBackend::Scalar),
+    (true, true, KernelBackend::Scalar),
+    (false, false, KernelBackend::Lanes),
+    (false, true, KernelBackend::Lanes),
+];
 
-fn base_options(fused: bool, intra_parallel: bool) -> SolverOptions {
+fn base_options(fused: bool, intra_parallel: bool, backend: KernelBackend) -> SolverOptions {
     SolverOptions {
         fused,
         intra_parallel,
+        kernel_backend: backend,
         margin: -1.0, // never stop early: every injection point is reached
         max_iterations: 260,
         refine: false,
@@ -44,20 +58,20 @@ fn assert_finite_and_valid(result: &sfq_partition::SolveResult, gates: usize, k:
 #[test]
 fn single_nan_recovers_at_any_iteration_on_every_backend() {
     let p = chain(30, 3);
-    for (fused, intra) in MATRIX {
+    for (fused, intra, backend) in MATRIX {
         for inject_at in [1usize, 5, 50, 230] {
             let opts = SolverOptions {
                 fault_injection: Some(FaultInjection {
                     nan_cost_at: vec![inject_at],
                     ..FaultInjection::default()
                 }),
-                ..base_options(fused, intra)
+                ..base_options(fused, intra, backend)
             };
             let result = Solver::new(opts).try_solve(&p).expect("recovers");
             assert_ne!(
                 result.stop_reason,
                 StopReason::NonFinite,
-                "fused={fused} intra={intra} inject_at={inject_at}"
+                "fused={fused} intra={intra} backend={backend:?} inject_at={inject_at}"
             );
             assert_finite_and_valid(&result, 30, 3);
         }
@@ -67,7 +81,7 @@ fn single_nan_recovers_at_any_iteration_on_every_backend() {
 #[test]
 fn single_inf_and_nan_gradient_recover_too() {
     let p = chain(30, 3);
-    for (fused, intra) in MATRIX {
+    for (fused, intra, backend) in MATRIX {
         for plan in [
             FaultInjection {
                 inf_cost_at: vec![7],
@@ -80,13 +94,13 @@ fn single_inf_and_nan_gradient_recover_too() {
         ] {
             let opts = SolverOptions {
                 fault_injection: Some(plan.clone()),
-                ..base_options(fused, intra)
+                ..base_options(fused, intra, backend)
             };
             let result = Solver::new(opts).try_solve(&p).expect("recovers");
             assert_ne!(
                 result.stop_reason,
                 StopReason::NonFinite,
-                "fused={fused} intra={intra} plan={plan:?}"
+                "fused={fused} intra={intra} backend={backend:?} plan={plan:?}"
             );
             assert_finite_and_valid(&result, 30, 3);
         }
@@ -98,13 +112,13 @@ fn injection_at_iteration_zero_is_terminal_but_still_finite() {
     // No finite iterate exists to retry from, so the run is abandoned — but
     // the snapped initial weights are still a valid, finite partition.
     let p = chain(30, 3);
-    for (fused, intra) in MATRIX {
+    for (fused, intra, backend) in MATRIX {
         let opts = SolverOptions {
             fault_injection: Some(FaultInjection {
                 nan_cost_at: vec![0],
                 ..FaultInjection::default()
             }),
-            ..base_options(fused, intra)
+            ..base_options(fused, intra, backend)
         };
         let result = Solver::new(opts).try_solve(&p).expect("fallback exists");
         assert_eq!(result.stop_reason, StopReason::NonFinite);
@@ -116,17 +130,88 @@ fn injection_at_iteration_zero_is_terminal_but_still_finite() {
 #[test]
 fn recovery_is_deterministic_per_backend() {
     let p = chain(30, 3);
-    for (fused, intra) in MATRIX {
+    for (fused, intra, backend) in MATRIX {
         let opts = SolverOptions {
             fault_injection: Some(FaultInjection {
                 nan_cost_at: vec![20],
                 ..FaultInjection::default()
             }),
-            ..base_options(fused, intra)
+            ..base_options(fused, intra, backend)
         };
         let a = Solver::new(opts.clone()).try_solve(&p).unwrap();
         let b = Solver::new(opts).try_solve(&p).unwrap();
-        assert_eq!(a, b, "fused={fused} intra={intra}");
+        assert_eq!(a, b, "fused={fused} intra={intra} backend={backend:?}");
+    }
+}
+
+#[test]
+fn scalar_and_lanes_recovery_is_bit_identical() {
+    // PR 6's contract: the scalar and lanes kernels agree bit-for-bit. That
+    // must extend through the recovery machinery — same rollback points,
+    // same halved-step retries, same final partition — on every fault
+    // shape, in both threading modes.
+    let p = chain(30, 3);
+    let plans = [
+        FaultInjection {
+            nan_cost_at: vec![10],
+            ..FaultInjection::default()
+        },
+        FaultInjection {
+            inf_cost_at: vec![7],
+            ..FaultInjection::default()
+        },
+        FaultInjection {
+            nan_grad_at: vec![7],
+            ..FaultInjection::default()
+        },
+        FaultInjection {
+            poison_from: Some(30),
+            ..FaultInjection::default()
+        },
+    ];
+    for intra in [false, true] {
+        for plan in &plans {
+            let opts = |backend| SolverOptions {
+                fault_injection: Some(plan.clone()),
+                ..base_options(true, intra, backend)
+            };
+            let scalar = Solver::new(opts(KernelBackend::Scalar)).try_solve(&p);
+            let lanes = Solver::new(opts(KernelBackend::Lanes)).try_solve(&p);
+            match (scalar, lanes) {
+                (Ok(s), Ok(l)) => assert_eq!(s, l, "intra={intra} plan={plan:?}"),
+                (s, l) => panic!("outcome mismatch intra={intra} plan={plan:?}: {s:?} vs {l:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_and_lanes_recovery_is_bit_identical_on_chunked_problems() {
+    // 2048×4 = 8192 weight entries: at the chunking threshold, so the
+    // lanes/scalar comparison also covers the chunked sweep layout that
+    // `intra_parallel` threads over.
+    let p = chain(2048, 4);
+    for intra in [false, true] {
+        let opts = |backend| SolverOptions {
+            max_iterations: 40,
+            refine: false,
+            intra_parallel: intra,
+            kernel_backend: backend,
+            fault_injection: Some(FaultInjection {
+                nan_cost_at: vec![10],
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        };
+        let scalar = Solver::new(opts(KernelBackend::Scalar))
+            .try_solve(&p)
+            .unwrap();
+        let lanes = Solver::new(opts(KernelBackend::Lanes))
+            .try_solve(&p)
+            .unwrap();
+        assert_eq!(scalar.partition, lanes.partition, "intra={intra}");
+        assert_eq!(scalar.cost_history, lanes.cost_history, "intra={intra}");
+        assert_eq!(scalar.discrete_cost, lanes.discrete_cost, "intra={intra}");
     }
 }
 

@@ -21,4 +21,5 @@
 
 pub mod convergence;
 pub mod paper;
+pub mod service;
 pub mod table;

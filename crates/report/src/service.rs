@@ -1,0 +1,80 @@
+//! Rendering for `sfqpartd` service ledgers.
+//!
+//! The daemon's `stats` frame and drain summary are flat counter maps;
+//! this module turns them into the same right-aligned [`Table`]
+//! typography the paper tables use. It lives in the report crate (not the
+//! service crate) so offline tooling can render captured stats without
+//! linking the daemon — the input is plain `(label, count)` pairs.
+
+use crate::table::Table;
+
+/// Renders labeled counters as a two-column table, preserving order.
+///
+/// # Example
+///
+/// ```
+/// use sfq_report::service::counters_table;
+///
+/// let t = counters_table(&[("submitted", 4), ("done", 3), ("failed", 1)]);
+/// let s = t.to_string();
+/// assert!(s.contains("submitted"));
+/// assert!(s.contains("3"));
+/// ```
+#[must_use]
+pub fn counters_table(counters: &[(&str, u64)]) -> Table {
+    let mut table = Table::new(vec!["counter", "count"]);
+    for &(label, count) in counters {
+        table.add_row(vec![label.to_string(), count.to_string()]);
+    }
+    table
+}
+
+/// Checks the exactly-one-terminal-state accounting of a service ledger:
+/// every submitted job must end in exactly one post-admission terminal
+/// state, so `submitted == done + cancelled + deadline_exceeded + failed`
+/// once the service is idle. (`rejected` jobs were never admitted and are
+/// excluded.) Returns `None` when the books balance, or a human-readable
+/// discrepancy.
+#[must_use]
+pub fn terminal_accounting(
+    submitted: u64,
+    done: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    failed: u64,
+) -> Option<String> {
+    let settled = done + cancelled + deadline_exceeded + failed;
+    if settled == submitted {
+        None
+    } else {
+        Some(format!(
+            "terminal accounting violated: submitted={submitted} but \
+             done={done} + cancelled={cancelled} + \
+             deadline_exceeded={deadline_exceeded} + failed={failed} = {settled}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_preserves_order_and_counts() {
+        let t = counters_table(&[("submitted", 10), ("done", 7), ("cancelled", 3)]);
+        assert_eq!(t.num_rows(), 3);
+        let tsv = t.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[1], "submitted\t10");
+        assert_eq!(lines[3], "cancelled\t3");
+    }
+
+    #[test]
+    fn accounting_balances_or_reports() {
+        assert_eq!(terminal_accounting(5, 3, 1, 1, 0), None);
+        assert_eq!(terminal_accounting(0, 0, 0, 0, 0), None);
+        let err = terminal_accounting(5, 3, 0, 0, 0).unwrap();
+        assert!(err.contains("submitted=5"), "{err}");
+        assert!(err.contains("= 3"), "{err}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Content-addressed result cache.
+//!
+//! Two solve requests with the same problem and the same options are the
+//! same computation — the solver is deterministic by contract — so the
+//! daemon serves the second from memory. The key is an FNV-1a hash over
+//! the raw request payload (bias/area bit patterns, edge list, plane
+//! count) plus the canonical `Debug` rendering of the resolved
+//! [`SolverOptions`], which covers every knob (including future ones)
+//! without a bespoke field-by-field encoding.
+//!
+//! Only *deterministic, complete* results are cacheable: a fault plan or a
+//! worker-panic chaos flag disqualifies the job, and a job that ran under
+//! a wall-clock deadline is cached only when it stopped for a reason the
+//! deadline cannot have produced ([`StopReason::Margin`] /
+//! [`StopReason::MaxIterations`] / [`StopReason::StepVanished`] are
+//! full-run outcomes; a [`StopReason::BudgetExhausted`] under a wall
+//! deadline may be a nondeterministic truncation, so it is not stored).
+//!
+//! Bounded: insertion beyond capacity evicts the oldest entry (FIFO —
+//! recency tracking is not worth the bookkeeping for a cache this size).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use sfq_partition::{SolverOptions, StopReason};
+
+use crate::protocol::ProblemSpec;
+
+/// A cached terminal partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// Plane label per gate.
+    pub labels: Vec<u32>,
+    /// Stop reason of the original solve.
+    pub stop: StopReason,
+    /// Iterations of the original solve's winning restart.
+    pub iterations: u64,
+    /// Discrete cost of the partition.
+    pub discrete_cost: f64,
+}
+
+/// 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// The cache key for a request: problem payload + resolved options.
+///
+/// `f64` values hash by bit pattern, so `0.0` and `-0.0` are distinct
+/// keys — conservative, and exactly mirrors the solver's own sensitivity.
+#[must_use]
+pub fn cache_key(problem: &ProblemSpec, options: &SolverOptions) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(problem.bias.len() as u64);
+    for &b in &problem.bias {
+        h.write_u64(b.to_bits());
+    }
+    h.write_u64(problem.area.len() as u64);
+    for &a in &problem.area {
+        h.write_u64(a.to_bits());
+    }
+    h.write_u64(problem.edges.len() as u64);
+    for &(u, v) in &problem.edges {
+        h.write_u64(u64::from(u) << 32 | u64::from(v));
+    }
+    h.write_u64(problem.planes as u64);
+    h.write(format!("{options:?}").as_bytes());
+    h.0
+}
+
+/// Whether a completed job's result may be cached (and a lookup may be
+/// served for its request). See the module docs for the rule.
+#[must_use]
+pub fn cacheable_request(options: &SolverOptions, panic_in_worker: bool) -> bool {
+    options.fault_injection.is_none() && !panic_in_worker
+}
+
+/// Whether a finished result is complete enough to store when the job ran
+/// under a service-level deadline.
+#[must_use]
+pub fn cacheable_outcome(stop: StopReason, had_deadline: bool) -> bool {
+    match stop {
+        StopReason::Margin | StopReason::MaxIterations | StopReason::StepVanished => true,
+        StopReason::BudgetExhausted => !had_deadline,
+        StopReason::NonFinite | StopReason::Cancelled => false,
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: BTreeMap<u64, CachedResult>,
+    order: VecDeque<u64>,
+}
+
+/// Bounded, thread-safe result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a result by key.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<CachedResult> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.get(&key).cloned()
+    }
+
+    /// Stores a result, evicting the oldest entry beyond capacity.
+    /// Re-inserting an existing key refreshes the value without growing
+    /// the eviction queue.
+    pub fn insert(&self, key: u64, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key, result).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of cached results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, planes: usize) -> ProblemSpec {
+        ProblemSpec {
+            bias: vec![1.0; n],
+            area: vec![10.0; n],
+            edges: (0..n as u32 - 1).map(|i| (i, i + 1)).collect(),
+            planes,
+        }
+    }
+
+    fn result(tag: u32) -> CachedResult {
+        CachedResult {
+            labels: vec![tag],
+            stop: StopReason::Margin,
+            iterations: 1,
+            discrete_cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn same_request_same_key_different_request_different_key() {
+        let opts = SolverOptions::default();
+        let a = cache_key(&spec(8, 2), &opts);
+        assert_eq!(a, cache_key(&spec(8, 2), &opts));
+        assert_ne!(a, cache_key(&spec(9, 2), &opts));
+        assert_ne!(a, cache_key(&spec(8, 3), &opts));
+        let seeded = SolverOptions {
+            seed: 99,
+            ..SolverOptions::default()
+        };
+        assert_ne!(a, cache_key(&spec(8, 2), &seeded));
+        let mut rewired = spec(8, 2);
+        rewired.edges[0] = (0, 2);
+        assert_ne!(a, cache_key(&rewired, &opts));
+    }
+
+    #[test]
+    fn bias_and_area_fields_do_not_collide() {
+        // Same flattened number stream split differently between the two
+        // arrays must not collide: lengths are hashed as separators.
+        let a = ProblemSpec {
+            bias: vec![1.0, 2.0],
+            area: vec![3.0],
+            edges: vec![],
+            planes: 1,
+        };
+        let b = ProblemSpec {
+            bias: vec![1.0],
+            area: vec![2.0, 3.0],
+            edges: vec![],
+            planes: 1,
+        };
+        let opts = SolverOptions::default();
+        assert_ne!(cache_key(&a, &opts), cache_key(&b, &opts));
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, result(1));
+        cache.insert(2, result(2));
+        cache.insert(3, result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert_eq!(cache.get(3).unwrap().labels, vec![3]);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplication() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, result(1));
+        cache.insert(1, result(9));
+        cache.insert(2, result(2));
+        cache.insert(3, result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.get(2).unwrap().labels, vec![2]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, result(1));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cacheability_rules() {
+        let clean = SolverOptions::default();
+        assert!(cacheable_request(&clean, false));
+        assert!(!cacheable_request(&clean, true));
+        let faulty = SolverOptions {
+            fault_injection: Some(sfq_partition::FaultInjection::default()),
+            ..SolverOptions::default()
+        };
+        assert!(!cacheable_request(&faulty, false));
+        assert!(cacheable_outcome(StopReason::Margin, true));
+        assert!(cacheable_outcome(StopReason::BudgetExhausted, false));
+        assert!(!cacheable_outcome(StopReason::BudgetExhausted, true));
+        assert!(!cacheable_outcome(StopReason::NonFinite, false));
+        assert!(!cacheable_outcome(StopReason::Cancelled, false));
+    }
+}

@@ -1,0 +1,110 @@
+//! Blocking client for the `sfqpartd` wire protocol.
+//!
+//! A thin typed wrapper over one connection: send [`Request`]s, read
+//! [`Response`] frames. Used by the integration suites, the chaos
+//! harness, and the binary's `drive` subcommand. Transport lives in
+//! [`crate::net`]; this module never touches a socket directly.
+
+use std::time::Duration;
+
+use crate::net::{self, ConnWriter, LineReader, ReadLine};
+use crate::protocol::{Request, Response};
+
+/// What one read attempt on the response stream produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRead {
+    /// A parsed frame.
+    Frame(Response),
+    /// The read timeout elapsed; the connection is still healthy.
+    Timeout,
+    /// The daemon closed the connection.
+    Eof,
+}
+
+/// One connection to a daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: LineReader,
+    writer: ConnWriter,
+}
+
+impl Client {
+    /// Connects to a daemon, with an optional read timeout that turns
+    /// blocking reads into [`ClientRead::Timeout`] ticks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket connect failures.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
+        let (reader, writer) = net::connect(addr, read_timeout)?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request frame. Returns whether the connection still
+    /// looked alive.
+    pub fn send(&mut self, request: &Request) -> bool {
+        self.writer.send_line(&request.to_line())
+    }
+
+    /// Reads the next frame (or a timeout/EOF marker). A frame the client
+    /// cannot parse is reported as [`Response::Error`] rather than
+    /// swallowed, so protocol drift is loud in tests.
+    pub fn read(&mut self) -> ClientRead {
+        loop {
+            match self.reader.next_line() {
+                ReadLine::Timeout => return ClientRead::Timeout,
+                ReadLine::Eof => return ClientRead::Eof,
+                ReadLine::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let frame = crate::protocol::parse_response(&line).unwrap_or_else(|e| {
+                        Response::Error {
+                            message: format!("unparseable frame `{line}`: {e}"),
+                        }
+                    });
+                    return ClientRead::Frame(frame);
+                }
+            }
+        }
+    }
+
+    /// Reads frames until the job `id` reaches a terminal frame, which is
+    /// returned. Non-terminal frames for the job (`accepted`, `progress`,
+    /// `retrying`) and frames for other jobs are handed to `on_frame`.
+    /// Returns `None` if the connection ends first.
+    pub fn wait_terminal(
+        &mut self,
+        id: &str,
+        mut on_frame: impl FnMut(&Response),
+    ) -> Option<Response> {
+        loop {
+            match self.read() {
+                ClientRead::Eof => return None,
+                ClientRead::Timeout => {}
+                ClientRead::Frame(frame) => {
+                    if frame.id() == Some(id) && frame.is_terminal() {
+                        return Some(frame);
+                    }
+                    on_frame(&frame);
+                }
+            }
+        }
+    }
+
+    /// [`Client::wait_terminal`] discarding intermediate frames.
+    pub fn wait_terminal_quiet(&mut self, id: &str) -> Option<Response> {
+        self.wait_terminal(id, |_| {})
+    }
+
+    /// Sends a request and waits for the terminal frame of job `id`.
+    pub fn call(&mut self, request: &Request, id: &str) -> Option<Response> {
+        if !self.send(request) {
+            return None;
+        }
+        self.wait_terminal_quiet(id)
+    }
+}

@@ -1,0 +1,216 @@
+//! Job lifecycle: the exactly-one-terminal-state machine and the ledger.
+//!
+//! Several parties race to end a job — the worker that solves it, a
+//! `cancel` frame, the disconnect sweeper, the admission path. The
+//! invariant the chaos suite pins is that every job reaches **exactly
+//! one** terminal state and emits exactly one terminal frame. The
+//! [`JobHandle::finish`] transition is the single point that decides the
+//! race: first caller wins, everyone else is told to stand down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sfq_partition::{CancelToken, Deadline};
+
+use crate::protocol::StatsSnapshot;
+
+/// The terminal-state taxonomy (see DESIGN.md §Failure modes). `Rejected`
+/// is reached only on the admission path; the other four only after
+/// admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalKind {
+    /// A partition was returned (freshly solved or from the cache).
+    Done,
+    /// Cancelled by a `cancel` frame or a client disconnect.
+    Cancelled,
+    /// The service-level deadline fired before a result existed.
+    DeadlineExceeded,
+    /// Refused at admission (queue full, draining, duplicate id, invalid).
+    Rejected,
+    /// The job failed (panic, repeated divergence, invalid options).
+    Failed,
+}
+
+/// The shared per-job record: cancellation token, admission-time deadline,
+/// and the terminal-state cell.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Client-chosen id.
+    pub id: String,
+    /// Raised to abort the job between iterations.
+    pub cancel: CancelToken,
+    /// Armed at admission; queue wait counts against it.
+    pub deadline: Deadline,
+    terminal: Mutex<Option<TerminalKind>>,
+}
+
+impl JobHandle {
+    /// A fresh, non-terminal job.
+    #[must_use]
+    pub fn new(id: String, deadline_ms: Option<u64>) -> Self {
+        JobHandle {
+            id,
+            cancel: CancelToken::new(),
+            deadline: Deadline::after_ms(deadline_ms),
+            terminal: Mutex::new(None),
+        }
+    }
+
+    /// Attempts the terminal transition. Returns `true` for exactly one
+    /// caller per job; that caller — and only that caller — sends the
+    /// terminal frame and records the ledger entry.
+    pub fn finish(&self, kind: TerminalKind) -> bool {
+        let mut cell = self.terminal.lock().unwrap_or_else(|e| e.into_inner());
+        if cell.is_some() {
+            return false;
+        }
+        *cell = Some(kind);
+        true
+    }
+
+    /// The terminal state, once one has been reached.
+    #[must_use]
+    pub fn terminal(&self) -> Option<TerminalKind> {
+        *self.terminal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether [`JobHandle::finish`] has already been won.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.terminal().is_some()
+    }
+}
+
+/// Monotonic service counters. Plain atomics: the ledger is advisory
+/// telemetry, read by `stats` frames and the drain summary, never by the
+/// scheduling logic.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    submitted: AtomicU64,
+    done: AtomicU64,
+    cache_hits: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Ledger {
+    /// Records an admission.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a terminal transition (the `finish` winner calls this).
+    pub fn record_terminal(&self, kind: TerminalKind) {
+        let counter = match kind {
+            TerminalKind::Done => &self.done,
+            TerminalKind::Cancelled => &self.cancelled,
+            TerminalKind::DeadlineExceeded => &self.deadline_exceeded,
+            TerminalKind::Rejected => &self.rejected,
+            TerminalKind::Failed => &self.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `done` served from the result cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a divergence retry.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a contained worker panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot for a `stats` frame. `queued`/`running` are scheduler
+    /// state, not ledger state; the caller fills them in.
+    #[must_use]
+    pub fn snapshot(&self, queued: u64, running: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            queued,
+            running,
+            done: self.done.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exactly_one_finish_wins() {
+        let job = JobHandle::new("j".into(), None);
+        assert!(!job.is_terminal());
+        assert!(job.finish(TerminalKind::Done));
+        assert!(!job.finish(TerminalKind::Cancelled));
+        assert_eq!(job.terminal(), Some(TerminalKind::Done));
+    }
+
+    #[test]
+    fn concurrent_finishers_produce_one_winner() {
+        for _ in 0..50 {
+            let job = Arc::new(JobHandle::new("j".into(), None));
+            let threads: Vec<_> = [
+                TerminalKind::Done,
+                TerminalKind::Cancelled,
+                TerminalKind::DeadlineExceeded,
+                TerminalKind::Failed,
+            ]
+            .into_iter()
+            .map(|kind| {
+                let job = Arc::clone(&job);
+                std::thread::spawn(move || u32::from(job.finish(kind)))
+            })
+            .collect();
+            let wins: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+            assert_eq!(wins, 1);
+        }
+    }
+
+    #[test]
+    fn ledger_snapshot_reflects_counts() {
+        let ledger = Ledger::default();
+        ledger.record_submitted();
+        ledger.record_submitted();
+        ledger.record_terminal(TerminalKind::Done);
+        ledger.record_cache_hit();
+        ledger.record_terminal(TerminalKind::Failed);
+        ledger.record_retry();
+        ledger.record_panic();
+        let s = ledger.snapshot(3, 1);
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.done, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.queued, 3);
+        assert_eq!(s.running, 1);
+    }
+
+    #[test]
+    fn deadline_is_armed_at_construction() {
+        let job = JobHandle::new("j".into(), Some(0));
+        assert!(job.deadline.expired());
+        let job = JobHandle::new("j".into(), None);
+        assert!(!job.deadline.expired());
+    }
+}

@@ -1,0 +1,519 @@
+//! The chaos harness: deterministic fault campaigns against a live
+//! `sfqpartd`, pinning the two service invariants —
+//!
+//! 1. every admitted job ends in **exactly one** typed terminal state
+//!    (`done` / `cancelled` / `deadline_exceeded` / `rejected` /
+//!    `failed`), and
+//! 2. a faulty job (NaN-injecting fault plan, worker panic, deadline
+//!    storm, mid-stream disconnect, queue flood) never perturbs a healthy
+//!    job's bit-identical result.
+//!
+//! Determinism discipline: assertions are on terminal *states* and result
+//! *bits*, never on timing. Jobs that must still be running when chaos
+//! hits use a negative margin (unreachable) with a huge iteration cap, so
+//! they provably cannot finish on their own; deadline storms use
+//! `deadline_ms: 0`, which expires before the job can reach a worker.
+
+use std::time::Duration;
+
+use sfq_partition::{FaultInjection, PartitionProblem, Solver, SolverOptions};
+use sfq_serviced::client::ClientRead;
+use sfq_serviced::protocol::{ProblemSpec, Request, Response, SolveRequest};
+use sfq_serviced::{Client, Daemon, DaemonConfig};
+
+fn spec() -> ProblemSpec {
+    let n: u32 = 64;
+    ProblemSpec {
+        bias: (0..n).map(|i| 0.3 + 0.015 * f64::from(i % 8)).collect(),
+        area: (0..n).map(|i| 5.0 + f64::from(i % 4)).collect(),
+        edges: (0..n).map(|i| (i, (i + 1) % n)).collect(),
+        planes: 4,
+    }
+}
+
+fn healthy_options() -> SolverOptions {
+    SolverOptions {
+        seed: 2020,
+        restarts: 2,
+        ..SolverOptions::default()
+    }
+}
+
+/// Provably non-terminating on its own: the margin test compares against a
+/// negative threshold no real improvement reaches, and the cap is huge.
+fn blocker_options() -> SolverOptions {
+    SolverOptions {
+        margin: -1.0,
+        max_iterations: 50_000_000,
+        ..SolverOptions::default()
+    }
+}
+
+fn boot(config: DaemonConfig) -> (Daemon, Client) {
+    let daemon = Daemon::start(config).expect("bind ephemeral port");
+    let client = Client::connect(daemon.addr(), Some(Duration::from_millis(100)))
+        .expect("connect to daemon");
+    (daemon, client)
+}
+
+fn request(id: &str, options: SolverOptions) -> Request {
+    Request::Solve(Box::new(SolveRequest {
+        id: id.into(),
+        problem: spec(),
+        options,
+        deadline_ms: None,
+        progress_every: None,
+        panic_in_worker: false,
+    }))
+}
+
+fn direct_reference_labels() -> Vec<u32> {
+    let s = spec();
+    let problem = PartitionProblem::new(s.bias, s.area, s.edges, s.planes).unwrap();
+    Solver::new(healthy_options())
+        .try_solve(&problem)
+        .unwrap()
+        .partition
+        .labels()
+        .to_vec()
+}
+
+#[test]
+fn worker_panic_fails_only_its_job_and_the_pool_self_heals() {
+    // One worker: if the panic killed it, the follow-up job would hang.
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "kaboom".into(),
+        problem: spec(),
+        options: healthy_options(),
+        deadline_ms: None,
+        progress_every: None,
+        panic_in_worker: true,
+    })));
+    let terminal = client.wait_terminal_quiet("kaboom").expect("terminal");
+    let Response::Failed { kind, message, .. } = &terminal else {
+        panic!("expected failed, got {terminal:?}");
+    };
+    assert_eq!(kind.as_str(), "panic");
+    assert!(message.contains("kaboom"), "message: {message}");
+
+    // The same worker thread must still serve jobs.
+    client.send(&request("aftermath", healthy_options()));
+    let terminal = client.wait_terminal_quiet("aftermath").expect("terminal");
+    let Response::Done { labels, .. } = &terminal else {
+        panic!("expected done after panic, got {terminal:?}");
+    };
+    assert_eq!(labels, &direct_reference_labels());
+    let stats = daemon.drain();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.done, 1);
+}
+
+#[test]
+fn total_divergence_retries_once_then_fails_typed() {
+    let (daemon, mut client) = boot(DaemonConfig::default());
+    // Poison every cost call of every restart from call 0: the solve —
+    // and its fresh-seed retry — must diverge.
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "poisoned".into(),
+        problem: spec(),
+        options: SolverOptions {
+            fault_injection: Some(FaultInjection {
+                poison_from: Some(0),
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        },
+        deadline_ms: None,
+        progress_every: None,
+        panic_in_worker: false,
+    })));
+    let mut saw_retry = false;
+    let terminal = client
+        .wait_terminal("poisoned", |frame| {
+            if let Response::Retrying { id, attempt } = frame {
+                assert_eq!(id, "poisoned");
+                assert_eq!(*attempt, 1);
+                saw_retry = true;
+            }
+        })
+        .expect("terminal");
+    let Response::Failed { kind, .. } = &terminal else {
+        panic!("expected failed, got {terminal:?}");
+    };
+    assert_eq!(kind.as_str(), "divergence");
+    assert!(saw_retry, "the retry must be announced before the failure");
+    let stats = daemon.drain();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn deadline_storm_settles_every_job_exactly_once() {
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 2,
+        ..DaemonConfig::default()
+    });
+    let ids: Vec<String> = (0..8).map(|i| format!("storm-{i}")).collect();
+    for id in &ids {
+        client.send(&Request::Solve(Box::new(SolveRequest {
+            id: id.clone(),
+            problem: spec(),
+            options: healthy_options(),
+            deadline_ms: Some(0),
+            progress_every: None,
+            panic_in_worker: false,
+        })));
+    }
+    let mut terminals: Vec<Response> = Vec::new();
+    let mut idle = 0;
+    while idle < 3 {
+        match client.read() {
+            ClientRead::Eof => break,
+            ClientRead::Timeout => {
+                if ids
+                    .iter()
+                    .all(|id| terminals.iter().any(|t| t.id() == Some(id)))
+                {
+                    idle += 1;
+                }
+            }
+            ClientRead::Frame(frame) => {
+                if frame.is_terminal() {
+                    terminals.push(frame);
+                }
+            }
+        }
+    }
+    for id in &ids {
+        let of_job: Vec<&Response> = terminals.iter().filter(|t| t.id() == Some(id)).collect();
+        assert_eq!(of_job.len(), 1, "{id}: exactly one terminal frame");
+        assert!(
+            matches!(of_job[0], Response::DeadlineExceeded { .. }),
+            "{id}: expected deadline_exceeded, got {:?}",
+            of_job[0]
+        );
+    }
+    let stats = daemon.drain();
+    assert_eq!(stats.deadline_exceeded, 8);
+    assert_eq!(stats.done + stats.cancelled + stats.failed, 0);
+}
+
+#[test]
+fn queue_flood_is_refused_typed_and_the_books_balance() {
+    // 1 worker + capacity-2 queue: at most 3 blockers can ever be admitted
+    // (one running forever, two waiting), so a flood of 6 sees >= 3 typed
+    // `overloaded` refusals regardless of scheduling interleaving.
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 1,
+        slots: 1,
+        queue_capacity: 2,
+        ..DaemonConfig::default()
+    });
+    let ids: Vec<String> = (0..6).map(|i| format!("flood-{i}")).collect();
+    for id in &ids {
+        client.send(&request(id, blocker_options()));
+    }
+    // Classify each job's admission fate from the pipelined frame stream.
+    let mut accepted: Vec<String> = Vec::new();
+    let mut rejected: Vec<String> = Vec::new();
+    while accepted.len() + rejected.len() < ids.len() {
+        match client.read() {
+            ClientRead::Eof => panic!("daemon vanished mid-flood"),
+            ClientRead::Timeout => {}
+            ClientRead::Frame(Response::Accepted { id }) => accepted.push(id),
+            ClientRead::Frame(Response::Rejected { id, reason }) => {
+                assert_eq!(reason, "overloaded");
+                rejected.push(id.expect("solve rejections carry the id"));
+            }
+            ClientRead::Frame(other) => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(
+        accepted.len() <= 3,
+        "1 running + 2 queued bounds admissions: {accepted:?}"
+    );
+    assert_eq!(accepted.len() + rejected.len(), 6);
+    assert!(rejected.len() >= 3);
+
+    // Cancel every admitted blocker; each must settle exactly once.
+    for id in &accepted {
+        client.send(&Request::Cancel { id: id.clone() });
+        let terminal = client.wait_terminal_quiet(id).expect("terminal");
+        assert!(
+            matches!(terminal, Response::Cancelled { .. }),
+            "{id}: {terminal:?}"
+        );
+    }
+    let stats = daemon.drain();
+    assert_eq!(stats.rejected as usize, rejected.len());
+    assert_eq!(stats.cancelled as usize, accepted.len());
+    assert_eq!(
+        stats.done + stats.cancelled + stats.deadline_exceeded + stats.failed,
+        stats.submitted,
+        "terminal accounting: {stats:?}"
+    );
+}
+
+#[test]
+fn mid_run_cancellation_lands_between_iterations() {
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    // Progress frames prove the solve is mid-descent before we cancel.
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "running".into(),
+        problem: spec(),
+        options: blocker_options(),
+        deadline_ms: None,
+        progress_every: Some(64),
+        panic_in_worker: false,
+    })));
+    loop {
+        match client.read() {
+            ClientRead::Frame(Response::Progress { id, trace }) => {
+                assert_eq!(id, "running");
+                if trace.get("ev").and_then(|v| v.as_str()) == Some("iter") {
+                    break; // provably mid-descent
+                }
+            }
+            ClientRead::Timeout | ClientRead::Frame(_) => {}
+            ClientRead::Eof => panic!("daemon vanished"),
+        }
+    }
+    client.send(&Request::Cancel {
+        id: "running".into(),
+    });
+    let terminal = client.wait_terminal_quiet("running").expect("terminal");
+    assert!(matches!(terminal, Response::Cancelled { .. }));
+
+    // The worker is free again: a healthy job completes with the
+    // reference result.
+    client.send(&request("after-cancel", healthy_options()));
+    let terminal = client
+        .wait_terminal_quiet("after-cancel")
+        .expect("terminal");
+    let Response::Done { labels, .. } = &terminal else {
+        panic!("expected done, got {terminal:?}");
+    };
+    assert_eq!(labels, &direct_reference_labels());
+    daemon.drain();
+}
+
+#[test]
+fn client_disconnect_sweeps_its_unfinished_jobs() {
+    let (daemon, mut doomed) = boot(DaemonConfig {
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    doomed.send(&request("orphan", blocker_options()));
+    // Wait for admission so the job is owned by this connection.
+    loop {
+        match doomed.read() {
+            ClientRead::Frame(Response::Accepted { id }) => {
+                assert_eq!(id, "orphan");
+                break;
+            }
+            ClientRead::Timeout => {}
+            other => panic!("expected accepted, got {other:?}"),
+        }
+    }
+    drop(doomed); // mid-stream disconnect
+
+    // The sweep is asynchronous (the reader notices EOF); poll the ledger
+    // through a second connection until the orphan is cancelled.
+    let mut observer =
+        Client::connect(daemon.addr(), Some(Duration::from_millis(100))).expect("connect");
+    let mut cancelled = 0;
+    for _ in 0..100 {
+        observer.send(&Request::Stats);
+        loop {
+            match observer.read() {
+                ClientRead::Frame(Response::Stats(stats)) => {
+                    cancelled = stats.cancelled;
+                    break;
+                }
+                ClientRead::Timeout => break,
+                ClientRead::Eof => panic!("daemon vanished"),
+                ClientRead::Frame(_) => {}
+            }
+        }
+        if cancelled == 1 {
+            break;
+        }
+    }
+    assert_eq!(cancelled, 1, "disconnect must cancel the orphaned job");
+
+    // And the worker it occupied is serving again.
+    observer.send(&request("survivor", healthy_options()));
+    let terminal = observer.wait_terminal_quiet("survivor").expect("terminal");
+    assert!(matches!(terminal, Response::Done { .. }));
+    daemon.drain();
+}
+
+#[test]
+fn faulty_neighbors_never_perturb_a_healthy_result() {
+    // The isolation headline: a healthy job racing a NaN-poisoned job, a
+    // panicking job, and a deadline storm must produce the exact bits a
+    // solo in-process solve produces.
+    let reference = direct_reference_labels();
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 3,
+        slots: 6,
+        ..DaemonConfig::default()
+    });
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "chaos-poison".into(),
+        problem: spec(),
+        options: SolverOptions {
+            fault_injection: Some(FaultInjection {
+                poison_from: Some(0),
+                ..FaultInjection::default()
+            }),
+            ..SolverOptions::default()
+        },
+        deadline_ms: None,
+        progress_every: None,
+        panic_in_worker: false,
+    })));
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "chaos-panic".into(),
+        problem: spec(),
+        options: healthy_options(),
+        deadline_ms: None,
+        progress_every: None,
+        panic_in_worker: true,
+    })));
+    client.send(&Request::Solve(Box::new(SolveRequest {
+        id: "chaos-deadline".into(),
+        problem: spec(),
+        options: healthy_options(),
+        deadline_ms: Some(0),
+        progress_every: None,
+        panic_in_worker: false,
+    })));
+    client.send(&request("healthy", healthy_options()));
+
+    // Collect terminals for the chaos jobs while waiting on the healthy
+    // one — their frames interleave arbitrarily on the shared connection.
+    let mut chaos_terminals: Vec<Response> = Vec::new();
+    let terminal = client
+        .wait_terminal("healthy", |frame| {
+            if frame.is_terminal() {
+                chaos_terminals.push(frame.clone());
+            }
+        })
+        .expect("terminal");
+    let Response::Done { labels, .. } = &terminal else {
+        panic!("expected done, got {terminal:?}");
+    };
+    assert_eq!(
+        labels, &reference,
+        "chaos neighbors perturbed a healthy result"
+    );
+    for id in ["chaos-poison", "chaos-panic", "chaos-deadline"] {
+        if chaos_terminals.iter().any(|t| t.id() == Some(id)) {
+            continue;
+        }
+        let terminal = client.wait_terminal_quiet(id).expect("terminal");
+        assert!(terminal.is_terminal());
+    }
+    let stats = daemon.drain();
+    assert_eq!(stats.done, 1);
+    assert_eq!(stats.failed, 2, "poison + panic: {stats:?}");
+    assert_eq!(stats.deadline_exceeded, 1);
+}
+
+#[test]
+fn mixed_storm_every_job_exactly_one_terminal_and_books_balance() {
+    let (daemon, mut client) = boot(DaemonConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..DaemonConfig::default()
+    });
+    let mut expected: Vec<(String, &str)> = Vec::new();
+    for wave in 0..3 {
+        let healthy = format!("mix-{wave}-healthy");
+        client.send(&request(&healthy, healthy_options()));
+        expected.push((healthy, "done"));
+
+        let deadline = format!("mix-{wave}-deadline");
+        client.send(&Request::Solve(Box::new(SolveRequest {
+            id: deadline.clone(),
+            problem: spec(),
+            options: healthy_options(),
+            deadline_ms: Some(0),
+            progress_every: None,
+            panic_in_worker: false,
+        })));
+        expected.push((deadline, "deadline_exceeded"));
+
+        let panic_id = format!("mix-{wave}-panic");
+        client.send(&Request::Solve(Box::new(SolveRequest {
+            id: panic_id.clone(),
+            problem: spec(),
+            options: healthy_options(),
+            deadline_ms: None,
+            progress_every: None,
+            panic_in_worker: true,
+        })));
+        expected.push((panic_id, "failed"));
+
+        let cancel_id = format!("mix-{wave}-cancel");
+        client.send(&request(&cancel_id, blocker_options()));
+        client.send(&Request::Cancel {
+            id: cancel_id.clone(),
+        });
+        expected.push((cancel_id, "cancelled"));
+    }
+
+    let mut terminals: Vec<Response> = Vec::new();
+    let mut idle = 0;
+    while idle < 3 {
+        match client.read() {
+            ClientRead::Eof => break,
+            ClientRead::Timeout => {
+                if expected
+                    .iter()
+                    .all(|(id, _)| terminals.iter().any(|t| t.id() == Some(id)))
+                {
+                    idle += 1;
+                }
+            }
+            ClientRead::Frame(frame) => {
+                if frame.is_terminal() {
+                    terminals.push(frame);
+                }
+            }
+        }
+    }
+    for (id, want) in &expected {
+        let of_job: Vec<&Response> = terminals.iter().filter(|t| t.id() == Some(id)).collect();
+        assert_eq!(of_job.len(), 1, "{id}: exactly one terminal frame");
+        let kind = match of_job[0] {
+            Response::Done { .. } => "done",
+            Response::Cancelled { .. } => "cancelled",
+            Response::DeadlineExceeded { .. } => "deadline_exceeded",
+            Response::Failed { .. } => "failed",
+            Response::Rejected { .. } => "rejected",
+            other => panic!("{id}: non-terminal {other:?}"),
+        };
+        assert_eq!(&kind, want, "{id}");
+    }
+    let stats = daemon.drain();
+    assert_eq!(
+        stats.done + stats.cancelled + stats.deadline_exceeded + stats.failed,
+        stats.submitted,
+        "terminal accounting: {stats:?}"
+    );
+    assert_eq!(stats.done, 3);
+    assert_eq!(stats.deadline_exceeded, 3);
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.cancelled, 3);
+    assert_eq!(stats.panics, 3);
+}

@@ -26,8 +26,12 @@
 //! prints the usage and exits 2, a bad input (malformed DEF, unknown
 //! circuit, unreadable file, and trace-file I/O or schema failures) prints
 //! the typed error — with line/column for DEF, line number for traces —
-//! and exits 3, and a solve-stage failure exits 4. One bad netlist in a
-//! batch sweep therefore fails that run alone, identifiably.
+//! and exits 3, and a solve-stage failure exits 4. A solve that completed
+//! but was truncated by `--budget`/`--deadline-ms` prints its (best-effort)
+//! result and exits 5, so callers can tell `budget_exhausted` from
+//! `margin` without parsing the trace — the `stop:` line carries the same
+//! distinction in text. One bad netlist in a batch sweep therefore fails
+//! that run alone, identifiably.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -37,7 +41,9 @@ use current_recycling::cells::CellLibrary;
 use current_recycling::circuits::registry::{generate, Benchmark};
 use current_recycling::def::{parse_def, write_def};
 use current_recycling::netlist::Netlist;
-use current_recycling::partition::telemetry::{JsonlTraceWriter, PairObserver, SolveMetrics};
+use current_recycling::partition::telemetry::{
+    stop_reason_str, JsonlTraceWriter, PairObserver, SolveMetrics,
+};
 use current_recycling::partition::{
     BiasLimitPlanner, PartitionMetrics, PartitionProblem, SolveError, SolveResult, Solver,
     SolverOptions, StopReason,
@@ -56,6 +62,12 @@ enum CliError {
     Input(String),
     /// The solve or planning stage failed. Exit code 4.
     Solve(String),
+    /// The solve *completed* but a budget (`--budget`/`--deadline-ms`)
+    /// truncated it before convergence. All normal output has already been
+    /// printed; the exit code (5) flags the truncation so scripted callers
+    /// can tell a best-effort result from a converged one without parsing
+    /// the trace.
+    Truncated,
 }
 
 impl CliError {
@@ -97,6 +109,8 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::from(4)
         }
+        // Not an error: the result was printed; the code flags truncation.
+        Err(CliError::Truncated) => ExitCode::from(5),
     }
 }
 
@@ -112,7 +126,8 @@ const USAGE: &str = "usage:
   sfqpart trace-report <trace.jsonl>
 circuits: KSA4 KSA8 KSA16 KSA32 MULT4 MULT8 ID4 ID8 C432 C499 C1355 C1908 C3540
 exit codes: 2 usage error, 3 input error (incl. trace-file I/O and malformed
-traces), 4 solve error";
+traces), 4 solve error, 5 solve truncated by --budget/--deadline-ms
+(partition output is still printed; see the `stop:` line)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
@@ -314,9 +329,22 @@ fn cmd_partition(args: &[&String]) -> Result<(), CliError> {
         problem.num_gates(),
         problem.num_edges()
     );
+    // `stop:` uses the trace schema's stable spelling (`margin`,
+    // `budget_exhausted`, …), so scripts can grep one line instead of
+    // parsing a trace; `converged`/`truncated`/`not converged` is the
+    // human gloss.
+    let gloss = match result.stop_reason {
+        StopReason::Margin => "converged",
+        StopReason::BudgetExhausted | StopReason::Cancelled => "truncated",
+        StopReason::MaxIterations | StopReason::StepVanished | StopReason::NonFinite => {
+            "not converged"
+        }
+    };
     println!(
-        "converged in {} iterations ({:?}), {} refinement moves",
-        result.iterations, result.stop_reason, result.refine_moves
+        "stop: {} ({gloss}) after {} iterations, {} refinement moves",
+        stop_reason_str(result.stop_reason),
+        result.iterations,
+        result.refine_moves
     );
     if result.diverged_restarts > 0 {
         eprintln!(
@@ -361,6 +389,9 @@ fn cmd_partition(args: &[&String]) -> Result<(), CliError> {
         std::fs::write(path, out)
             .map_err(|e| CliError::Input(format!("cannot write `{path}`: {e}")))?;
         eprintln!("wrote gate-to-plane assignment to {path}");
+    }
+    if result.stop_reason == StopReason::BudgetExhausted {
+        return Err(CliError::Truncated);
     }
     Ok(())
 }
