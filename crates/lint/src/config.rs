@@ -10,7 +10,9 @@
 use std::fmt;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["A1", "D1", "D2", "D3", "F1", "I1", "O1", "P1", "U1"];
+pub const RULE_IDS: &[&str] = &[
+    "A1", "D1", "D2", "D3", "F1", "I1", "L1", "L2", "O1", "P1", "S1", "U1",
+];
 
 /// One `[[allow]]` entry: suppress findings of `rule` in `path`, optionally
 /// narrowed to a line and/or a message substring.
@@ -60,6 +62,42 @@ pub struct Config {
     /// Additional qualified function names that count as mutators for O1
     /// regardless of receiver (e.g. re-entrant solver entry points).
     pub o1_mutator_fns: Vec<String>,
+    /// Lock classes (rule L1) that are RwLocks: `.read()`/`.write()` on
+    /// these count as acquisitions in addition to `.lock()`/`.try_lock()`.
+    pub l1_rwlocks: Vec<String>,
+    /// Condvar→Mutex association for L1/L2, as `condvar_class=mutex_class`
+    /// entries: `.wait()` on the left-hand class is understood to release
+    /// (and re-take) the right-hand lock class.
+    pub l1_condvars: Vec<String>,
+    /// Qualified function names that acquire the lock passed as their first
+    /// argument (e.g. a `fn lock(m: &Mutex<T>)` poison-bridging helper).
+    pub l1_acquire_fns: Vec<String>,
+    /// Lock-class aliasing for L1, as `from=to` entries: acquisitions of
+    /// `from` are analyzed as acquisitions of `to` (used to fold the
+    /// per-chunk output stripes into one class).
+    pub l1_aliases: Vec<String>,
+    /// Declared canonical lock order per crate (rule L1). Within a crate's
+    /// list, locks may only be acquired left-to-right: holding a later
+    /// class while acquiring an earlier one is a finding even without a
+    /// completing cycle.
+    pub l1_orders: Vec<(String, Vec<String>)>,
+    /// Method/function call names that block the calling thread (rule L2):
+    /// calling any of these with a lock held is a finding.
+    pub l2_blocking_calls: Vec<String>,
+    /// Qualified function names whose whole body is considered blocking for
+    /// L2 (long-running solves, queue pops that park).
+    pub l2_blocking_fns: Vec<String>,
+    /// Extra signal-handler function names for rule S1, beyond the ones
+    /// auto-detected from `signal(...)` registration call sites.
+    pub s1_handlers: Vec<String>,
+    /// Call names the signal handler's reachable set may contain (rule S1):
+    /// the vetted async-signal-safe vocabulary (atomic ops only).
+    pub s1_safe_calls: Vec<String>,
+    /// Registered `unsafe` blocks as `path -- justification` entries
+    /// (rule S1): each workspace file may contain at most as many `unsafe`
+    /// blocks as it has entries here, and unregistered files may contain
+    /// none.
+    pub s1_unsafe_blocks: Vec<String>,
     /// Allowlist entries.
     pub allows: Vec<AllowEntry>,
 }
@@ -116,6 +154,85 @@ impl Default for Config {
                 "Solver::solve_observed".into(),
                 "Solver::try_solve".into(),
                 "Solver::try_solve_observed".into(),
+            ],
+            l1_rwlocks: vec!["shared::input".into()],
+            l1_condvars: vec![
+                "shared::job_cv=shared::job".into(),
+                "shared::done_cv=shared::done".into(),
+                "ledger::freed=ledger::free".into(),
+                "jobqueue::ready=jobqueue::inner".into(),
+            ],
+            l1_acquire_fns: vec!["pool::lock".into()],
+            l1_aliases: vec![
+                "slot=shared::chunk_out".into(),
+                "shared::gate_out=shared::chunk_out".into(),
+                "shared::edge_out=shared::chunk_out".into(),
+                "shared::grad_out=shared::chunk_out".into(),
+            ],
+            l1_orders: vec![
+                (
+                    "core".into(),
+                    vec![
+                        "shared::input".into(),
+                        "shared::job".into(),
+                        "shared::done".into(),
+                        "shared::panic".into(),
+                        "shared::chunk_out".into(),
+                        "ledger::free".into(),
+                    ],
+                ),
+                (
+                    "serviced".into(),
+                    vec![
+                        "jobqueue::inner".into(),
+                        "ledger::free".into(),
+                        "shared::jobs".into(),
+                        "jobhandle::terminal".into(),
+                        "resultcache::inner".into(),
+                        "connwriter::inner".into(),
+                    ],
+                ),
+            ],
+            l2_blocking_calls: vec![
+                "join".into(),
+                "sleep".into(),
+                "accept".into(),
+                "connect".into(),
+                "connect_timeout".into(),
+                "write_all".into(),
+                "flush".into(),
+                "read_to_end".into(),
+                "read_until".into(),
+                "read_line".into(),
+                "read_exact".into(),
+                "recv".into(),
+            ],
+            l2_blocking_fns: vec![
+                "Solver::solve".into(),
+                "Solver::try_solve".into(),
+                "Solver::solve_observed".into(),
+                "Solver::try_solve_observed".into(),
+                "Solver::try_solve_interruptible".into(),
+                "Solver::try_solve_interruptible_observed".into(),
+                "JobQueue::pop".into(),
+                "SlotPool::acquire".into(),
+            ],
+            s1_handlers: Vec::new(),
+            s1_safe_calls: vec![
+                "store".into(),
+                "load".into(),
+                "swap".into(),
+                "compare_exchange".into(),
+                "compare_exchange_weak".into(),
+                "fetch_add".into(),
+                "fetch_sub".into(),
+                "fetch_or".into(),
+                "fetch_and".into(),
+            ],
+            s1_unsafe_blocks: vec![
+                "crates/serviced/src/bin/sfqpartd.rs -- hand-declared signal(2) \
+                 registration; the handler only stores an AtomicBool"
+                    .into(),
             ],
             allows: Vec::new(),
         }
@@ -208,6 +325,31 @@ impl Config {
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
+        for entry in self.l1_condvars.iter().chain(&self.l1_aliases) {
+            if !entry.contains('=') {
+                return Err(err(
+                    0,
+                    format!("[rules.L1] mapping `{entry}` must be `from=to`"),
+                ));
+            }
+        }
+        for entry in &self.s1_unsafe_blocks {
+            let Some((path, reason)) = entry.split_once(" -- ") else {
+                return Err(err(
+                    0,
+                    format!("[rules.S1] unsafe_blocks entry `{entry}` must be `path -- reason`"),
+                ));
+            };
+            if path.trim().is_empty() || reason.trim().is_empty() {
+                return Err(err(
+                    0,
+                    format!(
+                        "[rules.S1] unsafe_blocks entry `{entry}` needs both a path \
+                         and a written justification"
+                    ),
+                ));
+            }
+        }
         for entry in &self.allows {
             if !RULE_IDS.contains(&entry.rule.as_str()) {
                 return Err(err(
@@ -421,6 +563,32 @@ fn apply_key(
             "mutator_fns" => cfg.o1_mutator_fns = expect_str_array(value, key, lineno)?,
             other => return Err(err(lineno, format!("unknown [rules.O1] key `{other}`"))),
         },
+        "rules.L1" => match key {
+            "rwlocks" => cfg.l1_rwlocks = expect_str_array(value, key, lineno)?,
+            "condvars" => cfg.l1_condvars = expect_str_array(value, key, lineno)?,
+            "acquire_fns" => cfg.l1_acquire_fns = expect_str_array(value, key, lineno)?,
+            "aliases" => cfg.l1_aliases = expect_str_array(value, key, lineno)?,
+            other => {
+                if let Some(krate) = other.strip_prefix("order_") {
+                    let order = expect_str_array(value, key, lineno)?;
+                    cfg.l1_orders.retain(|(c, _)| c != krate);
+                    cfg.l1_orders.push((krate.to_owned(), order));
+                } else {
+                    return Err(err(lineno, format!("unknown [rules.L1] key `{other}`")));
+                }
+            }
+        },
+        "rules.L2" => match key {
+            "blocking_calls" => cfg.l2_blocking_calls = expect_str_array(value, key, lineno)?,
+            "blocking_fns" => cfg.l2_blocking_fns = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.L2] key `{other}`"))),
+        },
+        "rules.S1" => match key {
+            "handlers" => cfg.s1_handlers = expect_str_array(value, key, lineno)?,
+            "safe_calls" => cfg.s1_safe_calls = expect_str_array(value, key, lineno)?,
+            "unsafe_blocks" => cfg.s1_unsafe_blocks = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.S1] key `{other}`"))),
+        },
         other => {
             return Err(err(
                 lineno,
@@ -483,6 +651,48 @@ reason = "exact dispatch"
         let e = Config::parse("[[allow]]\nrule = \"Z9\"\npath = \"x.rs\"\nreason = \"r\"\n")
             .unwrap_err();
         assert!(e.message.contains("unknown rule"), "{e}");
+    }
+
+    #[test]
+    fn parses_concurrency_sections() {
+        let cfg = Config::parse(
+            r#"
+[rules.L1]
+rwlocks = ["shared::input"]
+condvars = ["a::cv=a::m"]
+order_serviced = ["a::m", "b::m"]
+
+[rules.L2]
+blocking_calls = ["join"]
+
+[rules.S1]
+unsafe_blocks = ["src/x.rs -- handler stores an atomic"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.l1_condvars, vec!["a::cv=a::m"]);
+        assert_eq!(
+            cfg.l1_orders
+                .iter()
+                .find(|(c, _)| c == "serviced")
+                .unwrap()
+                .1,
+            vec!["a::m", "b::m"]
+        );
+        assert_eq!(cfg.l2_blocking_calls, vec!["join"]);
+        assert_eq!(cfg.s1_unsafe_blocks.len(), 1);
+    }
+
+    #[test]
+    fn condvar_mapping_without_equals_is_rejected() {
+        let e = Config::parse("[rules.L1]\ncondvars = [\"oops\"]\n").unwrap_err();
+        assert!(e.message.contains("from=to"), "{e}");
+    }
+
+    #[test]
+    fn unsafe_block_entry_without_reason_is_rejected() {
+        let e = Config::parse("[rules.S1]\nunsafe_blocks = [\"src/x.rs\"]\n").unwrap_err();
+        assert!(e.message.contains("path -- reason"), "{e}");
     }
 
     #[test]

@@ -232,6 +232,8 @@ pub const KNOWN_NO_ALLOC: &[&str] = &[
     "fetch_sub",
     "fetch_min",
     "fetch_max",
+    "fetch_or",
+    "fetch_and",
     "load",
     "store",
     "compare_exchange",
@@ -241,10 +243,16 @@ pub const KNOWN_NO_ALLOC: &[&str] = &[
     "try_lock",
     "wait",
     "wait_while",
+    "wait_timeout",
     "notify_all",
     "notify_one",
     "into_inner",
     "is_poisoned",
+    // `LocalKey::with`/`try_with` on a const-initialized `thread_local!`
+    // are allocation-free: no lazy init, just a TLS slot read. The lock
+    // witness's held-set bookkeeping rides on this.
+    "with",
+    "try_with",
     // Panic-path / mem utilities.
     "drop",
     "resume_unwind",

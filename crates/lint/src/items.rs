@@ -40,6 +40,30 @@ pub struct CallSite {
     pub line: u32,
     /// 1-based source column of the call.
     pub col: u32,
+    /// For method calls, the place-expression chain of the receiver
+    /// (`self.shared.job.lock()` → `["self", "shared", "job"]`). Index
+    /// expressions are elided (`xs[i].lock()` → `["xs"]`); a chain rooted
+    /// in anything but a plain path (a call result, a parenthesized
+    /// expression) is recorded as empty. Empty for non-method calls.
+    pub receiver: Vec<String>,
+    /// Per top-level argument: the plain path the argument names
+    /// (`lock(&self.shared.job)` → `[["self", "shared", "job"]]`), after
+    /// stripping leading `&`/`mut` and eliding index expressions. An
+    /// argument that is not a plain place expression yields an empty path.
+    pub args: Vec<Vec<String>>,
+    /// Pre-order id of the innermost braced block containing the call
+    /// (0 = function body); resolves against [`FnItem::block_parent`].
+    pub block: u32,
+    /// Monotone statement counter at the call (bumped at `;`, `{`, `}`):
+    /// two calls share a statement iff their `stmt` values are equal.
+    pub stmt: u32,
+    /// The `let` binder this call's result flows into, when the trailing
+    /// method chain after the call is only `unwrap`/`expect`/
+    /// `unwrap_or_else` before the statement ends (`let g =
+    /// m.lock().unwrap_or_else(…);` → `Some("g")`). `None` for results
+    /// consumed any other way — such a guard is treated as
+    /// statement-scoped.
+    pub bound: Option<String>,
 }
 
 /// One function item.
@@ -67,6 +91,11 @@ pub struct FnItem {
     pub in_test: bool,
     /// Calls and macro invocations in the body, in source order.
     pub calls: Vec<CallSite>,
+    /// Parent table for the body's braced blocks: `block_parent[b]` is the
+    /// enclosing block of block `b` (block 0, the function body, is its
+    /// own parent). Block `a` encloses call `c` iff `a` is on the parent
+    /// chain of `c.block`.
+    pub block_parent: Vec<u32>,
 }
 
 /// One `use` declaration, flattened: `use a::b::{c, d as e};` yields two
@@ -497,7 +526,7 @@ fn parse_fn(
     let in_test = sig
         .get(at)
         .is_some_and(|&i| mask.get(i).copied().unwrap_or(false));
-    let calls = extract_calls(tokens, sig, open + 1, close);
+    let (calls, block_parent) = extract_calls(tokens, sig, open + 1, close);
 
     (
         Some(FnItem {
@@ -510,23 +539,63 @@ fn parse_fn(
             col,
             in_test,
             calls,
+            block_parent,
         }),
         close + 1,
     )
 }
 
 /// Extracts call sites and macro invocations from stream positions
-/// `[start, end)`.
-fn extract_calls(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) -> Vec<CallSite> {
+/// `[start, end)`, together with the body's block-parent table.
+fn extract_calls(
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    start: usize,
+    end: usize,
+) -> (Vec<CallSite>, Vec<u32>) {
     let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
     let mut out = Vec::new();
+    // Block 0 is the function body; `{`/`}` push/pop pre-order ids.
+    let mut block_parent: Vec<u32> = vec![0];
+    let mut block_stack: Vec<u32> = vec![0];
+    let mut stmt: u32 = 0;
+    // Binder of the `let` statement currently being scanned, if any.
+    let mut pending_let: Option<String> = None;
     let mut k = start;
     while k < end {
         let Some(t) = tok(k) else { break };
-        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text) {
+        if t.is_punct("{") {
+            let id = block_parent.len() as u32;
+            block_parent.push(block_stack.last().copied().unwrap_or(0));
+            block_stack.push(id);
+            stmt += 1;
+            pending_let = None;
             k += 1;
             continue;
         }
+        if t.is_punct("}") {
+            if block_stack.len() > 1 {
+                block_stack.pop();
+            }
+            stmt += 1;
+            pending_let = None;
+            k += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            stmt += 1;
+            pending_let = None;
+            k += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text) {
+            if t.is_ident("let") {
+                pending_let = let_binder(tokens, sig, k + 1);
+            }
+            k += 1;
+            continue;
+        }
+        let block = block_stack.last().copied().unwrap_or(0);
         // Macro invocation.
         if tok(k + 1).is_some_and(|n| n.is_punct("!")) {
             out.push(CallSite {
@@ -536,6 +605,11 @@ fn extract_calls(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) 
                 is_macro: true,
                 line: t.line,
                 col: t.col,
+                receiver: Vec::new(),
+                args: Vec::new(),
+                block,
+                stmt,
+                bound: None,
             });
             k += 2;
             continue;
@@ -585,6 +659,18 @@ fn extract_calls(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) 
             let is_method =
                 k > start.saturating_sub(1) && k > 0 && tok(k - 1).is_some_and(|p| p.is_punct("."));
             let name = segments.last().cloned().unwrap_or_default();
+            let receiver = if is_method {
+                receiver_chain(tokens, sig, k)
+            } else {
+                Vec::new()
+            };
+            let close = matching_paren(tokens, sig, m, end);
+            let args = arg_paths(tokens, sig, m + 1, close);
+            let bound = if pending_let.is_some() && trails_into_semicolon(tokens, sig, close + 1) {
+                pending_let.clone()
+            } else {
+                None
+            };
             out.push(CallSite {
                 name,
                 segments,
@@ -592,11 +678,235 @@ fn extract_calls(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) 
                 is_macro: false,
                 line: first.line,
                 col: first.col,
+                receiver,
+                args,
+                block,
+                stmt,
+                bound,
             });
         }
         k = m.max(k + 1);
     }
+    (out, block_parent)
+}
+
+/// The binder a `let` statement introduces, scanning from just past the
+/// `let` keyword: `let mut g = …` → `g`; destructuring enum/struct
+/// patterns take the first bound ident (`let Some(g) = …` → `g`); tuple
+/// and other patterns yield `None`.
+fn let_binder(tokens: &[Token<'_>], sig: &[usize], start: usize) -> Option<String> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut j = start;
+    while tok(j).is_some_and(|n| n.is_ident("mut") || n.is_ident("ref")) {
+        j += 1;
+    }
+    let head = tok(j).filter(|n| n.kind == TokenKind::Ident)?;
+    if CALL_KEYWORDS.contains(&head.text) {
+        return None;
+    }
+    if tok(j + 1).is_some_and(|n| n.is_punct("(")) {
+        // `let Some(g) = …`: the first plain ident inside the pattern.
+        let mut q = j + 2;
+        while let Some(n) = tok(q) {
+            if n.is_punct(")") {
+                return None;
+            }
+            if n.is_ident("mut") || n.is_ident("ref") {
+                q += 1;
+                continue;
+            }
+            if n.kind == TokenKind::Ident {
+                return Some(n.text.to_owned());
+            }
+            q += 1;
+        }
+        return None;
+    }
+    Some(head.text.to_owned())
+}
+
+/// Matching `)` for the `(` at stream position `open`, bounded by `end`.
+fn matching_paren(tokens: &[Token<'_>], sig: &[usize], open: usize, end: usize) -> usize {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        let Some(t) = tok(j) else { break };
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// True when the tokens from `at` form only an `unwrap`/`expect`/
+/// `unwrap_or_else` method chain ending in `;` — the shape under which a
+/// `let` binder still names the call's own result (a lock guard
+/// surviving poison recovery, typically).
+fn trails_into_semicolon(tokens: &[Token<'_>], sig: &[usize], at: usize) -> bool {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut j = at;
+    loop {
+        match tok(j) {
+            Some(t) if t.is_punct(";") => return true,
+            Some(t) if t.is_punct(".") => {
+                let Some(name) = tok(j + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                    return false;
+                };
+                if !matches!(name.text, "unwrap" | "expect" | "unwrap_or_else") {
+                    return false;
+                }
+                if !tok(j + 2).is_some_and(|n| n.is_punct("(")) {
+                    return false;
+                }
+                j = matching_paren(tokens, sig, j + 2, sig.len()) + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// The receiver place-expression chain for the method call whose name sits
+/// at stream position `k` (`tok(k - 1)` is `.`). Walks backwards through
+/// `ident` / `ident[…]` links; a chain rooted in anything else (a call
+/// result, a parenthesized expression) yields an empty chain.
+fn receiver_chain(tokens: &[Token<'_>], sig: &[usize], k: usize) -> Vec<String> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut chain: Vec<String> = Vec::new();
+    let mut j = k;
+    while j >= 2 && tok(j - 1).is_some_and(|p| p.is_punct(".")) {
+        let mut p = j - 2;
+        // Elide one `[…]` index group: `xs[i].lock()` links through `xs`.
+        if tok(p).is_some_and(|n| n.is_punct("]")) {
+            let mut depth = 0usize;
+            let mut q = p;
+            let open = loop {
+                match tok(q) {
+                    Some(n) if n.is_punct("]") => depth += 1,
+                    Some(n) if n.is_punct("[") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break Some(q);
+                        }
+                    }
+                    _ => {}
+                }
+                if q == 0 {
+                    break None;
+                }
+                q -= 1;
+            };
+            match open {
+                Some(q) if q >= 1 => p = q - 1,
+                _ => {
+                    chain.clear();
+                    break;
+                }
+            }
+        }
+        match tok(p) {
+            Some(n) if n.kind == TokenKind::Ident && !CALL_KEYWORDS.contains(&n.text) => {
+                chain.push(n.text.to_owned());
+                j = p;
+            }
+            _ => {
+                // Rooted in a call result or grouping: receiver unknown.
+                chain.clear();
+                break;
+            }
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Splits the argument tokens in `[start, end)` at top-level commas and
+/// extracts each argument's plain path (see [`CallSite::args`]).
+fn arg_paths(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) -> Vec<Vec<String>> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    if start >= end {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut arg_start = start;
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < end {
+        let Some(t) = tok(j) else { break };
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(",") && depth == 0 {
+            out.push(plain_path(tokens, sig, arg_start, j));
+            arg_start = j + 1;
+        }
+        j += 1;
+    }
+    out.push(plain_path(tokens, sig, arg_start, end));
     out
+}
+
+/// The plain path an expression over `[start, end)` names: leading `&` /
+/// `mut` / `*` stripped, `ident` segments linked by `.` / `::`, index
+/// groups elided mid-chain. Anything else — a call, a closure, a literal —
+/// yields an empty path.
+fn plain_path(tokens: &[Token<'_>], sig: &[usize], start: usize, end: usize) -> Vec<String> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut j = start;
+    while j < end && tok(j).is_some_and(|t| t.is_punct("&") || t.is_punct("*") || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut path: Vec<String> = Vec::new();
+    let mut expect_ident = true;
+    while j < end {
+        let Some(t) = tok(j) else { break };
+        if expect_ident {
+            if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text) {
+                return Vec::new();
+            }
+            path.push(t.text.to_owned());
+            expect_ident = false;
+            j += 1;
+            continue;
+        }
+        if t.is_punct(".") || t.is_punct("::") {
+            expect_ident = true;
+            j += 1;
+            continue;
+        }
+        if t.is_punct("[") {
+            // Elide the index expression; the chain may continue after it.
+            let mut depth = 0usize;
+            while j < end {
+                let Some(n) = tok(j) else { break };
+                if n.is_punct("[") {
+                    depth += 1;
+                } else if n.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+            continue;
+        }
+        return Vec::new();
+    }
+    if expect_ident {
+        // Trailing separator: malformed; treat as non-path.
+        return Vec::new();
+    }
+    path
 }
 
 #[cfg(test)]

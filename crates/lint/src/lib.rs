@@ -16,6 +16,13 @@
 //! allocation-freedom, I/O confinement to telemetry sinks, and observer
 //! purity.
 //!
+//! v3 adds concurrency invariants on the same graph
+//! ([`rules_concurrency`]): L1 lock-order acyclicity with per-crate
+//! declared orders, L2 no-blocking-under-lock, and S1
+//! async-signal-safety plus a registered-justification audit of every
+//! `unsafe` block. The static rules are cross-checked at runtime by the
+//! lock-witness shim in the core crate (`--features lock_witness`).
+//!
 //! The tool is dependency-free by design — the workspace vendors offline
 //! stub crates, so an AST-level framework (`syn`, `dylint`) is unavailable;
 //! a hand-rolled lexer ([`lexer`]) over raw token streams is both
@@ -44,15 +51,19 @@
 
 pub mod config;
 pub mod diag;
+pub mod explain;
 pub mod graph;
 pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod rules_concurrency;
 pub mod rules_graph;
 pub mod walk;
 
 pub use config::{AllowEntry, Config, ConfigError};
 pub use diag::{apply_allowlist, render_json, Diagnostic};
+pub use explain::explain;
 pub use rules::{check_file, classify, crate_of, FileClass, FileTarget};
+pub use rules_concurrency::check_concurrency;
 pub use rules_graph::check_workspace;
 pub use walk::collect_workspace_files;

@@ -4,6 +4,7 @@
 //! sfqlint --workspace [--root DIR] [--config lint.toml]
 //!         [--format text|json|github] [--strict-allow]
 //! sfqlint [--config lint.toml] [--format …] FILE…
+//! sfqlint --explain RULE
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (or stale allows under
@@ -20,10 +21,14 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sfqlint::{apply_allowlist, check_file, check_workspace, render_json, Config, FileTarget};
+use sfqlint::{
+    apply_allowlist, check_concurrency, check_file, check_workspace, explain, render_json, Config,
+    FileTarget,
+};
 
 const USAGE: &str = "usage: sfqlint [--workspace] [--root DIR] [--config FILE] \
-                     [--format text|json|github] [--strict-allow] [FILE...]";
+                     [--format text|json|github] [--strict-allow] [FILE...]\n\
+                     \x20      sfqlint --explain RULE";
 
 enum Format {
     Text,
@@ -37,6 +42,7 @@ struct Args {
     config: Option<PathBuf>,
     format: Format,
     strict_allow: bool,
+    explain: Option<String>,
     files: Vec<String>,
 }
 
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         format: Format::Text,
         strict_allow: false,
+        explain: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +61,9 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
             "--strict-allow" => args.strict_allow = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
@@ -75,7 +85,7 @@ fn parse_args() -> Result<Args, String> {
             file => args.files.push(file.to_owned()),
         }
     }
-    if !args.workspace && args.files.is_empty() {
+    if args.explain.is_none() && !args.workspace && args.files.is_empty() {
         return Err("nothing to lint: pass --workspace or file paths".into());
     }
     Ok(args)
@@ -121,6 +131,19 @@ fn run() -> Result<ExitCode, (u8, String)> {
         };
         (2, text)
     })?;
+    if let Some(rule) = &args.explain {
+        let text = explain(rule).ok_or_else(|| {
+            (
+                2,
+                format!(
+                    "unknown rule `{rule}`; known rules: {:?}",
+                    sfqlint::config::RULE_IDS
+                ),
+            )
+        })?;
+        println!("{text}");
+        return Ok(ExitCode::SUCCESS);
+    }
     let cfg = load_config(&args).map_err(|e| (3, e))?;
 
     let mut loaded: Vec<Loaded> = Vec::new();
@@ -150,6 +173,7 @@ fn run() -> Result<ExitCode, (u8, String)> {
         diags.extend(check_file(t, &cfg));
     }
     diags.extend(check_workspace(&targets, &cfg));
+    diags.extend(check_concurrency(&targets, &cfg));
 
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     let (kept, suppressed, unused) = apply_allowlist(diags, &cfg);
@@ -160,6 +184,17 @@ fn run() -> Result<ExitCode, (u8, String)> {
         Format::Github => {
             for d in &kept {
                 println!("{}", d.render_github());
+            }
+            // One `--explain` pointer per fired rule, so the annotation's
+            // rationale is a single command away.
+            let mut fired: Vec<&str> = kept.iter().map(|d| d.rule).collect();
+            fired.sort_unstable();
+            fired.dedup();
+            for r in fired {
+                println!(
+                    "::notice title=sfqlint {r}::run `sfqlint --explain {r}` for this \
+                     rule's rationale and the workspace invariant it protects"
+                );
             }
             for entry in &unused {
                 let level = if args.strict_allow {

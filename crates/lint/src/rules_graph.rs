@@ -27,8 +27,11 @@ use crate::rules::{classify, crate_of, FileClass, FileTarget};
 /// Macros that allocate.
 const ALLOC_MACROS: &[&str] = &["format", "vec"];
 
-/// Method names that allocate on every std container they exist on.
-const ALLOC_METHODS: &[&str] = &[
+/// Method names that allocate on every std container they exist on. Shared
+/// with [`crate::rules_concurrency`], which excludes these from lock-graph
+/// edge propagation: a `.insert()` is a container op, not a call into
+/// workspace lock code, even when a workspace method shares the name.
+pub(crate) const ALLOC_METHODS: &[&str] = &[
     "push",
     "push_str",
     "insert",

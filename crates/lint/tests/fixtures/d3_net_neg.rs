@@ -1,0 +1,30 @@
+// sfqlint fixture: rule D3 negative — net-shaped connection bookkeeping
+// (writer state machine, frame assembly) with no thread creation. Pins the
+// lint.toml decision that the transport layer stays OFF the D3 allowlist:
+// connection handlers are spawned by the daemon, never by net code.
+
+pub struct ConnWriter {
+    inner: std::sync::Mutex<WriterState>,
+}
+
+pub struct WriterState {
+    frame: String,
+    dead: bool,
+}
+
+impl ConnWriter {
+    pub fn send_line(&self, line: &str) -> bool {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if state.dead {
+            return false;
+        }
+        state.frame.push_str(line);
+        state.frame.push('\n');
+        true
+    }
+
+    pub fn poison(&self) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        state.dead = true;
+    }
+}

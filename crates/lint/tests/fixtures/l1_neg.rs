@@ -1,0 +1,22 @@
+// sfqlint fixture: rule L1 negative — every caller takes the locks in the
+// same order, and the transfer path drops the first guard before taking
+// the second, so no acquire-while-holding edge ever reverses.
+
+pub struct Pair {
+    alpha: std::sync::Mutex<u64>,
+    beta: std::sync::Mutex<u64>,
+}
+
+pub fn credit(p: &Pair) -> u64 {
+    let a = p.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = p.beta.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn transfer(p: &Pair) -> u64 {
+    let a = p.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let snapshot = *a;
+    drop(a);
+    let b = p.beta.lock().unwrap_or_else(|e| e.into_inner());
+    snapshot + *b
+}

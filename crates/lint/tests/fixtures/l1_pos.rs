@@ -1,0 +1,19 @@
+// sfqlint fixture: rule L1 positive — two functions take the same pair of
+// locks in opposite orders; two threads interleaving them deadlock.
+
+pub struct Pair {
+    alpha: std::sync::Mutex<u64>,
+    beta: std::sync::Mutex<u64>,
+}
+
+pub fn credit(p: &Pair) -> u64 {
+    let a = p.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = p.beta.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn debit(p: &Pair) -> u64 {
+    let b = p.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let a = p.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    *b - *a
+}

@@ -1,0 +1,23 @@
+// sfqlint fixture: rule L2 negative — the condvar wait holds only its own
+// mutex (the one sanctioned blocking point), and the sleep happens with no
+// guard alive.
+
+pub struct JobQueue {
+    inner: std::sync::Mutex<u64>,
+    ready: std::sync::Condvar,
+}
+
+impl JobQueue {
+    pub fn pop(&self) -> u64 {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while *g == 0 {
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g
+    }
+}
+
+pub fn cool_down(q: &JobQueue) {
+    let n = q.pop();
+    std::thread::sleep(std::time::Duration::from_millis(n));
+}

@@ -1,0 +1,20 @@
+// sfqlint fixture: rule L2 positive — blocking while holding a lock, both
+// directly (`sleep` under the guard) and through a callee that parks.
+
+pub struct Gate {
+    inner: std::sync::Mutex<u64>,
+}
+
+pub fn stall(g: &Gate) {
+    let held = g.inner.lock().unwrap_or_else(|e| e.into_inner());
+    std::thread::sleep(std::time::Duration::from_millis(*held));
+}
+
+pub fn relay(g: &Gate) {
+    let held = g.inner.lock().unwrap_or_else(|e| e.into_inner());
+    park_briefly(*held);
+}
+
+fn park_briefly(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

@@ -1,0 +1,26 @@
+// sfqlint fixture: rule S1 negative — the canonical async-signal-safe
+// handler: one atomic store, nothing else. The main loop polls the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+pub fn install() {
+    // SAFETY: registers a handler for SIGTERM; on_term only stores an
+    // AtomicBool, which is async-signal-safe.
+    unsafe {
+        signal(15, on_term);
+    }
+}
+
+extern "C" fn on_term(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+pub fn should_stop() -> bool {
+    STOP.load(Ordering::SeqCst)
+}

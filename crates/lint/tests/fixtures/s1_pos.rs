@@ -1,0 +1,24 @@
+// sfqlint fixture: rule S1 positive — the signal handler leaves the
+// atomic-op whitelist: it formats a log line (macros can allocate, lock,
+// or panic) and calls a helper sfqlint cannot resolve.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static CAUGHT: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+pub fn install() {
+    // SAFETY: registers a handler for SIGTERM; on_term is vetted below.
+    unsafe {
+        signal(15, on_term);
+    }
+}
+
+extern "C" fn on_term(_sig: i32) {
+    CAUGHT.store(true, Ordering::SeqCst);
+    let line = format!("terminating");
+    emit(line);
+}

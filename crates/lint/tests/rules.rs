@@ -6,30 +6,38 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use sfqlint::{
-    apply_allowlist, check_file, check_workspace, AllowEntry, Config, Diagnostic, FileTarget,
+    apply_allowlist, check_concurrency, check_file, check_workspace, AllowEntry, Config,
+    Diagnostic, FileTarget,
 };
 
-const POSITIVES: [&str; 9] = [
+const POSITIVES: [&str; 12] = [
     "a1_pos.rs",
     "d1_pos.rs",
     "d2_pos.rs",
     "d3_pos.rs",
     "f1_pos.rs",
     "i1_pos.rs",
+    "l1_pos.rs",
+    "l2_pos.rs",
     "o1_pos.rs",
     "p1_pos.rs",
+    "s1_pos.rs",
     "u1_pos.rs",
 ];
-const NEGATIVES: [&str; 10] = [
+const NEGATIVES: [&str; 14] = [
     "a1_neg.rs",
     "d1_neg.rs",
     "d2_neg.rs",
     "d3_neg.rs",
+    "d3_net_neg.rs",
     "f1_neg.rs",
     "i1_neg.rs",
+    "l1_neg.rs",
+    "l2_neg.rs",
     "lexer_edges_neg.rs",
     "o1_neg.rs",
     "p1_neg.rs",
+    "s1_neg.rs",
     "u1_neg.rs",
 ];
 
@@ -51,6 +59,7 @@ fn lint_fixture(name: &str, cfg: &Config) -> Vec<Diagnostic> {
     };
     let mut diags = check_file(&target, cfg);
     diags.extend(check_workspace(std::slice::from_ref(&target), cfg));
+    diags.extend(check_concurrency(std::slice::from_ref(&target), cfg));
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
 }
@@ -65,8 +74,11 @@ fn positive_fixtures_fire_at_expected_positions() {
         ("d3_pos.rs", "D3", 4, 18),
         ("f1_pos.rs", "F1", 4, 7),
         ("i1_pos.rs", "I1", 5, 5),
+        ("l1_pos.rs", "L1", 11, 20),
+        ("l2_pos.rs", "L2", 10, 5),
         ("o1_pos.rs", "O1", 19, 5),
         ("p1_pos.rs", "P1", 4, 7),
+        ("s1_pos.rs", "S1", 22, 16),
         ("u1_pos.rs", "U1", 4, 5),
     ];
     for (name, rule, line, col) in expected {
@@ -283,6 +295,75 @@ fn cli_strict_allow_fails_on_stale_entries() {
         .output()
         .unwrap();
     assert_eq!(strict.status.code(), Some(1), "--strict-allow must fail");
+}
+
+/// The L1 fixture's cycle finding carries the full witness: both edge
+/// sites, with the opposite acquisition orders spelled out.
+#[test]
+fn l1_fixture_cycle_carries_both_witness_edges() {
+    let diags = lint_fixture("l1_pos.rs", &Config::default());
+    let l1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L1").collect();
+    assert_eq!(l1.len(), 1, "{diags:?}");
+    assert!(l1[0].message.contains("lock-order cycle"), "{:?}", l1[0]);
+    assert!(l1[0].message.contains("credit"), "{:?}", l1[0]);
+    assert!(l1[0].message.contains("debit"), "{:?}", l1[0]);
+}
+
+/// The L2 fixture pins both finding shapes: direct blocking call under a
+/// guard, and blocking through a resolved callee.
+#[test]
+fn l2_fixture_reports_direct_and_indirect_blocking() {
+    let diags = lint_fixture("l2_pos.rs", &Config::default());
+    let l2: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L2").collect();
+    assert_eq!(l2.len(), 2, "{diags:?}");
+    assert!(
+        l2[0].message.contains("blocking call `sleep`"),
+        "{:?}",
+        l2[0]
+    );
+    assert!(l2[1].message.contains("park_briefly"), "{:?}", l2[1]);
+}
+
+/// The S1 fixture pins both handler-path shapes: a macro and an
+/// unresolved call, with the handler auto-detected from `signal(...)`.
+#[test]
+fn s1_fixture_reports_macro_and_unvetted_call() {
+    let diags = lint_fixture("s1_pos.rs", &Config::default());
+    let s1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "S1").collect();
+    assert_eq!(s1.len(), 2, "{diags:?}");
+    assert!(s1[0].message.contains("format"), "{:?}", s1[0]);
+    assert!(s1[1].message.contains("emit"), "{:?}", s1[1]);
+}
+
+#[test]
+fn cli_explain_prints_rule_rationale() {
+    let out = sfqlint().args(["--explain", "L1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lock-order"), "{text}");
+    assert!(text.contains("lock_witness"), "{text}");
+    let bad = sfqlint().args(["--explain", "Z9"]).output().unwrap();
+    assert_eq!(
+        bad.status.code(),
+        Some(2),
+        "unknown rule must be a usage error"
+    );
+}
+
+/// The github format points every fired rule at `--explain`.
+#[test]
+fn cli_github_format_emits_explain_notice() {
+    let out = sfqlint()
+        .args(["--format", "github"])
+        .arg(fixture_path("l1_pos.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("::notice title=sfqlint L1::run `sfqlint --explain L1`"),
+        "{text}"
+    );
 }
 
 #[test]
