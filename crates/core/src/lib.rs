@@ -79,6 +79,7 @@ pub mod solver;
 pub mod spectral;
 pub mod telemetry;
 mod weights;
+pub mod witness;
 
 pub use assign::Partition;
 pub use budget::{CancelToken, Deadline, Interrupt, StopCause};

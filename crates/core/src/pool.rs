@@ -47,8 +47,9 @@
 //! creation only here and in `engine.rs`, so chunk layout and fold order
 //! stay auditable in two adjacent files.
 
+use crate::witness::{self, Condvar, Mutex, MutexGuard, RwLock};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -234,57 +235,72 @@ impl ChunkPool {
             .gate_bounds
             .iter()
             .map(|&(start, end)| {
-                Mutex::new(GateOut {
-                    labels: vec![0.0; end - start],
-                    row_sums: vec![0.0; end - start],
-                    bias: vec![0.0; stride],
-                    area: vec![0.0; stride],
-                    f4: 0.0,
-                })
+                witness::mutex(
+                    "core:shared::chunk_out",
+                    GateOut {
+                        labels: vec![0.0; end - start],
+                        row_sums: vec![0.0; end - start],
+                        bias: vec![0.0; stride],
+                        area: vec![0.0; stride],
+                        f4: 0.0,
+                    },
+                )
             })
             .collect();
         let edge_out = spec
             .edge_bounds
             .iter()
             .map(|&(start, end)| {
-                Mutex::new(EdgeOut {
-                    f1: 0.0,
-                    force: vec![0.0; end - start],
-                })
+                witness::mutex(
+                    "core:shared::chunk_out",
+                    EdgeOut {
+                        f1: 0.0,
+                        force: vec![0.0; end - start],
+                    },
+                )
             })
             .collect();
         let grad_out = spec
             .gate_bounds
             .iter()
             .map(|&(start, end)| {
-                Mutex::new(GradOut {
-                    out: vec![0.0; (end - start) * stride],
-                })
+                witness::mutex(
+                    "core:shared::chunk_out",
+                    GradOut {
+                        out: vec![0.0; (end - start) * stride],
+                    },
+                )
             })
             .collect();
         let workers = spec.gate_bounds.len().max(spec.edge_bounds.len());
-        let input = RwLock::new(PassInput {
-            w: WeightMatrix::uniform(g, k),
-            labels: vec![0.0; g],
-            row_sums: vec![0.0; g],
-            force: vec![0.0; g],
-            coeff_bias: vec![0.0; stride],
-            coeff_area: vec![0.0; stride],
-            consts: GradConsts::default(),
-            with_force: false,
-        });
+        let input = witness::rwlock(
+            "core:shared::input",
+            PassInput {
+                w: WeightMatrix::uniform(g, k),
+                labels: vec![0.0; g],
+                row_sums: vec![0.0; g],
+                force: vec![0.0; g],
+                coeff_bias: vec![0.0; stride],
+                coeff_area: vec![0.0; stride],
+                consts: GradConsts::default(),
+                with_force: false,
+            },
+        );
         let shared = Arc::new(Shared {
             spec,
             input,
-            job: Mutex::new(Job {
-                epoch: 0,
-                kind: PassKind::Idle,
-                shutdown: false,
-            }),
-            job_cv: Condvar::new(),
-            done: Mutex::new(0),
-            done_cv: Condvar::new(),
-            panic: Mutex::new(None),
+            job: witness::mutex(
+                "core:shared::job",
+                Job {
+                    epoch: 0,
+                    kind: PassKind::Idle,
+                    shutdown: false,
+                },
+            ),
+            job_cv: witness::condvar("core:shared::job_cv"),
+            done: witness::mutex("core:shared::done", 0),
+            done_cv: witness::condvar("core:shared::done_cv"),
+            panic: witness::mutex("core:shared::panic", None),
             gate_out,
             edge_out,
             grad_out,
@@ -529,8 +545,8 @@ impl SlotPool {
         let capacity = capacity.max(1);
         SlotPool {
             ledger: Arc::new(SlotLedger {
-                free: Mutex::new(capacity),
-                freed: Condvar::new(),
+                free: witness::mutex("core:ledger::free", capacity),
+                freed: witness::condvar("core:ledger::freed"),
                 capacity,
             }),
         }

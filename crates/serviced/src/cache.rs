@@ -19,8 +19,8 @@
 //! Bounded: insertion beyond capacity evicts the oldest entry (FIFO —
 //! recency tracking is not worth the bookkeeping for a cache this size).
 
+use sfq_partition::witness::{self, Mutex};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
 
 use sfq_partition::{SolverOptions, StopReason};
 
@@ -123,7 +123,7 @@ impl ResultCache {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         ResultCache {
-            inner: Mutex::new(CacheInner::default()),
+            inner: witness::mutex("serviced:resultcache::inner", CacheInner::default()),
             capacity,
         }
     }

@@ -31,10 +31,11 @@
 //! timeouts all flow through [`sfq_partition::budget`] (lint rule D2), and
 //! all socket I/O lives in [`crate::net`] (lint rule I1).
 
+use sfq_partition::witness::{self, Mutex};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -196,7 +197,7 @@ impl Daemon {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             slots: SlotPool::new(config.slots.max(1)),
-            jobs: Mutex::new(BTreeMap::new()),
+            jobs: witness::mutex("serviced:shared::jobs", BTreeMap::new()),
             ledger: Ledger::default(),
             cache: ResultCache::new(config.cache_capacity),
             draining: AtomicBool::new(false),

@@ -7,8 +7,8 @@
 //! [`JobHandle::finish`] transition is the single point that decides the
 //! race: first caller wins, everyone else is told to stand down.
 
+use sfq_partition::witness::{self, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use sfq_partition::{CancelToken, Deadline};
 
@@ -52,7 +52,7 @@ impl JobHandle {
             id,
             cancel: CancelToken::new(),
             deadline: Deadline::after_ms(deadline_ms),
-            terminal: Mutex::new(None),
+            terminal: witness::mutex("serviced:jobhandle::terminal", None),
         }
     }
 

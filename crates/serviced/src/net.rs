@@ -7,9 +7,10 @@
 //! happen to a socket" surface auditable in one place — the same
 //! confinement discipline the core crate applies to its telemetry sinks.
 
+use sfq_partition::witness::{self, Mutex};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One read attempt on a connection.
@@ -107,10 +108,13 @@ pub struct ConnWriter {
 impl ConnWriter {
     fn new(stream: TcpStream) -> Self {
         ConnWriter {
-            inner: Arc::new(Mutex::new(WriterState {
-                stream: BufWriter::new(stream),
-                dead: false,
-            })),
+            inner: Arc::new(witness::mutex(
+                "serviced:connwriter::inner",
+                WriterState {
+                    stream: BufWriter::new(stream),
+                    dead: false,
+                },
+            )),
         }
     }
 

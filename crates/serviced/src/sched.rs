@@ -8,8 +8,8 @@
 //! block on [`JobQueue::pop`]; closing the queue lets them drain what was
 //! already admitted and then exit — which is exactly the SIGTERM story.
 
+use sfq_partition::witness::{self, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +39,14 @@ impl<T> JobQueue<T> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(QueueInner {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
+            inner: witness::mutex(
+                "serviced:jobqueue::inner",
+                QueueInner {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
+            ready: witness::condvar("serviced:jobqueue::ready"),
             capacity: capacity.max(1),
         }
     }
