@@ -1341,7 +1341,7 @@ impl<W: Write> SolveObserver for JsonlTraceWriter<W> {
 ///
 /// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
 /// `[2^(i−1), 2^i)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: [u64; 65],
 }
@@ -1370,10 +1370,65 @@ impl LogHistogram {
         }
     }
 
+    /// Reconstructs a histogram from raw bucket counts — the inverse of
+    /// [`LogHistogram::buckets`], used when a snapshot crosses a process
+    /// or wire boundary (the `sfqpartd` `stats` frame).
+    #[must_use]
+    pub fn from_buckets(buckets: [u64; 65]) -> Self {
+        LogHistogram { buckets }
+    }
+
+    /// Raw bucket counts, index = bucket number.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
     /// Total number of recorded samples.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Deterministic percentile estimate: the upper bound of the bucket
+    /// containing the sample of rank `⌈q·count⌉` (so the estimate never
+    /// understates a latency). `q` is clamped to `(0, 1]`; an empty
+    /// histogram reports 0.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Per-bucket difference against an earlier snapshot of the same
+    /// histogram (saturating, so a mismatched baseline degrades to zeros
+    /// instead of wrapping). Lets a load generator isolate the samples of
+    /// its own run from a daemon's lifetime totals.
+    #[must_use]
+    pub fn diff(&self, baseline: &LogHistogram) -> LogHistogram {
+        let mut out = [0u64; 65];
+        for (slot, (now, base)) in out
+            .iter_mut()
+            .zip(self.buckets.iter().zip(baseline.buckets.iter()))
+        {
+            *slot = now.saturating_sub(*base);
+        }
+        LogHistogram { buckets: out }
     }
 
     /// Occupied buckets as `(lower_bound_inclusive, count)` pairs.
@@ -1730,6 +1785,40 @@ mod tests {
             occupied,
             vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
         );
+    }
+
+    #[test]
+    fn log_histogram_percentiles_report_bucket_upper_bounds() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        for v in [1, 2, 3, 4, 5, 6, 7, 100, 100, 5000] {
+            h.record(v);
+        }
+        // Ranks 1..=10: bucket uppers 1,3,3,7,7,7,7,127,127,8191.
+        assert_eq!(h.percentile(0.10), 1);
+        assert_eq!(h.percentile(0.50), 7);
+        assert_eq!(h.percentile(0.80), 127);
+        assert_eq!(h.percentile(1.0), 8191);
+        // The estimate never understates: every upper bound ≥ its sample.
+        let mut zeros = LogHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn log_histogram_round_trips_and_diffs() {
+        let mut base = LogHistogram::new();
+        base.record(3);
+        let copy = LogHistogram::from_buckets(*base.buckets());
+        assert_eq!(copy, base);
+        let mut later = base.clone();
+        later.record(3);
+        later.record(900);
+        let delta = later.diff(&base);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.percentile(1.0), 1023);
+        // A mismatched baseline saturates instead of wrapping.
+        assert_eq!(base.diff(&later).count(), 0);
     }
 
     #[test]

@@ -66,9 +66,23 @@ pub struct Violation {
     pub acquired: &'static str,
 }
 
+/// Per-kind violation tally, exported through the `sfqpartd` `stats`
+/// frame so a lock-witness CI build surfaces discipline breaks on a live
+/// daemon, not only in test assertions. All zeros without the
+/// `lock_witness` feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViolationKinds {
+    /// Re-acquisitions of an already-held class.
+    pub reacquire: u64,
+    /// Lock-order inversions against the observed edge table.
+    pub inversion: u64,
+    /// Condvar waits entered while holding another lock.
+    pub wait_while_holding: u64,
+}
+
 #[cfg(not(feature = "lock_witness"))]
 mod imp {
-    use super::Violation;
+    use super::{Violation, ViolationKinds};
 
     /// Workspace mutex type; `std::sync::Mutex` in production builds.
     pub type Mutex<T> = std::sync::Mutex<T>;
@@ -111,11 +125,17 @@ mod imp {
     pub fn first_violation() -> Option<Violation> {
         None
     }
+
+    /// Per-kind violation counts (always zero without the `lock_witness`
+    /// feature).
+    pub fn violation_kinds() -> ViolationKinds {
+        ViolationKinds::default()
+    }
 }
 
 #[cfg(feature = "lock_witness")]
 mod imp {
-    use super::{Violation, MAX_CLASSES, MAX_HELD};
+    use super::{Violation, ViolationKinds, MAX_CLASSES, MAX_HELD};
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::{LockResult, PoisonError, WaitTimeoutResult};
@@ -148,6 +168,9 @@ mod imp {
     };
 
     static VIOLATIONS: AtomicUsize = AtomicUsize::new(0);
+    static REACQUIRES: AtomicUsize = AtomicUsize::new(0);
+    static INVERSIONS: AtomicUsize = AtomicUsize::new(0);
+    static WAIT_HOLDS: AtomicUsize = AtomicUsize::new(0);
     static FIRST: std::sync::Mutex<Option<Violation>> = std::sync::Mutex::new(None);
 
     #[derive(Clone, Copy)]
@@ -193,6 +216,12 @@ mod imp {
 
     fn record_violation(kind: &'static str, held: &'static str, acquired: &'static str) {
         VIOLATIONS.fetch_add(1, Ordering::SeqCst);
+        let by_kind = match kind {
+            "re-acquire" => &REACQUIRES,
+            "inversion" => &INVERSIONS,
+            _ => &WAIT_HOLDS,
+        };
+        by_kind.fetch_add(1, Ordering::SeqCst);
         let mut first = FIRST.lock().unwrap_or_else(|e| e.into_inner());
         if first.is_none() {
             *first = Some(Violation {
@@ -513,11 +542,20 @@ mod imp {
     pub fn first_violation() -> Option<Violation> {
         *FIRST.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Per-kind violation counts process-wide.
+    pub fn violation_kinds() -> ViolationKinds {
+        ViolationKinds {
+            reacquire: REACQUIRES.load(Ordering::SeqCst) as u64,
+            inversion: INVERSIONS.load(Ordering::SeqCst) as u64,
+            wait_while_holding: WAIT_HOLDS.load(Ordering::SeqCst) as u64,
+        }
+    }
 }
 
 pub use imp::{
-    condvar, first_violation, mutex, rwlock, violations, Condvar, Mutex, MutexGuard, RwLock,
-    RwLockReadGuard, RwLockWriteGuard,
+    condvar, first_violation, mutex, rwlock, violation_kinds, violations, Condvar, Mutex,
+    MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 
 #[cfg(all(test, feature = "lock_witness"))]
@@ -572,6 +610,31 @@ mod tests {
         assert_eq!(violations(), before + 1);
         let v = first_violation();
         assert!(v.is_some());
+    }
+
+    #[test]
+    fn violation_kinds_tally_per_kind() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let before = violation_kinds();
+        let a = mutex("t8::a", 0u32);
+        let same = mutex("t8::a", 1u32);
+        let b = mutex("t8::b", 0u32);
+        {
+            let _g1 = a.lock().unwrap_or_else(|e| e.into_inner());
+            let _g2 = same.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        {
+            let _ga = a.lock().unwrap_or_else(|e| e.into_inner());
+            let _gb = b.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        {
+            let _gb = b.lock().unwrap_or_else(|e| e.into_inner());
+            let _ga = a.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        let after = violation_kinds();
+        assert_eq!(after.reacquire, before.reacquire + 1);
+        assert_eq!(after.inversion, before.inversion + 1);
+        assert_eq!(after.wait_while_holding, before.wait_while_holding);
     }
 
     #[test]

@@ -204,6 +204,8 @@ pub const KNOWN_NO_ALLOC: &[&str] = &[
     "rem_euclid",
     "div_euclid",
     "unsigned_abs",
+    // Log2 bucketing (serviced ops histograms): a bit-scan intrinsic.
+    "ilog2",
     // Option/Result plumbing (`unwrap`/`expect` abort — the panic path is
     // P1's concern, not A1's).
     "unwrap",

@@ -7,6 +7,7 @@
 //! linking the daemon — the input is plain `(label, count)` pairs.
 
 use crate::table::Table;
+use sfq_partition::telemetry::LogHistogram;
 
 /// Renders labeled counters as a two-column table, preserving order.
 ///
@@ -25,6 +26,58 @@ pub fn counters_table(counters: &[(&str, u64)]) -> Table {
     let mut table = Table::new(vec!["counter", "count"]);
     for &(label, count) in counters {
         table.add_row(vec![label.to_string(), count.to_string()]);
+    }
+    table
+}
+
+/// Formats a nanosecond latency as a human-scaled string (`ns`, `µs`,
+/// `ms`, or `s`), keeping the daemon's power-of-two bucket bounds
+/// readable at a glance.
+#[must_use]
+pub fn format_ns(ns: u64) -> String {
+    if ns == u64::MAX {
+        return "inf".to_string();
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}\u{b5}s", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+/// Renders per-phase latency histograms as a `phase / count / p50 / p95 /
+/// p99` table. Percentiles are the histogram's deterministic bucket
+/// upper bounds ([`LogHistogram::percentile`]), rendered human-scaled.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::telemetry::LogHistogram;
+/// use sfq_report::service::latency_table;
+///
+/// let mut h = LogHistogram::new();
+/// h.record(1500);
+/// let s = latency_table(&[("solve", &h)]).to_string();
+/// assert!(s.contains("solve"));
+/// assert!(s.contains("p95"));
+/// ```
+#[must_use]
+pub fn latency_table(phases: &[(&str, &LogHistogram)]) -> Table {
+    let mut table = Table::new(vec!["phase", "count", "p50", "p95", "p99"]);
+    for &(label, hist) in phases {
+        table.add_row(vec![
+            label.to_string(),
+            hist.count().to_string(),
+            format_ns(hist.percentile(0.50)),
+            format_ns(hist.percentile(0.95)),
+            format_ns(hist.percentile(0.99)),
+        ]);
     }
     table
 }
@@ -67,6 +120,22 @@ mod tests {
         let lines: Vec<&str> = tsv.lines().collect();
         assert_eq!(lines[1], "submitted\t10");
         assert_eq!(lines[3], "cancelled\t3");
+    }
+
+    #[test]
+    fn latency_table_scales_units() {
+        assert_eq!(format_ns(17), "17ns");
+        assert_eq!(format_ns(1_500), "1.5\u{b5}s");
+        assert_eq!(format_ns(2_000_000), "2.0ms");
+        assert_eq!(format_ns(3_500_000_000), "3.50s");
+        assert_eq!(format_ns(u64::MAX), "inf");
+        let mut h = LogHistogram::new();
+        for v in [1_000u64, 1_000, 1_000, 2_000_000] {
+            h.record(v);
+        }
+        let tsv = latency_table(&[("queue_wait", &h)]).to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert!(lines[1].starts_with("queue_wait\t4\t"), "{tsv}");
     }
 
     #[test]

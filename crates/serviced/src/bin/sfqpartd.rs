@@ -3,17 +3,22 @@
 //! ```text
 //! sfqpartd serve [--addr HOST:PORT] [--workers N] [--slots N]
 //!                [--queue N] [--cache N]
+//!                [--ops-log PATH] [--ops-every MS]
 //! sfqpartd drive [--addr HOST:PORT]
+//! sfqpartd stats [--addr HOST:PORT]
 //! ```
 //!
 //! `serve` runs the daemon until SIGTERM/SIGINT (or a `drain` frame),
 //! then drains gracefully — every admitted job reaches its terminal state
-//! — and prints the final ledger. `drive` throws a concurrent job mix at
-//! a daemon (a running one via `--addr`, or an in-process one) including
-//! a cancelled job and a deadline-storm job, and asserts the service
-//! invariants end to end: exactly one terminal frame per job, expected
-//! terminal kinds, and bit-identical results between repeated healthy
-//! jobs and a direct in-process solve.
+//! — and prints the final ledger; `--ops-log` additionally appends a
+//! `stats` JSONL snapshot every `--ops-every` milliseconds. `drive`
+//! throws a concurrent job mix at a daemon (a running one via `--addr`,
+//! or an in-process one) including a cancelled job and a deadline-storm
+//! job, and asserts the service invariants end to end: exactly one
+//! terminal frame per job, expected terminal kinds, bit-identical results
+//! between repeated healthy jobs and a direct in-process solve, and a
+//! balanced terminal ledger in the daemon's own `stats` frame. `stats`
+//! asks a running daemon for one snapshot and renders it.
 //!
 //! Exit codes: 0 success, 1 invariant violation (drive), 2 usage.
 
@@ -21,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use sfq_partition::{Solver, SolverOptions};
-use sfq_report::service::{counters_table, terminal_accounting};
+use sfq_report::service::{counters_table, format_ns, latency_table};
 use sfq_serviced::client::ClientRead;
 use sfq_serviced::protocol::{ProblemSpec, Request, Response, SolveRequest};
 use sfq_serviced::{Client, Daemon, DaemonConfig, StatsSnapshot};
@@ -59,16 +64,20 @@ fn main() {
 
 const USAGE: &str = "\
 usage: sfqpartd serve [--addr HOST:PORT] [--workers N] [--slots N] [--queue N] [--cache N]
+                      [--ops-log PATH] [--ops-every MS]
        sfqpartd drive [--addr HOST:PORT]
+       sfqpartd stats [--addr HOST:PORT]
 
 serve   run the daemon until SIGTERM, then drain gracefully
-drive   run the self-test job mix against a daemon and verify invariants";
+drive   run the self-test job mix against a daemon and verify invariants
+stats   fetch and render one ops snapshot from a running daemon";
 
 fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("drive") => drive(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -108,7 +117,15 @@ fn parse_count(flag: &str, value: &str) -> Option<usize> {
 fn serve(args: &[String]) -> i32 {
     let Some(flags) = parse_flags(
         args,
-        &["--addr", "--workers", "--slots", "--queue", "--cache"],
+        &[
+            "--addr",
+            "--workers",
+            "--slots",
+            "--queue",
+            "--cache",
+            "--ops-log",
+            "--ops-every",
+        ],
     ) else {
         return 2;
     };
@@ -135,6 +152,11 @@ fn serve(args: &[String]) -> i32 {
                 Some(n) => config.cache_capacity = n,
                 None => return 2,
             },
+            "--ops-log" => config.ops_log = Some(value.into()),
+            "--ops-every" => match parse_count(flag, value) {
+                Some(ms) => config.ops_log_every = Duration::from_millis(ms as u64),
+                None => return 2,
+            },
             _ => unreachable!("parse_flags filtered"),
         }
     }
@@ -153,21 +175,11 @@ fn serve(args: &[String]) -> i32 {
     eprintln!("sfqpartd: draining");
     let stats = daemon.drain();
     print_stats("final ledger", &stats);
-    if let Some(violation) = accounting(&stats) {
+    if let Some(violation) = stats.accounting_violation() {
         eprintln!("sfqpartd: {violation}");
         return 1;
     }
     0
-}
-
-fn accounting(stats: &StatsSnapshot) -> Option<String> {
-    terminal_accounting(
-        stats.submitted,
-        stats.done,
-        stats.cancelled,
-        stats.deadline_exceeded,
-        stats.failed,
-    )
 }
 
 fn print_stats(title: &str, stats: &StatsSnapshot) {
@@ -176,14 +188,80 @@ fn print_stats(title: &str, stats: &StatsSnapshot) {
         ("submitted", stats.submitted),
         ("done", stats.done),
         ("cache_hits", stats.cache_hits),
+        ("cache_misses", stats.cache_misses),
         ("cancelled", stats.cancelled),
         ("deadline_exceeded", stats.deadline_exceeded),
         ("rejected", stats.rejected),
         ("failed", stats.failed),
         ("retries", stats.retries),
         ("panics", stats.panics),
+        ("queued", stats.queued),
+        ("running", stats.running),
+        ("queue_depth_hw", stats.queue_depth_hw),
+        ("running_hw", stats.running_hw),
+        ("slots_in_use", stats.slots_in_use),
+        ("slots_hw", stats.slots_hw),
     ]);
     print!("{table}");
+    if stats.total_ns.count() > 0 {
+        println!("per-phase latency:");
+        print!(
+            "{}",
+            latency_table(&[
+                ("queue_wait", &stats.queue_wait_ns),
+                ("solve", &stats.solve_ns),
+                ("total", &stats.total_ns),
+            ])
+        );
+    }
+    if stats.lock_violations() > 0 {
+        println!(
+            "lock witness: {} violation(s) (re-acquire {}, inversion {}, wait-holding {})",
+            stats.lock_violations(),
+            stats.lock_reacquires,
+            stats.lock_inversions,
+            stats.lock_wait_holds,
+        );
+    }
+    println!("uptime: {}", format_ns(stats.uptime_ns));
+}
+
+/// `stats`: fetch one snapshot frame from a running daemon and render it.
+fn stats_cmd(args: &[String]) -> i32 {
+    let Some(flags) = parse_flags(args, &["--addr"]) else {
+        return 2;
+    };
+    let addr = flags
+        .first()
+        .map_or("127.0.0.1:7199", |&(_, value)| value)
+        .to_string();
+    let addr = match addr.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("bad --addr `{addr}`: {e}");
+            return 2;
+        }
+    };
+    let mut client = match Client::connect(addr, Some(Duration::from_millis(100))) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("sfqpartd: connect to {addr} failed: {e}");
+            return 1;
+        }
+    };
+    client.send(&Request::Stats);
+    for _ in 0..50 {
+        match client.read() {
+            ClientRead::Frame(Response::Stats(stats)) => {
+                print_stats(&format!("sfqpartd at {addr}"), &stats);
+                return 0;
+            }
+            ClientRead::Frame(_) | ClientRead::Timeout => {}
+            ClientRead::Eof => break,
+        }
+    }
+    eprintln!("sfqpartd: no stats frame from {addr}");
+    1
 }
 
 // ---------------------------------------------------------------------------
@@ -404,12 +482,23 @@ fn drive(args: &[String]) -> i32 {
         got
     } {
         print_stats("daemon ledger", &stats);
+        // The terminal-ledger invariant, checked on the daemon's own
+        // `stats` frame — the same accounting every other consumer
+        // (serve's drain summary, sfqload, the chaos suite) uses. All our
+        // jobs have settled, but a shared daemon (`--addr`) may have other
+        // clients' jobs in flight, so only require balance when idle.
+        if stats.queued == 0 && stats.running == 0 {
+            match stats.accounting_violation() {
+                Some(violation) => check.expect(false, &violation),
+                None => check.expect(true, "stats frame terminal accounting balances"),
+            }
+        }
     }
 
     // Local daemon: finish with a graceful drain and balanced books.
     if let Some(daemon) = local {
         let stats = daemon.drain();
-        if let Some(violation) = accounting(&stats) {
+        if let Some(violation) = stats.accounting_violation() {
             check.expect(false, &violation);
         } else {
             check.expect(true, "terminal accounting balances after drain");

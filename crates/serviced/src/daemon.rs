@@ -34,10 +34,13 @@
 use sfq_partition::witness::{self, Mutex};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+use sfq_partition::budget::Stopwatch;
 
 use sfq_partition::telemetry::{
     IterationEvent, RecoveryEvent, RefineEvent, RestartEndEvent, RestartObserver, SolveEndEvent,
@@ -49,8 +52,10 @@ use sfq_partition::{
 };
 
 use crate::cache::{cache_key, cacheable_outcome, cacheable_request, CachedResult, ResultCache};
-use crate::job::{JobHandle, Ledger, TerminalKind};
+use crate::job::{JobHandle, TerminalKind};
 use crate::net::{ConnWriter, LineReader, Listener, ReadLine};
+use crate::ops::OpsRegistry;
+use crate::opslog::OpsLogWriter;
 use crate::protocol::{parse_request, FailureKind, Request, Response, SolveRequest, StatsSnapshot};
 use crate::sched::{AdmitError, JobQueue};
 
@@ -75,6 +80,14 @@ pub struct DaemonConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity (entries); 0 disables caching.
     pub cache_capacity: usize,
+    /// Whether the ops registry records (`false` is the overhead-gate
+    /// baseline: every record path no-ops and `stats` reports zeros).
+    pub ops_enabled: bool,
+    /// Append periodic `stats` snapshots (JSONL, same schema as the wire
+    /// frame) to this file; `None` disables the sink.
+    pub ops_log: Option<PathBuf>,
+    /// Snapshot interval for the ops log.
+    pub ops_log_every: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -85,6 +98,9 @@ impl Default for DaemonConfig {
             slots: 4,
             queue_capacity: 16,
             cache_capacity: 64,
+            ops_enabled: true,
+            ops_log: None,
+            ops_log_every: Duration::from_secs(1),
         }
     }
 }
@@ -104,7 +120,7 @@ struct Shared {
     queue: JobQueue<QueuedJob>,
     slots: SlotPool,
     jobs: Mutex<BTreeMap<String, Arc<JobHandle>>>,
-    ledger: Ledger,
+    ops: OpsRegistry,
     cache: ResultCache,
     draining: AtomicBool,
     running: AtomicU64,
@@ -119,9 +135,28 @@ impl Shared {
             .remove(id);
     }
 
+    /// The frameless half of the terminal transition: the
+    /// [`JobHandle::finish`] winner stamps the span's settle boundary,
+    /// records the terminal and phase durations in the ops registry, and
+    /// retires the id. The disconnect sweeper uses this directly (its
+    /// client is gone, so there is no one to frame).
+    fn settle_inner(&self, job: &Arc<JobHandle>, kind: TerminalKind) -> bool {
+        if !job.finish(kind) {
+            return false;
+        }
+        job.span.stamp_settled();
+        self.ops.record_terminal(kind);
+        if let Some(phases) = job.span.phases() {
+            self.ops.record_phases(&phases);
+        }
+        self.remove_job(&job.id);
+        true
+    }
+
     /// The single terminal-transition point after admission: the
-    /// [`JobHandle::finish`] winner records the ledger entry, retires the
-    /// id, and emits the terminal frame. Exactly one caller wins per job.
+    /// [`JobHandle::finish`] winner records the ops-registry entry,
+    /// retires the id, and emits the terminal frame. Exactly one caller
+    /// wins per job.
     fn settle(
         &self,
         job: &Arc<JobHandle>,
@@ -129,11 +164,9 @@ impl Shared {
         kind: TerminalKind,
         frame: &Response,
     ) -> bool {
-        if !job.finish(kind) {
+        if !self.settle_inner(job, kind) {
             return false;
         }
-        self.ledger.record_terminal(kind);
-        self.remove_job(&job.id);
         conn.send_line(&frame.to_line());
         true
     }
@@ -154,7 +187,7 @@ impl Shared {
 
     /// Counts a refusal and sends the `rejected` frame.
     fn refuse(&self, conn: &ConnWriter, id: Option<String>, reason: impl Into<String>) {
-        self.ledger.record_terminal(TerminalKind::Rejected);
+        self.ops.record_terminal(TerminalKind::Rejected);
         let frame = Response::Rejected {
             id,
             reason: reason.into(),
@@ -163,7 +196,7 @@ impl Shared {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.ledger.snapshot(
+        self.ops.snapshot(
             self.queue.len() as u64,
             self.running.load(Ordering::Relaxed),
         )
@@ -183,6 +216,7 @@ pub struct Daemon {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    ops_log: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -198,12 +232,22 @@ impl Daemon {
             queue: JobQueue::new(config.queue_capacity),
             slots: SlotPool::new(config.slots.max(1)),
             jobs: witness::mutex("serviced:shared::jobs", BTreeMap::new()),
-            ledger: Ledger::default(),
+            ops: OpsRegistry::new(config.ops_enabled),
             cache: ResultCache::new(config.cache_capacity),
             draining: AtomicBool::new(false),
             running: AtomicU64::new(0),
             addr,
         });
+        let ops_log = config
+            .ops_log
+            .as_deref()
+            .map(OpsLogWriter::create)
+            .transpose()?
+            .map(|writer| {
+                let shared = Arc::clone(&shared);
+                let every = config.ops_log_every;
+                thread::spawn(move || ops_log_loop(&shared, writer, every))
+            });
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -218,6 +262,7 @@ impl Daemon {
             shared,
             accept: Some(accept),
             workers,
+            ops_log,
         })
     }
 
@@ -252,7 +297,36 @@ impl Daemon {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(ops_log) = self.ops_log.take() {
+            let _ = ops_log.join();
+        }
         self.shared.stats()
+    }
+}
+
+/// The ops-log ticker thread: one `stats` line per interval, plus a final
+/// line once the drain has settled every admitted job (the workers are
+/// done when `draining` is set *and* nothing is queued or running —
+/// terminal counts are recorded inside `run_job`, before `running`
+/// drops). Exits early if the sink dies (sticky error in
+/// [`OpsLogWriter`]).
+fn ops_log_loop(shared: &Arc<Shared>, mut writer: OpsLogWriter, every: Duration) {
+    let every_ns = u64::try_from(every.as_nanos()).unwrap_or(u64::MAX);
+    let mut tick = Stopwatch::start();
+    loop {
+        thread::sleep(CONN_POLL);
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let settled = shared.queue.is_empty() && shared.running.load(Ordering::Relaxed) == 0;
+        if draining && settled {
+            writer.write_line(&Response::Stats(Box::new(shared.stats())).to_line());
+            return;
+        }
+        if tick.elapsed_ns() >= every_ns {
+            if !writer.write_line(&Response::Stats(Box::new(shared.stats())).to_line()) {
+                return;
+            }
+            tick = Stopwatch::start();
+        }
     }
 }
 
@@ -303,7 +377,7 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: LineReader, writer: ConnW
                         writer.send_line(&Response::Pong.to_line());
                     }
                     Ok(Request::Stats) => {
-                        writer.send_line(&Response::Stats(shared.stats()).to_line());
+                        writer.send_line(&Response::Stats(Box::new(shared.stats())).to_line());
                     }
                     Ok(Request::Drain) => {
                         writer.send_line(&Response::Draining.to_line());
@@ -321,10 +395,7 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: LineReader, writer: ConnW
     for job in owned {
         if !job.is_terminal() {
             job.cancel.cancel();
-            if job.finish(TerminalKind::Cancelled) {
-                shared.ledger.record_terminal(TerminalKind::Cancelled);
-                shared.remove_job(&job.id);
-            }
+            shared.settle_inner(&job, TerminalKind::Cancelled);
         }
     }
 }
@@ -398,9 +469,13 @@ fn admit(
         conn: writer.clone(),
         key,
     };
+    // Stamp before the push: a worker may pop (and stamp `started`) the
+    // instant the queue lock releases.
+    job.span.stamp_admitted();
     match shared.queue.push(queued) {
-        Ok(()) => {
-            shared.ledger.record_submitted();
+        Ok(depth) => {
+            shared.ops.record_submitted();
+            shared.ops.record_queue_depth(depth as u64);
             owned.push(job);
             let frame = Response::Accepted { id };
             writer.send_line(&frame.to_line());
@@ -418,7 +493,8 @@ fn admit(
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(queued) = shared.queue.pop() {
-        shared.running.fetch_add(1, Ordering::Relaxed);
+        let running = shared.running.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.ops.record_running(running);
         run_job(shared, queued);
         shared.running.fetch_sub(1, Ordering::Relaxed);
     }
@@ -438,6 +514,7 @@ fn run_job(shared: &Arc<Shared>, queued: QueuedJob) {
         shared.remove_job(&job.id);
         return;
     }
+    job.span.stamp_started();
     let interrupt = Interrupt::new(job.deadline, Some(job.cancel.clone()));
     if let Some(cause) = interrupt.poll() {
         // Deadline storms die here: a job whose deadline expired in the
@@ -446,18 +523,21 @@ fn run_job(shared: &Arc<Shared>, queued: QueuedJob) {
         return;
     }
     if let Some(key) = key {
-        if let Some(hit) = shared.cache.get(key) {
-            shared.ledger.record_cache_hit();
-            let frame = Response::Done {
-                id: job.id.clone(),
-                labels: hit.labels,
-                stop: hit.stop,
-                iterations: hit.iterations,
-                discrete_cost: hit.discrete_cost,
-                cached: true,
-            };
-            shared.settle(&job, &conn, TerminalKind::Done, &frame);
-            return;
+        match shared.cache.get(key) {
+            Some(hit) => {
+                shared.ops.record_cache_hit();
+                let frame = Response::Done {
+                    id: job.id.clone(),
+                    labels: hit.labels,
+                    stop: hit.stop,
+                    iterations: hit.iterations,
+                    discrete_cost: hit.discrete_cost,
+                    cached: true,
+                };
+                shared.settle(&job, &conn, TerminalKind::Done, &frame);
+                return;
+            }
+            None => shared.ops.record_cache_miss(),
         }
     }
     // Level 2: reserve the restart fan-out before solving. A serial job
@@ -476,6 +556,7 @@ fn run_job(shared: &Arc<Shared>, queued: QueuedJob) {
             return;
         }
     };
+    let _occupancy = shared.ops.occupy_slots(wanted as u64);
 
     let solve_once = |options: SolverOptions| -> Result<Result<SolveResult, SolveError>, String> {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -512,7 +593,7 @@ fn run_job(shared: &Arc<Shared>, queued: QueuedJob) {
         // short backoff. Divergence is the one failure class that can be
         // initial-state luck rather than a structural defect of the
         // request.
-        shared.ledger.record_retry();
+        shared.ops.record_retry();
         let frame = Response::Retrying {
             id: job.id.clone(),
             attempt: 1,
@@ -546,7 +627,7 @@ fn run_job(shared: &Arc<Shared>, queued: QueuedJob) {
         Err(message) => {
             // The panic was contained to this job; the worker thread and
             // its queue loop are untouched.
-            shared.ledger.record_panic();
+            shared.ops.record_panic();
             let frame = Response::Failed {
                 id: job.id.clone(),
                 kind: FailureKind::Panic,

@@ -1,4 +1,5 @@
-//! Job lifecycle: the exactly-one-terminal-state machine and the ledger.
+//! Job lifecycle: the exactly-one-terminal-state machine and the
+//! per-job phase span.
 //!
 //! Several parties race to end a job — the worker that solves it, a
 //! `cancel` frame, the disconnect sweeper, the admission path. The
@@ -6,13 +7,19 @@
 //! one** terminal state and emits exactly one terminal frame. The
 //! [`JobHandle::finish`] transition is the single point that decides the
 //! race: first caller wins, everyone else is told to stand down.
+//!
+//! Every job also carries a [`JobSpan`]: monotonic phase boundaries
+//! (received → admitted → started → settled) stamped as nanosecond
+//! offsets on one [`Stopwatch`] started at construction. The span makes
+//! queue-wait, solve, and total durations first-class data for the ops
+//! registry ([`crate::ops`]) instead of something reconstructed from
+//! logs.
 
+use sfq_partition::budget::Stopwatch;
 use sfq_partition::witness::{self, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sfq_partition::{CancelToken, Deadline};
-
-use crate::protocol::StatsSnapshot;
 
 /// The terminal-state taxonomy (see DESIGN.md §Failure modes). `Rejected`
 /// is reached only on the admission path; the other four only after
@@ -31,8 +38,94 @@ pub enum TerminalKind {
     Failed,
 }
 
+/// Sentinel for a phase boundary not yet stamped.
+const UNSET: u64 = u64::MAX;
+
+/// A settled job's phase durations, in nanoseconds, derived from its
+/// [`JobSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseDurations {
+    /// Admission to worker pickup. A job settled while still queued (a
+    /// cancel frame, a deadline storm) counts its whole post-admission
+    /// life as queue wait.
+    pub queue_wait_ns: u64,
+    /// Worker pickup to settle (cache probe + slot wait + solve). Zero
+    /// for jobs that never reached a worker.
+    pub solve_ns: u64,
+    /// Received (frame parse) to settle.
+    pub total_ns: u64,
+}
+
+/// Monotonic phase boundaries for one job, stamped as nanosecond offsets
+/// from the receive instant.
+///
+/// Each stamp is a compare-exchange from the unset sentinel, so the first
+/// stamper wins and the boundaries are immutable afterwards — racing
+/// settlers (worker vs. canceller) cannot move a phase once recorded.
+/// Stamps are advisory telemetry: nothing in the scheduler branches on
+/// them (the D2 discipline — the span exposes elapsed time only as data,
+/// through the core crate's [`Stopwatch`]).
+#[derive(Debug)]
+pub struct JobSpan {
+    watch: Stopwatch,
+    admitted: AtomicU64,
+    started: AtomicU64,
+    settled: AtomicU64,
+}
+
+impl JobSpan {
+    fn new() -> Self {
+        JobSpan {
+            watch: Stopwatch::start(),
+            admitted: AtomicU64::new(UNSET),
+            started: AtomicU64::new(UNSET),
+            settled: AtomicU64::new(UNSET),
+        }
+    }
+
+    fn stamp(&self, cell: &AtomicU64) {
+        let now = self.watch.elapsed_ns().min(UNSET - 1);
+        let _ = cell.compare_exchange(UNSET, now, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Stamps admission (queue push succeeded). First caller wins.
+    pub fn stamp_admitted(&self) {
+        self.stamp(&self.admitted);
+    }
+
+    /// Stamps worker pickup. First caller wins.
+    pub fn stamp_started(&self) {
+        self.stamp(&self.started);
+    }
+
+    /// Stamps the terminal transition. First caller wins.
+    pub fn stamp_settled(&self) {
+        self.stamp(&self.settled);
+    }
+
+    /// Phase durations, once the job has settled (`None` before that).
+    /// A missing `started` boundary (settled while queued) attributes the
+    /// whole post-admission life to queue wait.
+    #[must_use]
+    pub fn phases(&self) -> Option<PhaseDurations> {
+        let settled = self.settled.load(Ordering::Relaxed);
+        if settled == UNSET {
+            return None;
+        }
+        let admitted = self.admitted.load(Ordering::Relaxed);
+        let admitted = if admitted == UNSET { settled } else { admitted };
+        let started = self.started.load(Ordering::Relaxed);
+        let started = if started == UNSET { settled } else { started };
+        Some(PhaseDurations {
+            queue_wait_ns: started.saturating_sub(admitted),
+            solve_ns: settled.saturating_sub(started),
+            total_ns: settled,
+        })
+    }
+}
+
 /// The shared per-job record: cancellation token, admission-time deadline,
-/// and the terminal-state cell.
+/// the phase span, and the terminal-state cell.
 #[derive(Debug)]
 pub struct JobHandle {
     /// Client-chosen id.
@@ -41,6 +134,8 @@ pub struct JobHandle {
     pub cancel: CancelToken,
     /// Armed at admission; queue wait counts against it.
     pub deadline: Deadline,
+    /// Phase boundaries; the receive instant is this handle's construction.
+    pub span: JobSpan,
     terminal: Mutex<Option<TerminalKind>>,
 }
 
@@ -52,13 +147,14 @@ impl JobHandle {
             id,
             cancel: CancelToken::new(),
             deadline: Deadline::after_ms(deadline_ms),
+            span: JobSpan::new(),
             terminal: witness::mutex("serviced:jobhandle::terminal", None),
         }
     }
 
     /// Attempts the terminal transition. Returns `true` for exactly one
     /// caller per job; that caller — and only that caller — sends the
-    /// terminal frame and records the ledger entry.
+    /// terminal frame and records the ops-registry entry.
     pub fn finish(&self, kind: TerminalKind) -> bool {
         let mut cell = self.terminal.lock().unwrap_or_else(|e| e.into_inner());
         if cell.is_some() {
@@ -78,75 +174,6 @@ impl JobHandle {
     #[must_use]
     pub fn is_terminal(&self) -> bool {
         self.terminal().is_some()
-    }
-}
-
-/// Monotonic service counters. Plain atomics: the ledger is advisory
-/// telemetry, read by `stats` frames and the drain summary, never by the
-/// scheduling logic.
-#[derive(Debug, Default)]
-pub struct Ledger {
-    submitted: AtomicU64,
-    done: AtomicU64,
-    cache_hits: AtomicU64,
-    cancelled: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    retries: AtomicU64,
-    panics: AtomicU64,
-}
-
-impl Ledger {
-    /// Records an admission.
-    pub fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records a terminal transition (the `finish` winner calls this).
-    pub fn record_terminal(&self, kind: TerminalKind) {
-        let counter = match kind {
-            TerminalKind::Done => &self.done,
-            TerminalKind::Cancelled => &self.cancelled,
-            TerminalKind::DeadlineExceeded => &self.deadline_exceeded,
-            TerminalKind::Rejected => &self.rejected,
-            TerminalKind::Failed => &self.failed,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records a `done` served from the result cache.
-    pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records a divergence retry.
-    pub fn record_retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records a contained worker panic.
-    pub fn record_panic(&self) {
-        self.panics.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Snapshot for a `stats` frame. `queued`/`running` are scheduler
-    /// state, not ledger state; the caller fills them in.
-    #[must_use]
-    pub fn snapshot(&self, queued: u64, running: u64) -> StatsSnapshot {
-        StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            queued,
-            running,
-            done: self.done.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-        }
     }
 }
 
@@ -186,31 +213,46 @@ mod tests {
     }
 
     #[test]
-    fn ledger_snapshot_reflects_counts() {
-        let ledger = Ledger::default();
-        ledger.record_submitted();
-        ledger.record_submitted();
-        ledger.record_terminal(TerminalKind::Done);
-        ledger.record_cache_hit();
-        ledger.record_terminal(TerminalKind::Failed);
-        ledger.record_retry();
-        ledger.record_panic();
-        let s = ledger.snapshot(3, 1);
-        assert_eq!(s.submitted, 2);
-        assert_eq!(s.done, 1);
-        assert_eq!(s.cache_hits, 1);
-        assert_eq!(s.failed, 1);
-        assert_eq!(s.retries, 1);
-        assert_eq!(s.panics, 1);
-        assert_eq!(s.queued, 3);
-        assert_eq!(s.running, 1);
-    }
-
-    #[test]
     fn deadline_is_armed_at_construction() {
         let job = JobHandle::new("j".into(), Some(0));
         assert!(job.deadline.expired());
         let job = JobHandle::new("j".into(), None);
         assert!(!job.deadline.expired());
+    }
+
+    #[test]
+    fn span_phases_appear_only_after_settle() {
+        let span = JobSpan::new();
+        span.stamp_admitted();
+        assert_eq!(span.phases(), None);
+        span.stamp_started();
+        assert_eq!(span.phases(), None);
+        span.stamp_settled();
+        let phases = span.phases().unwrap();
+        // total spans received→settled, so it also covers the
+        // received→admitted gap the two phase durations exclude.
+        assert!(phases.total_ns >= phases.queue_wait_ns + phases.solve_ns);
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let span = JobSpan::new();
+        span.stamp_settled();
+        let first = span.phases().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.stamp_settled();
+        assert_eq!(span.phases().unwrap(), first, "settle boundary immutable");
+    }
+
+    #[test]
+    fn settled_while_queued_counts_as_queue_wait() {
+        let span = JobSpan::new();
+        span.stamp_admitted();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.stamp_settled();
+        let phases = span.phases().unwrap();
+        assert_eq!(phases.solve_ns, 0, "never started → no solve time");
+        assert!(phases.queue_wait_ns > 0);
+        assert!(phases.total_ns >= phases.queue_wait_ns);
     }
 }

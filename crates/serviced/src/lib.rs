@@ -25,6 +25,12 @@
 //!   content-addressed cache ([`cache`]).
 //! * **Graceful drain** — SIGTERM (or a `drain` frame) stops admissions
 //!   and lets everything already admitted reach its terminal state.
+//! * **Observability** — every job carries a phase span
+//!   (received → admitted → started → settled, [`job::JobSpan`]); an
+//!   allocation-free atomic registry ([`ops`]) tracks counters, high-water
+//!   gauges, and per-phase latency histograms, reported over the `stats`
+//!   frame, a periodic `--ops-log` JSONL sink ([`opslog`]), and the
+//!   `sfqload` load-generator bench (BENCH_4).
 //!
 //! The service invariant, pinned by the chaos suite
 //! (`tests/chaos.rs`): every admitted job ends in **exactly one** of
@@ -50,13 +56,16 @@ pub mod daemon;
 pub mod job;
 pub mod json;
 pub mod net;
+pub mod ops;
+pub mod opslog;
 pub mod protocol;
 pub mod sched;
 
 pub use cache::ResultCache;
 pub use client::Client;
 pub use daemon::{Daemon, DaemonConfig};
-pub use job::{JobHandle, Ledger, TerminalKind};
+pub use job::{JobHandle, JobSpan, PhaseDurations, TerminalKind};
 pub use json::Json;
+pub use ops::OpsRegistry;
 pub use protocol::{FailureKind, ProblemSpec, Request, Response, SolveRequest, StatsSnapshot};
 pub use sched::{AdmitError, JobQueue};

@@ -1,0 +1,87 @@
+//! The ops-log file sink: periodic `stats` snapshots as JSONL.
+//!
+//! With `--ops-log PATH`, the daemon appends one serialized `stats` frame
+//! (the same append-only schema the wire uses, so the file parses with
+//! [`crate::protocol::parse_response`]) per interval, plus a final line at
+//! drain — a flight recorder an operator can tail or post-process without
+//! holding a connection open.
+//!
+//! This file is a designated I/O sink under lint rule I1, alongside
+//! [`crate::net`]: it is the only place in the crate that touches the
+//! filesystem. Errors follow the same sticky discipline as the core
+//! crate's `JsonlTraceWriter` and [`ConnWriter`](crate::net::ConnWriter):
+//! the first failed write marks the sink dead and every further write is
+//! a silent no-op — an unwritable log must never take down or slow the
+//! service it observes.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Appending JSONL writer for ops snapshots, with sticky error latching.
+#[derive(Debug)]
+pub struct OpsLogWriter {
+    out: BufWriter<File>,
+    dead: bool,
+}
+
+impl OpsLogWriter {
+    /// Creates (truncating) the log file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure — a bad `--ops-log` path should fail
+    /// daemon startup loudly, not silently record nothing.
+    pub fn create(path: &Path) -> std::io::Result<OpsLogWriter> {
+        Ok(OpsLogWriter {
+            out: BufWriter::new(File::create(path)?),
+            dead: false,
+        })
+    }
+
+    /// Appends one line (newline added, flushed so a tail -f and a
+    /// post-crash read both see whole records). Returns whether the sink
+    /// is still alive; after the first failure every call is a no-op
+    /// returning `false`.
+    pub fn write_line(&mut self, line: &str) -> bool {
+        if self.dead {
+            return false;
+        }
+        let ok = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .is_ok();
+        if !ok {
+            self.dead = true;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_whole_lines_and_latches_on_error() {
+        let dir = std::env::temp_dir().join(format!("sfqpartd-opslog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.jsonl");
+        let mut w = OpsLogWriter::create(&path).unwrap();
+        assert!(w.write_line("{\"ev\":\"stats\",\"submitted\":1}"));
+        assert!(w.write_line("{\"ev\":\"stats\",\"submitted\":2}"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"submitted\":2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_fails_loudly_on_a_bad_path() {
+        let missing = Path::new("/definitely/not/a/real/dir/ops.jsonl");
+        assert!(OpsLogWriter::create(missing).is_err());
+    }
+}

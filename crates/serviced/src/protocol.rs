@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use sfq_partition::telemetry::{parse_stop_reason, stop_reason_str};
+use sfq_partition::telemetry::{parse_stop_reason, stop_reason_str, LogHistogram};
 use sfq_partition::{FaultInjection, KernelBackend, SolverOptions, StopReason};
 
 use crate::json::{self, write_escaped, Json};
@@ -471,8 +471,13 @@ impl FailureKind {
     }
 }
 
-/// Live daemon counters, reported by `stats` frames and the drain summary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Live daemon counters, gauges, and latency histograms, reported by
+/// `stats` frames and the drain summary.
+///
+/// The wire form is append-only (schema-v1 discipline): fields added
+/// after the original eleven counters parse as zero/empty when absent, so
+/// old frames remain readable and old readers skip what they don't know.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Jobs admitted (accepted into the queue) over the daemon's life.
     pub submitted: u64,
@@ -496,6 +501,65 @@ pub struct StatsSnapshot {
     pub retries: u64,
     /// Worker panics contained.
     pub panics: u64,
+    /// Cacheable requests that missed the cache and solved fresh.
+    pub cache_misses: u64,
+    /// Peak admission-queue depth observed.
+    pub queue_depth_hw: u64,
+    /// Peak concurrently-running job count observed.
+    pub running_hw: u64,
+    /// Restart slots currently reserved by running jobs.
+    pub slots_in_use: u64,
+    /// Peak restart-slot occupancy observed.
+    pub slots_hw: u64,
+    /// Nanoseconds since the ops registry (≈ the daemon) started.
+    pub uptime_ns: u64,
+    /// Lock-witness re-acquire violations (0 unless built with
+    /// `lock_witness`).
+    pub lock_reacquires: u64,
+    /// Lock-witness order-inversion violations (0 unless built with
+    /// `lock_witness`).
+    pub lock_inversions: u64,
+    /// Lock-witness wait-while-holding violations (0 unless built with
+    /// `lock_witness`).
+    pub lock_wait_holds: u64,
+    /// Queue-wait (admitted → worker pickup) latency distribution, ns.
+    pub queue_wait_ns: LogHistogram,
+    /// Solve (worker pickup → settle) latency distribution, ns.
+    pub solve_ns: LogHistogram,
+    /// Total (received → settle) latency distribution, ns.
+    pub total_ns: LogHistogram,
+}
+
+impl StatsSnapshot {
+    /// Settled post-admission terminals (`done + cancelled +
+    /// deadline_exceeded + failed`).
+    #[must_use]
+    pub fn settled(&self) -> u64 {
+        self.done + self.cancelled + self.deadline_exceeded + self.failed
+    }
+
+    /// The terminal-ledger check, delegated to
+    /// [`sfq_report::service::terminal_accounting`] so the `drive`
+    /// subcommand, the chaos suite, and `sfqload` all share one
+    /// implementation: once the service is idle, every admitted job must
+    /// have settled in exactly one terminal state. Returns `None` when
+    /// the books balance, or a human-readable discrepancy.
+    #[must_use]
+    pub fn accounting_violation(&self) -> Option<String> {
+        sfq_report::service::terminal_accounting(
+            self.submitted,
+            self.done,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.failed,
+        )
+    }
+
+    /// Total lock-witness violations across all kinds.
+    #[must_use]
+    pub fn lock_violations(&self) -> u64 {
+        self.lock_reacquires + self.lock_inversions + self.lock_wait_holds
+    }
 }
 
 /// A parsed daemon frame.
@@ -563,8 +627,9 @@ pub enum Response {
     },
     /// Reply to `ping`.
     Pong,
-    /// Reply to `stats`.
-    Stats(StatsSnapshot),
+    /// Reply to `stats`. Boxed: the snapshot carries three 65-bucket
+    /// histograms, far larger than any other variant.
+    Stats(Box<StatsSnapshot>),
     /// The daemon acknowledged `drain` and stopped admitting.
     Draining,
     /// A non-fatal protocol error not tied to a job (e.g. cancelling an
@@ -682,7 +747,7 @@ impl Response {
             Response::Stats(s) => {
                 let _ = write!(
                     out,
-                    "{{\"ev\":\"stats\",\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\"cache_hits\":{},\"cancelled\":{},\"deadline_exceeded\":{},\"rejected\":{},\"failed\":{},\"retries\":{},\"panics\":{}}}",
+                    "{{\"ev\":\"stats\",\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\"cache_hits\":{},\"cancelled\":{},\"deadline_exceeded\":{},\"rejected\":{},\"failed\":{},\"retries\":{},\"panics\":{}",
                     s.submitted,
                     s.queued,
                     s.running,
@@ -695,6 +760,26 @@ impl Response {
                     s.retries,
                     s.panics,
                 );
+                // Appended after the original eleven counters (schema-v1
+                // append-only rule): readers of the old frame shape skip
+                // these, and parse_response defaults them when absent.
+                let _ = write!(
+                    out,
+                    ",\"cache_misses\":{},\"queue_depth_hw\":{},\"running_hw\":{},\"slots_in_use\":{},\"slots_hw\":{},\"uptime_ns\":{},\"lock_reacquires\":{},\"lock_inversions\":{},\"lock_wait_holds\":{}",
+                    s.cache_misses,
+                    s.queue_depth_hw,
+                    s.running_hw,
+                    s.slots_in_use,
+                    s.slots_hw,
+                    s.uptime_ns,
+                    s.lock_reacquires,
+                    s.lock_inversions,
+                    s.lock_wait_holds,
+                );
+                write_histogram(&mut out, "queue_wait_ns", &s.queue_wait_ns);
+                write_histogram(&mut out, "solve_ns", &s.solve_ns);
+                write_histogram(&mut out, "total_ns", &s.total_ns);
+                out.push('}');
             }
             Response::Draining => out.push_str("{\"ev\":\"draining\"}"),
             Response::Error { message } => {
@@ -705,6 +790,59 @@ impl Response {
         }
         out
     }
+}
+
+/// Serializes one latency histogram as
+/// `,"<key>":{"count":…,"p50":…,"p95":…,"p99":…,"buckets":[[i,c],…]}`.
+///
+/// Only `buckets` is authoritative (the parser rebuilds the histogram
+/// from it); `count` and the percentiles are derived conveniences for
+/// humans and `jq`, and double as unknown-field-tolerance exercise for
+/// readers that reconstruct and re-derive.
+fn write_histogram(out: &mut String, key: &str, hist: &LogHistogram) {
+    use fmt::Write;
+    let _ = write!(
+        out,
+        ",\"{key}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+        hist.count(),
+        hist.percentile(0.50),
+        hist.percentile(0.95),
+        hist.percentile(0.99),
+    );
+    let mut first = true;
+    for (i, &count) in hist.buckets().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{i},{count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Rebuilds a latency histogram from its wire object; absent or
+/// malformed entries degrade to empty, never to an error (append-only
+/// tolerance: an old daemon simply has no histograms to report).
+fn parse_histogram(value: &Json, key: &str) -> LogHistogram {
+    let mut buckets = [0u64; 65];
+    let list = value
+        .get(key)
+        .and_then(|h| h.get("buckets"))
+        .and_then(Json::as_array);
+    if let Some(list) = list {
+        for pair in list {
+            let pair = pair.as_array().filter(|p| p.len() == 2);
+            if let Some((i, count)) = pair.and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?))) {
+                if let Some(slot) = usize::try_from(i).ok().and_then(|i| buckets.get_mut(i)) {
+                    *slot = count;
+                }
+            }
+        }
+    }
+    LogHistogram::from_buckets(buckets)
 }
 
 /// Parses one daemon frame (the client side of the protocol).
@@ -795,7 +933,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         "pong" => Ok(Response::Pong),
         "stats" => {
             let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
-            Ok(Response::Stats(StatsSnapshot {
+            Ok(Response::Stats(Box::new(StatsSnapshot {
                 submitted: field("submitted"),
                 queued: field("queued"),
                 running: field("running"),
@@ -807,7 +945,19 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 failed: field("failed"),
                 retries: field("retries"),
                 panics: field("panics"),
-            }))
+                cache_misses: field("cache_misses"),
+                queue_depth_hw: field("queue_depth_hw"),
+                running_hw: field("running_hw"),
+                slots_in_use: field("slots_in_use"),
+                slots_hw: field("slots_hw"),
+                uptime_ns: field("uptime_ns"),
+                lock_reacquires: field("lock_reacquires"),
+                lock_inversions: field("lock_inversions"),
+                lock_wait_holds: field("lock_wait_holds"),
+                queue_wait_ns: parse_histogram(&value, "queue_wait_ns"),
+                solve_ns: parse_histogram(&value, "solve_ns"),
+                total_ns: parse_histogram(&value, "total_ns"),
+            })))
         }
         "draining" => Ok(Response::Draining),
         "error" => Ok(Response::Error {
@@ -927,12 +1077,12 @@ mod tests {
                 message: "worker panicked: boom".into(),
             },
             Response::Pong,
-            Response::Stats(StatsSnapshot {
+            Response::Stats(Box::new(StatsSnapshot {
                 submitted: 9,
                 done: 5,
                 cancelled: 2,
                 ..StatsSnapshot::default()
-            }),
+            })),
             Response::Draining,
             Response::Error {
                 message: "cancel: unknown job id".into(),

@@ -73,13 +73,16 @@ impl<T> JobQueue<T> {
         self.len() == 0
     }
 
-    /// Admits an item, or refuses with a typed reason.
+    /// Admits an item, returning the queue depth right after the push
+    /// (the admitted item included — what a high-water gauge wants,
+    /// observed under the same lock so no racing pop can understate it),
+    /// or refuses with a typed reason.
     ///
     /// # Errors
     ///
     /// [`AdmitError::Closed`] once [`JobQueue::close`] has run,
     /// [`AdmitError::Overloaded`] at capacity.
-    pub fn push(&self, item: T) -> Result<(), AdmitError> {
+    pub fn push(&self, item: T) -> Result<usize, AdmitError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err(AdmitError::Closed);
@@ -88,9 +91,10 @@ impl<T> JobQueue<T> {
             return Err(AdmitError::Overloaded);
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
         self.ready.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Blocks for the next item. Returns `None` only when the queue is
@@ -132,12 +136,13 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn push_pop_is_fifo() {
+    fn push_pop_is_fifo_and_reports_depth() {
         let q = JobQueue::new(4);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.push(3), Ok(1), "depth counts waiting items only");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::Duration;
 use sfq_partition::{FaultInjection, PartitionProblem, Solver, SolverOptions};
 use sfq_serviced::client::ClientRead;
 use sfq_serviced::protocol::{ProblemSpec, Request, Response, SolveRequest};
-use sfq_serviced::{Client, Daemon, DaemonConfig};
+use sfq_serviced::{Client, Daemon, DaemonConfig, StatsSnapshot};
 
 fn spec() -> ProblemSpec {
     let n: u32 = 64;
@@ -67,6 +67,75 @@ fn request(id: &str, options: SolverOptions) -> Request {
     }))
 }
 
+/// End-of-scenario books check, used by every chaos scenario: fetches the
+/// daemon's `stats` frame over the wire (polling until the scheduler is
+/// idle — a terminal frame can arrive a beat before the worker's running
+/// counter drops), asserts the terminal ledger balances and that the
+/// span-phase histograms counted every settled job exactly once, then
+/// drains and asserts the wire frame and the drain snapshot agree
+/// counter-for-counter. Returns the drain snapshot for scenario-specific
+/// assertions.
+fn drain_with_balanced_books(daemon: Daemon, client: &mut Client) -> StatsSnapshot {
+    let mut frame: Option<StatsSnapshot> = None;
+    for _ in 0..200 {
+        client.send(&Request::Stats);
+        let snapshot = loop {
+            match client.read() {
+                ClientRead::Frame(Response::Stats(stats)) => break Some(*stats),
+                ClientRead::Frame(_) | ClientRead::Timeout => {}
+                ClientRead::Eof => break None,
+            }
+        };
+        let Some(snapshot) = snapshot else { break };
+        let idle = snapshot.queued == 0 && snapshot.running == 0;
+        frame = Some(snapshot);
+        if idle {
+            break;
+        }
+    }
+    let frame = frame.expect("a stats frame before drain");
+    assert_eq!(
+        frame.queued, 0,
+        "scenario ended with queued jobs: {frame:?}"
+    );
+    assert_eq!(
+        frame.running, 0,
+        "scenario ended with running jobs: {frame:?}"
+    );
+    assert_eq!(frame.accounting_violation(), None, "wire-frame ledger");
+    for (phase, hist) in [
+        ("queue_wait_ns", &frame.queue_wait_ns),
+        ("solve_ns", &frame.solve_ns),
+        ("total_ns", &frame.total_ns),
+    ] {
+        assert_eq!(
+            hist.count(),
+            frame.settled(),
+            "{phase}: every settled job records its span exactly once"
+        );
+    }
+    let drained = daemon.drain();
+    for (label, wire, drain) in [
+        ("submitted", frame.submitted, drained.submitted),
+        ("done", frame.done, drained.done),
+        ("cancelled", frame.cancelled, drained.cancelled),
+        (
+            "deadline_exceeded",
+            frame.deadline_exceeded,
+            drained.deadline_exceeded,
+        ),
+        ("rejected", frame.rejected, drained.rejected),
+        ("failed", frame.failed, drained.failed),
+        ("cache_hits", frame.cache_hits, drained.cache_hits),
+        ("cache_misses", frame.cache_misses, drained.cache_misses),
+        ("retries", frame.retries, drained.retries),
+        ("panics", frame.panics, drained.panics),
+    ] {
+        assert_eq!(wire, drain, "{label}: wire frame vs drain snapshot");
+    }
+    drained
+}
+
 fn direct_reference_labels() -> Vec<u32> {
     let s = spec();
     let problem = PartitionProblem::new(s.bias, s.area, s.edges, s.planes).unwrap();
@@ -107,7 +176,7 @@ fn worker_panic_fails_only_its_job_and_the_pool_self_heals() {
         panic!("expected done after panic, got {terminal:?}");
     };
     assert_eq!(labels, &direct_reference_labels());
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(stats.panics, 1);
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.done, 1);
@@ -147,7 +216,7 @@ fn total_divergence_retries_once_then_fails_typed() {
     };
     assert_eq!(kind.as_str(), "divergence");
     assert!(saw_retry, "the retry must be announced before the failure");
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(stats.retries, 1);
     assert_eq!(stats.failed, 1);
 }
@@ -198,7 +267,7 @@ fn deadline_storm_settles_every_job_exactly_once() {
             of_job[0]
         );
     }
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(stats.deadline_exceeded, 8);
     assert_eq!(stats.done + stats.cancelled + stats.failed, 0);
 }
@@ -249,7 +318,7 @@ fn queue_flood_is_refused_typed_and_the_books_balance() {
             "{id}: {terminal:?}"
         );
     }
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(stats.rejected as usize, rejected.len());
     assert_eq!(stats.cancelled as usize, accepted.len());
     assert_eq!(
@@ -302,7 +371,7 @@ fn mid_run_cancellation_lands_between_iterations() {
         panic!("expected done, got {terminal:?}");
     };
     assert_eq!(labels, &direct_reference_labels());
-    daemon.drain();
+    drain_with_balanced_books(daemon, &mut client);
 }
 
 #[test]
@@ -353,7 +422,7 @@ fn client_disconnect_sweeps_its_unfinished_jobs() {
     observer.send(&request("survivor", healthy_options()));
     let terminal = observer.wait_terminal_quiet("survivor").expect("terminal");
     assert!(matches!(terminal, Response::Done { .. }));
-    daemon.drain();
+    drain_with_balanced_books(daemon, &mut observer);
 }
 
 #[test]
@@ -423,7 +492,7 @@ fn faulty_neighbors_never_perturb_a_healthy_result() {
         let terminal = client.wait_terminal_quiet(id).expect("terminal");
         assert!(terminal.is_terminal());
     }
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(stats.done, 1);
     assert_eq!(stats.failed, 2, "poison + panic: {stats:?}");
     assert_eq!(stats.deadline_exceeded, 1);
@@ -505,7 +574,7 @@ fn mixed_storm_every_job_exactly_one_terminal_and_books_balance() {
         };
         assert_eq!(&kind, want, "{id}");
     }
-    let stats = daemon.drain();
+    let stats = drain_with_balanced_books(daemon, &mut client);
     assert_eq!(
         stats.done + stats.cancelled + stats.deadline_exceeded + stats.failed,
         stats.submitted,

@@ -95,7 +95,31 @@ fn identical_requests_hit_the_result_cache() {
     assert_eq!(a, b, "cached result must be bit-identical");
     let stats = daemon.stats();
     assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1, "the first solve probed and missed");
     assert_eq!(stats.done, 2);
+    daemon.drain();
+}
+
+#[test]
+fn job_spans_flow_into_the_stats_frame() {
+    let (daemon, mut client) = boot(DaemonConfig::default());
+    client.send(&solve_frame("spanned"));
+    let terminal = client.wait_terminal_quiet("spanned").expect("terminal");
+    assert!(matches!(terminal, Response::Done { .. }));
+    // The terminal frame is sent only after the span settles and its
+    // phases land in the registry, so the snapshot must already show them.
+    let stats = daemon.stats();
+    assert_eq!(stats.queue_wait_ns.count(), 1);
+    assert_eq!(stats.solve_ns.count(), 1);
+    assert_eq!(stats.total_ns.count(), 1);
+    assert!(
+        stats.total_ns.percentile(1.0) > 0,
+        "a real solve takes nonzero total time: {stats:?}"
+    );
+    assert!(stats.uptime_ns > 0);
+    assert_eq!(stats.queue_depth_hw, 1, "one job was queued at its peak");
+    assert!(stats.running_hw >= 1);
+    assert!(stats.slots_hw >= 1, "the solve reserved restart slots");
     daemon.drain();
 }
 
