@@ -76,7 +76,7 @@ pub fn round_robin_levelized(problem: &PartitionProblem) -> Partition {
     let mut order: Vec<usize> = (0..g).collect();
     order.sort_by_key(|&i| (level[i], i));
 
-    let target = problem.total_bias() / k as f64;
+    let target = crate::float::frac(problem.total_bias(), k as f64, 0.0);
     let mut labels = vec![0u32; g];
     let mut plane = 0usize;
     let mut acc = 0.0;

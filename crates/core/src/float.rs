@@ -1,4 +1,5 @@
-//! Intent-revealing floating-point comparisons (lint rule F1).
+//! Intent-revealing floating-point comparisons (lint rule F1) and the
+//! checked-math helpers (lint rule N1).
 //!
 //! A raw `==`/`!=` against a float literal is banned by `sfqlint`'s F1 rule:
 //! at the call site a reader cannot tell a deliberate bit-exact sentinel
@@ -10,6 +11,15 @@
 //!   any epsilon would change behavior.
 //! * [`approx_eq`] is an absolute-tolerance comparison for genuinely
 //!   computed quantities.
+//!
+//! Similarly, the N1 rule confines NaN/Inf-capable operations (division by
+//! a non-literal divisor, `sqrt`, `ln`, …) to the solver's
+//! divergence-recovery scope, where the rollback machinery watches for
+//! non-finite values. Everywhere else such math must route through the
+//! checked helpers here — [`frac`], [`checked_div`], [`checked_sqrt`],
+//! [`checked_ln`] — which make the non-finite case an explicit branch
+//! instead of a silently propagating NaN. This file is the one sanctioned
+//! home for the raw operations (`[rules.N1] helper_files`).
 
 /// Deliberate bit-exact float equality.
 ///
@@ -55,6 +65,61 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol
 }
 
+/// Guarded ratio: `n / d`, or `default` when the divisor is (±)0.
+///
+/// The workhorse for "fraction of a total that may be empty" — histogram
+/// fractions, utilizations, per-plane targets. When `d` is nonzero the
+/// result is bit-identical to the raw division; only the `d == 0` branch
+/// (where raw division would manufacture an Inf or NaN) is redirected. A
+/// NaN divisor still propagates — the caller owns genuinely non-finite
+/// inputs; this helper only removes the divide-by-zero edge.
+///
+/// # Example
+///
+/// ```
+/// use sfq_partition::float::frac;
+///
+/// assert_eq!(frac(6.0, 3.0, 1.0), 2.0);
+/// assert_eq!(frac(6.0, 0.0, 1.0), 1.0);
+/// ```
+#[inline]
+#[must_use]
+pub fn frac(n: f64, d: f64, default: f64) -> f64 {
+    if exactly(d, 0.0) {
+        default
+    } else {
+        n / d
+    }
+}
+
+/// Division that reports a non-finite result instead of propagating it.
+///
+/// Returns `None` when `n / d` is NaN or infinite (zero or denormal-tiny
+/// divisor, non-finite operands), `Some(n / d)` otherwise.
+#[inline]
+#[must_use]
+pub fn checked_div(n: f64, d: f64) -> Option<f64> {
+    let q = n / d;
+    q.is_finite().then_some(q)
+}
+
+/// Square root that refuses the NaN branch: `None` for negative or NaN
+/// input, `Some(x.sqrt())` otherwise (`sqrt` of a non-negative finite
+/// value is always finite).
+#[inline]
+#[must_use]
+pub fn checked_sqrt(x: f64) -> Option<f64> {
+    (x >= 0.0).then(|| x.sqrt())
+}
+
+/// Natural log that refuses the non-finite branches: `None` for zero,
+/// negative, or NaN input, where `ln` would return `-Inf` or NaN.
+#[inline]
+#[must_use]
+pub fn checked_ln(x: f64) -> Option<f64> {
+    (x > 0.0 && x.is_finite()).then(|| x.ln())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +130,28 @@ mod tests {
         assert!(exactly(0.0, -0.0)); // IEEE: +0 == -0
         assert!(!exactly(f64::NAN, f64::NAN));
         assert!(!exactly(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn frac_is_raw_division_except_at_zero() {
+        assert!(exactly(frac(1.0, 3.0, 9.9), 1.0 / 3.0));
+        assert!(exactly(frac(5.0, 0.0, 9.9), 9.9));
+        assert!(exactly(frac(5.0, -0.0, 9.9), 9.9));
+        assert!(frac(f64::NAN, 2.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn checked_helpers_refuse_the_nonfinite_branches() {
+        assert_eq!(checked_div(6.0, 3.0), Some(2.0));
+        assert_eq!(checked_div(1.0, 0.0), None);
+        assert_eq!(checked_div(f64::NAN, 1.0), None);
+        assert_eq!(checked_sqrt(9.0), Some(3.0));
+        assert_eq!(checked_sqrt(-1.0), None);
+        assert_eq!(checked_sqrt(f64::NAN), None);
+        assert_eq!(checked_ln(1.0), Some(0.0));
+        assert_eq!(checked_ln(0.0), None);
+        assert_eq!(checked_ln(-1.0), None);
+        assert_eq!(checked_ln(f64::INFINITY), None);
     }
 
     #[test]

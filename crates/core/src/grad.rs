@@ -21,6 +21,7 @@
 //! away from one during descent.
 
 use crate::cost::CostModel;
+use crate::lanes;
 use crate::weights::WeightMatrix;
 
 /// Selects exact or as-printed gradient formulas.
@@ -138,8 +139,8 @@ impl Gradient {
         // --- F2/F3 plane sums and their means at the current w.
         self.bias_sums = model.plane_bias_sums(w);
         self.area_sums = model.plane_area_sums(w);
-        let b_mean = self.bias_sums.iter().sum::<f64>() / kf;
-        let a_mean = self.area_sums.iter().sum::<f64>() / kf;
+        let b_mean = lanes::sum(&self.bias_sums) / kf;
+        let a_mean = lanes::sum(&self.area_sums) / kf;
 
         let bias = problem.bias();
         let area = problem.area();

@@ -109,6 +109,54 @@ pub fn max_abs(xs: &[f64]) -> f64 {
     m
 }
 
+/// Canonical striped sum of a slice: lane-block accumulators combined with
+/// [`fold`], then the scalar tail added left to right.
+///
+/// This is THE reduction order for f64 sums in the numeric crates (lint
+/// rule D4): the serial and intra-parallel backends both evaluate it, so
+/// routing a reduction through here keeps the serial == parallel
+/// bit-identity guarantee. A raw `.iter().sum::<f64>()` evaluates in a
+/// different association order and is a D4 finding outside this module.
+#[must_use]
+pub fn sum(xs: &[f64]) -> f64 {
+    // Spelled directly (not via `sum_with(xs, |x| x)`) so the hot-path
+    // call graph stays closure-free: a closure parameter is an
+    // unresolvable call (⊤) to sfqlint's A1 rule.
+    let mut acc = [0.0f64; LANE];
+    let chunks = xs.chunks_exact(LANE);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for j in 0..LANE {
+            acc[j] += c[j];
+        }
+    }
+    let mut s = fold(acc);
+    for &x in tail {
+        s += x;
+    }
+    s
+}
+
+/// [`sum`] with a per-element map applied before accumulation — the
+/// striped spelling of `.iter().map(f).sum::<f64>()`, for variance terms
+/// and squared norms (`sum_with(xs, |x| x * x)`).
+#[must_use]
+pub fn sum_with(xs: &[f64], f: impl Fn(f64) -> f64) -> f64 {
+    let mut acc = [0.0f64; LANE];
+    let chunks = xs.chunks_exact(LANE);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for j in 0..LANE {
+            acc[j] += f(c[j]);
+        }
+    }
+    let mut s = fold(acc);
+    for &x in tail {
+        s += f(x);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +200,30 @@ mod tests {
     #[test]
     fn backend_default_is_lanes() {
         assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
+    }
+
+    #[test]
+    fn sum_pins_the_striped_association_order() {
+        // Two full lane blocks: lane j accumulates xs[j] + xs[j + 4].
+        let xs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let striped = fold([xs[0] + xs[4], xs[1] + xs[5], xs[2] + xs[6], xs[3] + xs[7]]);
+        assert_eq!(sum(&xs), striped);
+        // The sequential order gives a DIFFERENT value on this input
+        // (3.6 vs 3.6000000000000005) — that difference is exactly what
+        // rule D4 guards against.
+        let sequential: f64 = xs.iter().sum();
+        assert_ne!(sum(&xs), sequential);
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(sum(&[1.5, 2.5]), 4.0);
+    }
+
+    #[test]
+    fn sum_with_maps_before_accumulating() {
+        let xs: Vec<f64> = (0..9).map(f64::from).collect();
+        assert_eq!(
+            sum_with(&xs, |x| x * x),
+            sum(&xs.iter().map(|&x| x * x).collect::<Vec<_>>())
+        );
+        assert_eq!(sum_with(&[], |x| x + 1.0), 0.0);
     }
 }

@@ -115,7 +115,7 @@ impl BiasLimitPlanner {
     /// The paper's `K_LB = ⌈B_cir / limit⌉`, clamped to at least 2 (a single
     /// plane needs no partitioning).
     pub fn k_lower_bound(&self, problem: &PartitionProblem) -> usize {
-        ((problem.total_bias() / self.limit_ma).ceil() as usize).max(2)
+        (crate::float::frac(problem.total_bias(), self.limit_ma, 0.0).ceil() as usize).max(2)
     }
 
     /// Sweeps `K` from `K_LB` upward until the realized `B_max` fits.
@@ -164,7 +164,8 @@ impl BiasLimitPlanner {
             }
             k = if self.galloping {
                 // B_max tells us roughly how short on planes we are.
-                let estimate = (k as f64 * metrics.b_max / self.limit_ma).ceil() as usize;
+                let estimate = crate::float::frac(k as f64 * metrics.b_max, self.limit_ma, 0.0)
+                    .ceil() as usize;
                 estimate.max(k + 1)
             } else {
                 k + 1

@@ -126,7 +126,7 @@ impl PartitionMetrics {
             return 0.0;
         }
         let count = self.distance_histogram.get(d).copied().unwrap_or(0);
-        count as f64 / self.num_connections as f64
+        crate::float::frac(count as f64, self.num_connections as f64, 0.0)
     }
 
     /// Fraction of connections with plane distance `≤ d` — the paper's
@@ -141,7 +141,7 @@ impl PartitionMetrics {
             .iter()
             .take(d.saturating_add(1))
             .sum();
-        count as f64 / self.num_connections as f64
+        crate::float::frac(count as f64, self.num_connections as f64, 0.0)
     }
 
     /// The paper's `d ≤ ⌊K/2⌋` column of Tables II and III.

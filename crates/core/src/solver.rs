@@ -60,7 +60,7 @@ use crate::engine::{CostEngine, EngineOptions};
 use crate::error::SolveError;
 use crate::float;
 use crate::grad::{Gradient, GradientOptions};
-use crate::lanes::KernelBackend;
+use crate::lanes::{self, KernelBackend};
 use crate::problem::PartitionProblem;
 use crate::refine::{
     discrete_cost, refine_interruptible, refine_with_swaps_interruptible, RefineOptions,
@@ -865,7 +865,7 @@ impl Solver {
             // Derive / adapt the learning rate.
             // Exact: 0.0 is this loop's own "not yet derived" sentinel.
             if float::exactly(learning_rate, 0.0) {
-                let max_component = step.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
+                let max_component = lanes::max_abs(&step);
                 if max_component <= 0.0 {
                     stop_reason = StopReason::StepVanished;
                     observer.on_iteration(&stopped_event(iter, breakdown, &step, recovered));

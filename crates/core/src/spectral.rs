@@ -81,7 +81,7 @@ pub fn chunk_by_bias(problem: &PartitionProblem, order: &[usize]) -> Partition {
         "order must cover all gates"
     );
     let k = problem.num_planes();
-    let target = problem.total_bias() / k as f64;
+    let target = crate::float::frac(problem.total_bias(), k as f64, 0.0);
     let mut labels = vec![0u32; problem.num_gates()];
     let mut plane = 0usize;
     let mut acc = 0.0;
@@ -150,17 +150,17 @@ fn fiedler_vector(problem: &PartitionProblem, options: &SpectralOptions) -> Vec<
 
 /// Removes the component along the all-ones vector (the trivial eigenvector).
 fn deflate_constant(x: &mut [f64]) {
-    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let mean = crate::float::frac(crate::lanes::sum(x), x.len() as f64, 0.0);
     for v in x.iter_mut() {
         *v -= mean;
     }
 }
 
 fn normalize(x: &mut [f64]) {
-    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm = crate::float::checked_sqrt(crate::lanes::sum_with(x, |v| v * v)).unwrap_or(0.0);
     if norm > 0.0 {
         for v in x.iter_mut() {
-            *v /= norm;
+            *v = crate::float::frac(*v, norm, 0.0);
         }
     }
 }

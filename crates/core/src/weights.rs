@@ -410,7 +410,7 @@ impl WeightMatrix {
                 wb[j] = projected;
             }
         }
-        let norm = norm.iter().fold(0.0f64, |m, &v| m.max(v));
+        let norm = lanes::max_abs(&norm);
         (clipped, norm)
     }
 }

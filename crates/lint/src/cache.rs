@@ -1,0 +1,484 @@
+//! Incremental lint cache (`sfqlint --cache PATH`).
+//!
+//! The expensive half of a lint run is per-file: lexing, the token rules,
+//! item extraction, and the value-site scan. All of it is a pure function
+//! of `(file bytes, config)`. The cache persists those per-file artifacts
+//! — token-rule [`Diagnostic`]s, the [`FileItems`] model the graph rules
+//! consume, and the `unsafe`-block census sites — keyed by an FNV-1a hash
+//! of the file contents, under a header keyed by a hash of the config
+//! text. A warm run re-lexes only files whose bytes changed; the graph
+//! rules then run over the (mostly cached) item models, so cold and warm
+//! runs produce byte-identical output. Any config edit changes the header
+//! hash and invalidates the whole cache; any parse oddity in the cache
+//! file discards it silently (the cache is an accelerator, never an
+//! input).
+//!
+//! The format is a line-oriented text file (this crate is dependency-free,
+//! so no serde): a header `sfqlint-cache 1 <config-hash>`, then per file a
+//! `F|path|content-hash` record followed by `D` (diagnostic), `U` (unsafe
+//! site), `N`/`C`/`V` (function / call site / value site), and `E` (use
+//! declaration) records. String fields are `|`-separated with `\`-escapes
+//! for the structural characters.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::config::RULE_IDS;
+use crate::diag::Diagnostic;
+use crate::items::{CallSite, FileItems, FnItem, SiteKind, UseDecl, ValueSite};
+
+/// 64-bit FNV-1a — the content/config fingerprint. Not cryptographic; an
+/// adversarial collision just means a stale lint result, and the cache can
+/// always be deleted.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cached per-file artifacts: everything downstream passes need that is a
+/// pure function of the file bytes and the config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// FNV-1a of the file contents the artifacts were computed from.
+    pub content_hash: u64,
+    /// Token-rule diagnostics ([`crate::rules::check_file`] output).
+    pub diags: Vec<Diagnostic>,
+    /// Item model consumed by the graph rules.
+    pub items: FileItems,
+    /// `unsafe` block positions for the S1 census.
+    pub unsafe_sites: Vec<(u32, u32)>,
+}
+
+/// The on-disk cache: config-hash header plus per-path entries.
+#[derive(Debug)]
+pub struct Cache {
+    config_hash: u64,
+    entries: BTreeMap<String, CacheEntry>,
+    /// Files served from the cache this run.
+    pub hits: usize,
+    /// Files re-analyzed this run (changed, new, or evicted).
+    pub misses: usize,
+}
+
+impl Cache {
+    /// An empty cache bound to a config fingerprint.
+    pub fn new(config_hash: u64) -> Self {
+        Cache {
+            config_hash,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Loads `path`, returning an empty cache when the file is absent,
+    /// the header's config hash differs, or any record fails to parse.
+    pub fn load(path: &Path, config_hash: u64) -> Self {
+        let fresh = Cache::new(config_hash);
+        let Ok(text) = fs::read_to_string(path) else {
+            return fresh;
+        };
+        match parse_cache(&text, config_hash) {
+            Some(entries) => Cache { entries, ..fresh },
+            None => fresh,
+        }
+    }
+
+    /// Serializes the cache to `path` (atomic enough for a CI artifact:
+    /// whole-file rewrite).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(&format!("sfqlint-cache 1 {:016x}\n", self.config_hash));
+        for (p, e) in &self.entries {
+            write_entry(&mut out, p, e);
+        }
+        fs::write(path, out)
+    }
+
+    /// Returns the cached artifacts for `path` when the content hash
+    /// matches, counting a hit; counts a miss otherwise.
+    pub fn lookup(&mut self, path: &str, content_hash: u64) -> Option<CacheEntry> {
+        match self.entries.get(path) {
+            Some(e) if e.content_hash == content_hash => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records freshly computed artifacts for `path`.
+    pub fn insert(&mut self, path: &str, entry: CacheEntry) {
+        self.entries.insert(path.to_owned(), entry);
+    }
+
+    /// Drops entries for files no longer in the analyzed set, so deleted
+    /// files do not pin stale artifacts forever.
+    pub fn retain_paths(&mut self, live: &[&str]) {
+        self.entries.retain(|p, _| live.contains(&p.as_str()));
+    }
+
+    /// Number of cached files (for the stats line and tests).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no files are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+
+/// Escapes the structural characters of the cache format inside a string
+/// field: `|` (field), `,` (list), `;` (group), and line breaks.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            ',' => out.push_str("\\c"),
+            ';' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            'p' => out.push('|'),
+            'c' => out.push(','),
+            's' => out.push(';'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn opt(s: &Option<String>) -> String {
+    match s {
+        Some(v) => esc(v),
+        None => "-".to_owned(),
+    }
+}
+
+fn segs(v: &[String]) -> String {
+    v.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+}
+
+fn nums<T: std::fmt::Display>(v: &[T]) -> String {
+    v.iter().map(T::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn write_entry(out: &mut String, path: &str, e: &CacheEntry) {
+    out.push_str(&format!("F|{}|{:016x}\n", esc(path), e.content_hash));
+    for d in &e.diags {
+        out.push_str(&format!(
+            "D|{}|{}|{}|{}\n",
+            d.rule,
+            d.line,
+            d.col,
+            esc(&d.message)
+        ));
+    }
+    for &(l, c) in &e.unsafe_sites {
+        out.push_str(&format!("U|{l}|{c}\n"));
+    }
+    for u in &e.items.uses {
+        out.push_str(&format!("E|{}|{}\n", esc(&u.alias), segs(&u.segments)));
+    }
+    for f in &e.items.fns {
+        out.push_str(&format!(
+            "N|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+            esc(&f.name),
+            esc(&f.qname),
+            opt(&f.impl_type),
+            opt(&f.impl_trait),
+            u8::from(f.mut_self),
+            f.line,
+            f.col,
+            u8::from(f.in_test),
+            nums(&f.block_parent),
+        ));
+        for s in &f.facts {
+            out.push_str(&format!("V|{}|{}|{}\n", s.kind.code(), s.line, s.col));
+        }
+        for c in &f.calls {
+            let args = std::iter::once(c.args.len().to_string())
+                .chain(c.args.iter().map(|a| segs(a)))
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push_str(&format!(
+                "C|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+                esc(&c.name),
+                segs(&c.segments),
+                u8::from(c.is_method),
+                u8::from(c.is_macro),
+                c.line,
+                c.col,
+                segs(&c.receiver),
+                c.block,
+                c.stmt,
+                opt(&c.bound),
+                args,
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsing — any `None` bubbles up and discards the whole cache
+
+fn parse_u32(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+fn parse_opt(s: &str) -> Option<Option<String>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        unesc(s).map(Some)
+    }
+}
+
+fn parse_segs(s: &str) -> Option<Vec<String>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(unesc).collect()
+}
+
+fn parse_nums(s: &str) -> Option<Vec<u32>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(parse_u32).collect()
+}
+
+fn static_rule(s: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|r| **r == s).copied()
+}
+
+fn parse_cache(text: &str, config_hash: u64) -> Option<BTreeMap<String, CacheEntry>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut hp = header.split(' ');
+    if hp.next()? != "sfqlint-cache" || hp.next()? != "1" {
+        return None;
+    }
+    if u64::from_str_radix(hp.next()?, 16).ok()? != config_hash || hp.next().is_some() {
+        return None;
+    }
+
+    let mut entries = BTreeMap::new();
+    let mut cur: Option<(String, CacheEntry)> = None;
+    for line in lines {
+        let (tag, rest) = line.split_once('|')?;
+        if tag == "F" {
+            if let Some((p, e)) = cur.take() {
+                entries.insert(p, e);
+            }
+            let (path, hash) = rest.split_once('|')?;
+            cur = Some((
+                unesc(path)?,
+                CacheEntry {
+                    content_hash: u64::from_str_radix(hash, 16).ok()?,
+                    diags: Vec::new(),
+                    items: FileItems::default(),
+                    unsafe_sites: Vec::new(),
+                },
+            ));
+            continue;
+        }
+        let (path, entry) = cur.as_mut()?;
+        let f: Vec<&str> = rest.split('|').collect();
+        match tag {
+            "D" => {
+                let [rule, line, col, msg] = f[..] else {
+                    return None;
+                };
+                entry.diags.push(Diagnostic {
+                    rule: static_rule(rule)?,
+                    file: path.clone(),
+                    line: parse_u32(line)?,
+                    col: parse_u32(col)?,
+                    message: unesc(msg)?,
+                });
+            }
+            "U" => {
+                let [l, c] = f[..] else { return None };
+                entry.unsafe_sites.push((parse_u32(l)?, parse_u32(c)?));
+            }
+            "E" => {
+                let [alias, segments] = f[..] else {
+                    return None;
+                };
+                entry.items.uses.push(UseDecl {
+                    alias: unesc(alias)?,
+                    segments: parse_segs(segments)?,
+                });
+            }
+            "N" => {
+                let [name, qname, ity, itr, ms, line, col, it, bp] = f[..] else {
+                    return None;
+                };
+                entry.items.fns.push(FnItem {
+                    name: unesc(name)?,
+                    qname: unesc(qname)?,
+                    impl_type: parse_opt(ity)?,
+                    impl_trait: parse_opt(itr)?,
+                    mut_self: parse_bool(ms)?,
+                    line: parse_u32(line)?,
+                    col: parse_u32(col)?,
+                    in_test: parse_bool(it)?,
+                    calls: Vec::new(),
+                    facts: Vec::new(),
+                    block_parent: parse_nums(bp)?,
+                });
+            }
+            "V" => {
+                let [kind, line, col] = f[..] else {
+                    return None;
+                };
+                let kind = SiteKind::from_code(kind.chars().next()?)?;
+                entry.items.fns.last_mut()?.facts.push(ValueSite {
+                    kind,
+                    line: parse_u32(line)?,
+                    col: parse_u32(col)?,
+                });
+            }
+            "C" => {
+                let [name, segments, im, ima, line, col, recv, block, stmt, bound, args] = f[..]
+                else {
+                    return None;
+                };
+                let mut groups = args.split(';');
+                let n: usize = groups.next()?.parse().ok()?;
+                let parsed_args: Vec<Vec<String>> =
+                    groups.map(parse_segs).collect::<Option<_>>()?;
+                if parsed_args.len() != n {
+                    return None;
+                }
+                entry.items.fns.last_mut()?.calls.push(CallSite {
+                    name: unesc(name)?,
+                    segments: parse_segs(segments)?,
+                    is_method: parse_bool(im)?,
+                    is_macro: parse_bool(ima)?,
+                    line: parse_u32(line)?,
+                    col: parse_u32(col)?,
+                    receiver: parse_segs(recv)?,
+                    block: parse_u32(block)?,
+                    stmt: parse_u32(stmt)?,
+                    bound: parse_opt(bound)?,
+                    args: parsed_args,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some((p, e)) = cur.take() {
+        entries.insert(p, e);
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+
+    fn sample_entry() -> CacheEntry {
+        let src = "use std::fmt;\n\
+                   pub fn f(xs: &[f64], i: usize) -> f64 {\n\
+                   assert!(i < xs.len());\n\
+                   let total: f64 = xs.iter().sum::<f64>();\n\
+                   total / xs[i]\n\
+                   }\n";
+        CacheEntry {
+            content_hash: fnv1a64(src.as_bytes()),
+            diags: vec![Diagnostic {
+                rule: "P1",
+                file: "crates/core/src/x.rs".into(),
+                line: 5,
+                col: 13,
+                message: "weird | message, with; all\nthe\tstructural chars\\".into(),
+            }],
+            items: parse_items("crates/core/src/x.rs", src),
+            unsafe_sites: vec![(7, 3)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_exactly() {
+        let mut cache = Cache::new(42);
+        cache.insert("crates/core/src/x.rs", sample_entry());
+        let mut out = String::new();
+        out.push_str("sfqlint-cache 1 000000000000002a\n");
+        write_entry(&mut out, "crates/core/src/x.rs", &sample_entry());
+        let parsed = parse_cache(&out, 42).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["crates/core/src/x.rs"], sample_entry());
+    }
+
+    #[test]
+    fn config_hash_mismatch_discards_the_cache() {
+        let mut out = String::new();
+        out.push_str("sfqlint-cache 1 000000000000002a\n");
+        write_entry(&mut out, "a.rs", &sample_entry());
+        assert!(parse_cache(&out, 43).is_none());
+        assert!(parse_cache(&out, 42).is_some());
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = Cache::new(0);
+        let e = sample_entry();
+        cache.insert("a.rs", e.clone());
+        assert!(cache.lookup("a.rs", e.content_hash).is_some());
+        assert!(cache.lookup("a.rs", e.content_hash ^ 1).is_none());
+        assert!(cache.lookup("b.rs", 0).is_none());
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+    }
+
+    #[test]
+    fn garbage_is_an_empty_cache_not_an_error() {
+        assert!(parse_cache("not a cache\n", 0).is_none());
+        assert!(parse_cache("sfqlint-cache 1 zz\n", 0).is_none());
+        assert!(parse_cache("sfqlint-cache 1 0000000000000000\nX|junk\n", 0).is_none());
+    }
+}

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// All rule identifiers, in report order.
 pub const RULE_IDS: &[&str] = &[
-    "A1", "D1", "D2", "D3", "F1", "I1", "L1", "L2", "O1", "P1", "S1", "U1",
+    "A1", "D1", "D2", "D3", "D4", "F1", "I1", "L1", "L2", "N1", "O1", "P1", "P2", "S1", "U1",
 ];
 
 /// One `[[allow]]` entry: suppress findings of `rule` in `path`, optionally
@@ -98,6 +98,25 @@ pub struct Config {
     /// blocks as it has entries here, and unregistered files may contain
     /// none.
     pub s1_unsafe_blocks: Vec<String>,
+    /// Panic-freedom roots for rule P2: qualified function names whose
+    /// entire reachable call graph must contain no panic construct
+    /// (unchecked indexing, slice patterns, non-literal division, panicking
+    /// macros, `.unwrap()`/`.expect()`, unresolved ⊤ calls).
+    pub p2_roots: Vec<String>,
+    /// Crates whose library code rule N1 (non-finite confinement) covers.
+    pub n1_crates: Vec<String>,
+    /// Divergence-recovery roots for N1: functions reachable from these may
+    /// perform NaN/Inf-capable arithmetic, because the recovery machinery
+    /// (rollback + halved-step retry) watches their results.
+    pub n1_recovery_roots: Vec<String>,
+    /// Files exempt from N1: the checked-math helper modules themselves
+    /// (`core::float`, `core::lanes`, the integer-exponent kernels).
+    pub n1_helper_files: Vec<String>,
+    /// Crates whose library code rule D4 (canonical float folds) covers.
+    pub d4_crates: Vec<String>,
+    /// Files exempt from D4: the modules that *define* the canonical
+    /// striped reduction order and the fused kernels built on it.
+    pub d4_allowed_files: Vec<String>,
     /// Allowlist entries.
     pub allows: Vec<AllowEntry>,
 }
@@ -233,6 +252,43 @@ impl Default for Config {
                 "crates/serviced/src/bin/sfqpartd.rs -- hand-declared signal(2) \
                  registration; the handler only stores an AtomicBool"
                     .into(),
+            ],
+            p2_roots: vec![
+                "engine::gate_pass_chunk".into(),
+                "engine::gate_pass_chunk_scalar".into(),
+                "engine::gate_pass_chunk_lanes".into(),
+                "engine::edge_gather_chunk".into(),
+                "engine::grad_pass_chunk".into(),
+                "engine::grad_pass_chunk_scalar".into(),
+                "engine::grad_pass_chunk_lanes".into(),
+                "lanes::fold".into(),
+                "lanes::max_abs".into(),
+                "lanes::sum".into(),
+                "lanes::sum_with".into(),
+                "Shared::settle".into(),
+                "Shared::settle_inner".into(),
+            ],
+            n1_crates: vec!["core".into(), "recycle".into()],
+            n1_recovery_roots: vec![
+                "Solver::solve".into(),
+                "Solver::solve_observed".into(),
+                "Solver::try_solve".into(),
+                "Solver::try_solve_observed".into(),
+                "Solver::try_solve_interruptible".into(),
+                "Solver::try_solve_interruptible_observed".into(),
+            ],
+            n1_helper_files: vec![
+                "crates/core/src/float.rs".into(),
+                "crates/core/src/lanes.rs".into(),
+                "crates/core/src/kernel.rs".into(),
+            ],
+            d4_crates: vec!["core".into(), "recycle".into()],
+            d4_allowed_files: vec![
+                "crates/core/src/lanes.rs".into(),
+                "crates/core/src/float.rs".into(),
+                "crates/core/src/kernel.rs".into(),
+                "crates/core/src/engine.rs".into(),
+                "crates/core/src/cost.rs".into(),
             ],
             allows: Vec::new(),
         }
@@ -588,6 +644,21 @@ fn apply_key(
             "safe_calls" => cfg.s1_safe_calls = expect_str_array(value, key, lineno)?,
             "unsafe_blocks" => cfg.s1_unsafe_blocks = expect_str_array(value, key, lineno)?,
             other => return Err(err(lineno, format!("unknown [rules.S1] key `{other}`"))),
+        },
+        "rules.P2" => match key {
+            "roots" => cfg.p2_roots = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.P2] key `{other}`"))),
+        },
+        "rules.N1" => match key {
+            "crates" => cfg.n1_crates = expect_str_array(value, key, lineno)?,
+            "recovery_roots" => cfg.n1_recovery_roots = expect_str_array(value, key, lineno)?,
+            "helper_files" => cfg.n1_helper_files = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.N1] key `{other}`"))),
+        },
+        "rules.D4" => match key {
+            "crates" => cfg.d4_crates = expect_str_array(value, key, lineno)?,
+            "allowed_files" => cfg.d4_allowed_files = expect_str_array(value, key, lineno)?,
+            other => return Err(err(lineno, format!("unknown [rules.D4] key `{other}`"))),
         },
         other => {
             return Err(err(

@@ -41,6 +41,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              deterministic reduction tree. The allowlist in `lint.toml` names every \
              sanctioned spawn site with a reason."
         }
+        "D4" => {
+            "D4 — canonical float folds. Raw f64 iterator reductions (`.sum::<f64>()`, \
+             `.fold(0.0, …)`, sequential `acc +=` loops over float data) in the numeric \
+             crates are findings outside the modules that define the canonical striped \
+             fold order (`core::lanes`, `core::float`, the kernels): an ad-hoc \
+             left-to-right reduction evaluates in a different association order than \
+             the striped lane fold the parallel backends use, silently breaking the \
+             serial == parallel bit-identity guarantee. Route reductions through \
+             `core::lanes::{sum, sum_with, max_abs, fold}`. Order-insensitive \
+             `max`/`min` folds are exempt."
+        }
         "F1" => {
             "F1 — float-environment hygiene. Numeric crates must not call \
              `to_bits`/`from_bits` tricks, `fast-math`-style intrinsics, or \
@@ -80,6 +91,19 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              reason, e.g. the connection writer's short frame-integrity critical \
              section."
         }
+        "N1" => {
+            "N1 — non-finite confinement. Operations that can introduce NaN or Inf \
+             from finite inputs — division by a non-literal divisor, `0.0/0.0`-shaped \
+             literals, the `NAN`/`INFINITY` constants, and `ln`/`sqrt`/`powf`/`exp` \
+             calls — may only occur in functions reachable from the declared \
+             divergence-recovery scope (`[rules.N1] recovery_roots`: the solver entry \
+             points whose rollback machinery detects divergence and restores the last \
+             good partition) or inside the checked-math helper files. Everywhere else \
+             a NaN propagates silently through comparisons and folds until a partition \
+             is corrupt with no witness; route such math through the `core::float` \
+             checked helpers (`frac`, `checked_div`, `checked_ln`, `checked_sqrt`), \
+             which make the non-finite case an explicit branch."
+        }
         "O1" => {
             "O1 — observer purity. Progress/telemetry observers are called from inside \
              the solve loop; their implementations must not mutate solver state, \
@@ -93,6 +117,24 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              pool's workers run under a panic fence that converts worker panics into \
              poisoned-job errors, and that fence is only sound if panics are \
              exceptional, not control flow."
+        }
+        "P2" => {
+            "P2 — panic-freedom of the vetted roots. From every root declared in \
+             `[rules.P2] roots` (the fused descent kernels and the serviced worker's \
+             settle path), sfqlint walks the resolved call graph and flags every \
+             reachable construct that can unwind: unchecked indexing `[i]`, slice \
+             patterns, division/remainder by a non-literal divisor, `assert!`/`panic!`/\
+             `unreachable!` macros (`debug_assert!` is exempt — it compiles out of \
+             release), `.unwrap()`/`.expect()`, and calls the graph cannot resolve \
+             (⊤, unless vetted: allocation aborts rather than unwinds, `std::io` \
+             methods return `io::Result`). A panic inside a chunk worker poisons the \
+             job and, inside the settle path, can strand the daemon's job table; the \
+             panic fence is a backstop, not a license. Every finding carries a \
+             root→…→site witness chain, every allow entry requires a written \
+             invariant, and the static rule is cross-checked at runtime by the \
+             panic-census harness (`crates/core/tests/panic_census.rs`), which runs \
+             proptest-generated problems through {fused, reference} × {serial, \
+             intra-parallel} under `catch_unwind` and requires zero panics."
         }
         "S1" => {
             "S1 — async-signal-safety and the unsafe registry. A registered signal \

@@ -21,7 +21,95 @@
 //!   sufficient because type position cannot contain braces.
 
 use crate::lexer::{lex, Token, TokenKind};
-use crate::rules::test_mask;
+use crate::rules::{test_mask, NON_INDEX_KEYWORDS};
+
+/// What a [`ValueSite`] records: one expression shape the value-flow rules
+/// (P2 panic-freedom, N1 non-finite confinement, D4 canonical folds) care
+/// about. The scanner is token-level and intentionally conservative — each
+/// kind documents its approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Unchecked index expression `expr[i]` (same heuristic as rule P1:
+    /// `[` preceded by a non-keyword identifier, `)`, or `]`).
+    Index,
+    /// Slice destructuring `let [a, b] = …` — panics when the length
+    /// mismatches a non-exhaustive pattern.
+    SlicePat,
+    /// Division with a non-literal divisor (`a / b`, `a /= b`). Divisions
+    /// by a nonzero numeric literal are exempt — they cannot trap or make
+    /// a fresh NaN/Inf from finite operands.
+    DivNonLit,
+    /// Remainder with a non-literal divisor (`a % b`, `a %= b`).
+    ModNonLit,
+    /// Division by a zero float literal (`x / 0.0` shapes): introduces
+    /// NaN/Inf unconditionally.
+    ZeroDivLit,
+    /// A non-finite constant path (`NAN`, `INFINITY`, `NEG_INFINITY`).
+    NanConst,
+    /// `ident += …` where `ident` was let-bound to a float literal in the
+    /// same function: a raw sequential float accumulation loop.
+    FloatAccum,
+    /// Raw float iterator reduction: `.sum::<f64>()`, `.product::<f64>()`,
+    /// or `.fold(<float literal>, …)` whose combiner is not a plain
+    /// `max`/`min` path (those are order-insensitive).
+    FoldF64,
+}
+
+impl SiteKind {
+    /// Stable single-letter code used by the lint cache serialization.
+    pub fn code(self) -> char {
+        match self {
+            SiteKind::Index => 'I',
+            SiteKind::SlicePat => 'S',
+            SiteKind::DivNonLit => 'D',
+            SiteKind::ModNonLit => 'M',
+            SiteKind::ZeroDivLit => 'Z',
+            SiteKind::NanConst => 'N',
+            SiteKind::FloatAccum => 'A',
+            SiteKind::FoldF64 => 'F',
+        }
+    }
+
+    /// Inverse of [`SiteKind::code`].
+    pub fn from_code(c: char) -> Option<SiteKind> {
+        Some(match c {
+            'I' => SiteKind::Index,
+            'S' => SiteKind::SlicePat,
+            'D' => SiteKind::DivNonLit,
+            'M' => SiteKind::ModNonLit,
+            'Z' => SiteKind::ZeroDivLit,
+            'N' => SiteKind::NanConst,
+            'A' => SiteKind::FloatAccum,
+            'F' => SiteKind::FoldF64,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable construct name for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SiteKind::Index => "unchecked indexing `[…]`",
+            SiteKind::SlicePat => "slice pattern `let […] = …`",
+            SiteKind::DivNonLit => "division by a non-literal divisor",
+            SiteKind::ModNonLit => "remainder by a non-literal divisor",
+            SiteKind::ZeroDivLit => "division by a zero literal",
+            SiteKind::NanConst => "non-finite constant (`NAN`/`INFINITY`)",
+            SiteKind::FloatAccum => "sequential float accumulation `+=`",
+            SiteKind::FoldF64 => "raw float reduction (`.sum()`/`.fold()`)",
+        }
+    }
+}
+
+/// One value-flow fact inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueSite {
+    /// What shape was seen.
+    pub kind: SiteKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
 
 /// One call or macro invocation inside a function body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +179,8 @@ pub struct FnItem {
     pub in_test: bool,
     /// Calls and macro invocations in the body, in source order.
     pub calls: Vec<CallSite>,
+    /// Value-flow facts in the body, in source order (see [`ValueSite`]).
+    pub facts: Vec<ValueSite>,
     /// Parent table for the body's braced blocks: `block_parent[b]` is the
     /// enclosing block of block `b` (block 0, the function body, is its
     /// own parent). Block `a` encloses call `c` iff `a` is on the parent
@@ -149,7 +239,13 @@ enum Frame {
 /// Parses `src` into its item-level model. Never fails.
 pub fn parse_items(path: &str, src: &str) -> FileItems {
     let tokens = lex(src);
-    let mask = test_mask(&tokens);
+    parse_items_tokens(path, &tokens)
+}
+
+/// Token-level entry point: builds the item model from an already-lexed
+/// stream, so the incremental pipeline lexes each file exactly once.
+pub fn parse_items_tokens(path: &str, tokens: &[Token<'_>]) -> FileItems {
+    let mask = test_mask(tokens);
     let sig: Vec<usize> = (0..tokens.len())
         .filter(|&i| !tokens[i].is_comment())
         .collect();
@@ -184,7 +280,7 @@ pub fn parse_items(path: &str, src: &str) -> FileItems {
             continue;
         }
         if t.is_ident("impl") {
-            let (frame, next) = parse_impl_header(&tokens, &sig, i + 1);
+            let (frame, next) = parse_impl_header(tokens, &sig, i + 1);
             frames.push((frame, depth + 1));
             i = next;
             continue;
@@ -213,13 +309,13 @@ pub fn parse_items(path: &str, src: &str) -> FileItems {
             continue;
         }
         if t.is_ident("use") {
-            i = parse_use(&tokens, &sig, i + 1, &mut out.uses);
+            i = parse_use(tokens, &sig, i + 1, &mut out.uses);
             continue;
         }
         if t.is_ident("fn") {
             if let Some(name) = tok(i + 1).filter(|n| n.kind == TokenKind::Ident) {
                 let (item, next) = parse_fn(
-                    path, &tokens, &sig, &mask, i, name.text, &frames, t.line, t.col,
+                    path, tokens, &sig, &mask, i, name.text, &frames, t.line, t.col,
                 );
                 if let Some(item) = item {
                     out.fns.push(item);
@@ -527,6 +623,7 @@ fn parse_fn(
         .get(at)
         .is_some_and(|&i| mask.get(i).copied().unwrap_or(false));
     let (calls, block_parent) = extract_calls(tokens, sig, open + 1, close);
+    let facts = scan_value_sites(tokens, sig, open + 1, close);
 
     (
         Some(FnItem {
@@ -539,10 +636,195 @@ fn parse_fn(
             col,
             in_test,
             calls,
+            facts,
             block_parent,
         }),
         close + 1,
     )
+}
+
+/// True for a numeric literal token whose value is zero (`0`, `0.0`, `0.`,
+/// `0e0`, `0.0f64`, `0_u32`). Suffixes and underscores are ignored; the
+/// mantissa and any exponent digits must all be zero.
+fn is_zero_literal(t: &Token<'_>) -> bool {
+    if !matches!(t.kind, TokenKind::Int | TokenKind::Float) {
+        return false;
+    }
+    let mut saw_digit = false;
+    for c in t.text.chars() {
+        match c {
+            '0' | '.' | '_' | '+' | '-' | 'e' | 'E' => saw_digit |= c == '0',
+            // First suffix letter ends the numeric part (`f64`, `u32`).
+            c if c.is_ascii_alphabetic() => break,
+            // Any nonzero digit.
+            _ => return false,
+        }
+    }
+    saw_digit
+}
+
+/// Scans stream positions `[start, end)` for value-flow facts. Token-level
+/// and conservative by design; see each [`SiteKind`] for the exact shapes
+/// and approximations.
+fn scan_value_sites(
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    start: usize,
+    end: usize,
+) -> Vec<ValueSite> {
+    let tok = |s: usize| sig.get(s).map(|&i| tokens[i]);
+    let mut out: Vec<ValueSite> = Vec::new();
+    let mut push = |kind: SiteKind, t: &Token<'_>| {
+        out.push(ValueSite {
+            kind,
+            line: t.line,
+            col: t.col,
+        });
+    };
+    // Idents let-bound to a float literal in this body: `+=` targets.
+    let mut float_accs: Vec<String> = Vec::new();
+    let mut k = start;
+    while k < end {
+        let Some(t) = tok(k) else { break };
+        match t.kind {
+            TokenKind::Ident => {
+                if t.text == "let" {
+                    // `let [a, b] = …`: slice pattern.
+                    if let Some(open) = tok(k + 1).filter(|n| n.is_punct("[")) {
+                        push(SiteKind::SlicePat, &open);
+                    }
+                    // `let [mut] ident = <float literal>`: accumulator seed.
+                    let mut j = k + 1;
+                    if tok(j).is_some_and(|n| n.is_ident("mut")) {
+                        j += 1;
+                    }
+                    if let Some(name) = tok(j).filter(|n| n.kind == TokenKind::Ident) {
+                        let seeded = tok(j + 1).is_some_and(|n| n.is_punct("="))
+                            && tok(j + 2).is_some_and(|n| n.kind == TokenKind::Float)
+                            && tok(j + 3).is_some_and(|n| n.is_punct(";"));
+                        if seeded && !CALL_KEYWORDS.contains(&name.text) {
+                            float_accs.push(name.text.to_owned());
+                        }
+                    }
+                } else if matches!(t.text, "NAN" | "INFINITY" | "NEG_INFINITY") {
+                    push(SiteKind::NanConst, &t);
+                } else if matches!(t.text, "sum" | "product")
+                    && tok(k.wrapping_sub(1)).is_some_and(|p| p.is_punct("."))
+                    && k > start
+                {
+                    // `.sum::<f64>(` / `.product::<f64>(`: scan the
+                    // turbofish for a float type.
+                    if tok(k + 1).is_some_and(|n| n.is_punct("::"))
+                        && tok(k + 2).is_some_and(|n| n.is_punct("<"))
+                    {
+                        let mut floats = false;
+                        let mut angle = 0usize;
+                        let mut p = k + 2;
+                        while let Some(a) = tok(p) {
+                            if a.is_punct("<") {
+                                angle += 1;
+                            } else if a.is_punct(">") {
+                                angle = angle.saturating_sub(1);
+                                if angle == 0 {
+                                    break;
+                                }
+                            } else if a.is_ident("f64") || a.is_ident("f32") {
+                                floats = true;
+                            }
+                            p += 1;
+                        }
+                        if floats {
+                            push(SiteKind::FoldF64, &t);
+                        }
+                    }
+                } else if t.text == "fold"
+                    && k > start
+                    && tok(k.wrapping_sub(1)).is_some_and(|p| p.is_punct("."))
+                    && tok(k + 1).is_some_and(|n| n.is_punct("("))
+                    && tok(k + 2).is_some_and(|n| n.kind == TokenKind::Float)
+                {
+                    // `.fold(<float literal>, combiner)`: a float reduction
+                    // unless the combiner is a plain `max`/`min` path
+                    // (order-insensitive).
+                    let close = matching_paren(tokens, sig, k + 1, end);
+                    let mut depth = 0usize;
+                    let mut comma = None;
+                    let mut q = k + 1;
+                    while q < close {
+                        let Some(n) = tok(q) else { break };
+                        if n.is_punct("(") || n.is_punct("[") || n.is_punct("{") {
+                            depth += 1;
+                        } else if n.is_punct(")") || n.is_punct("]") || n.is_punct("}") {
+                            depth = depth.saturating_sub(1);
+                        } else if n.is_punct(",") && depth == 1 {
+                            comma = Some(q);
+                            break;
+                        }
+                        q += 1;
+                    }
+                    let order_free = comma.is_some_and(|c| {
+                        let path = plain_path(tokens, sig, c + 1, close);
+                        matches!(path.last().map(String::as_str), Some("max" | "min"))
+                    });
+                    if !order_free {
+                        push(SiteKind::FoldF64, &t);
+                    }
+                }
+            }
+            TokenKind::Punct => match t.text {
+                "[" if k > start => {
+                    // Same heuristic as rule P1: an index expression iff
+                    // the previous token ends a place expression.
+                    if let Some(prev) = tok(k - 1) {
+                        let indexes = match prev.kind {
+                            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text),
+                            TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                            _ => false,
+                        };
+                        if indexes {
+                            push(SiteKind::Index, &t);
+                        }
+                    }
+                }
+                "/" | "/=" | "%" | "%=" => {
+                    let modulo = t.text.starts_with('%');
+                    match tok(k + 1) {
+                        Some(d)
+                            if matches!(d.kind, TokenKind::Int | TokenKind::Float)
+                                && is_zero_literal(&d)
+                                && !modulo =>
+                        {
+                            push(SiteKind::ZeroDivLit, &t);
+                        }
+                        // Nonzero literal divisor: exempt.
+                        Some(d) if matches!(d.kind, TokenKind::Int | TokenKind::Float) => {}
+                        Some(_) => {
+                            let kind = if modulo {
+                                SiteKind::ModNonLit
+                            } else {
+                                SiteKind::DivNonLit
+                            };
+                            push(kind, &t);
+                        }
+                        None => {}
+                    }
+                }
+                "+=" if k > start => {
+                    if let Some(prev) = tok(k - 1) {
+                        if prev.kind == TokenKind::Ident
+                            && float_accs.iter().any(|a| a.as_str() == prev.text)
+                        {
+                            push(SiteKind::FloatAccum, &t);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        k += 1;
+    }
+    out
 }
 
 /// Extracts call sites and macro invocations from stream positions

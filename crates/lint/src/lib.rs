@@ -23,6 +23,18 @@
 //! `unsafe` block. The static rules are cross-checked at runtime by the
 //! lock-witness shim in the core crate (`--features lock_witness`).
 //!
+//! v4 extends the item model with a per-function value-site scanner
+//! ([`items::ValueSite`]) feeding three value-flow rules
+//! ([`rules_value`]): P2 panic-freedom of the configured kernel/settle
+//! roots (with root→…→site witness chains, cross-checked at runtime by
+//! the panic-census harness in the core crate), N1 confinement of
+//! NaN/Inf-capable operations to the divergence-recovery scope, and D4
+//! canonical striped folds for float reductions. All rule families now
+//! run through an incremental pipeline ([`analysis`]) that lexes each
+//! file once and builds each graph once; with `--cache` the per-file
+//! artifacts persist across runs keyed by content + config hashes
+//! ([`cache`]), so a warm run re-analyzes only changed files.
+//!
 //! The tool is dependency-free by design — the workspace vendors offline
 //! stub crates, so an AST-level framework (`syn`, `dylint`) is unavailable;
 //! a hand-rolled lexer ([`lexer`]) over raw token streams is both
@@ -49,6 +61,8 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analysis;
+pub mod cache;
 pub mod config;
 pub mod diag;
 pub mod explain;
@@ -58,12 +72,16 @@ pub mod lexer;
 pub mod rules;
 pub mod rules_concurrency;
 pub mod rules_graph;
+pub mod rules_value;
 pub mod walk;
 
+pub use analysis::{analyze_targets, lint_analyzed, lint_targets, AnalyzedFile};
+pub use cache::{fnv1a64, Cache, CacheEntry};
 pub use config::{AllowEntry, Config, ConfigError};
 pub use diag::{apply_allowlist, render_json, Diagnostic};
 pub use explain::explain;
 pub use rules::{check_file, classify, crate_of, FileClass, FileTarget};
 pub use rules_concurrency::check_concurrency;
 pub use rules_graph::check_workspace;
+pub use rules_value::check_values;
 pub use walk::collect_workspace_files;

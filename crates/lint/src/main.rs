@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! sfqlint --workspace [--root DIR] [--config lint.toml]
-//!         [--format text|json|github] [--strict-allow]
+//!         [--format text|json|github] [--strict-allow] [--cache PATH]
 //! sfqlint [--config lint.toml] [--format …] FILE…
 //! sfqlint --explain RULE
 //! ```
+//!
+//! `--cache PATH` persists per-file analysis artifacts keyed by content +
+//! config hashes: a warm run re-lexes only changed files and prints a
+//! `sfqlint: cache …` stats line on stderr, with stdout byte-identical to
+//! a cold run. The cache is an accelerator, never an input — a corrupt or
+//! stale cache file is silently discarded and rebuilt.
 //!
 //! Exit codes: `0` clean, `1` findings (or stale allows under
 //! `--strict-allow`), `2` usage error, `3` I/O or configuration error.
@@ -21,13 +27,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sfqlint::{
-    apply_allowlist, check_concurrency, check_file, check_workspace, explain, render_json, Config,
-    FileTarget,
-};
+use sfqlint::{apply_allowlist, explain, lint_targets, render_json, Config, FileTarget};
 
 const USAGE: &str = "usage: sfqlint [--workspace] [--root DIR] [--config FILE] \
-                     [--format text|json|github] [--strict-allow] [FILE...]\n\
+                     [--format text|json|github] [--strict-allow] [--cache PATH] [FILE...]\n\
                      \x20      sfqlint --explain RULE";
 
 enum Format {
@@ -43,6 +46,7 @@ struct Args {
     format: Format,
     strict_allow: bool,
     explain: Option<String>,
+    cache: Option<PathBuf>,
     files: Vec<String>,
 }
 
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Text,
         strict_allow: false,
         explain: None,
+        cache: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a path")?));
             }
             "--format" => match it.next().as_deref() {
                 Some("text") => args.format = Format::Text,
@@ -91,16 +99,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn load_config(args: &Args) -> Result<Config, String> {
+/// Loads the config plus the fingerprint of its source text, which keys
+/// the incremental cache: any config edit invalidates every cached entry.
+fn load_config(args: &Args) -> Result<(Config, u64), String> {
     let path = args
         .config
         .clone()
         .unwrap_or_else(|| args.root.join("lint.toml"));
     match fs::read_to_string(&path) {
-        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        Ok(text) => Config::parse(&text)
+            .map(|cfg| (cfg, sfqlint::fnv1a64(text.as_bytes())))
+            .map_err(|e| e.to_string()),
         // No lint.toml: built-in defaults. An explicitly named --config
         // must exist, though.
-        Err(_) if args.config.is_none() => Ok(Config::default()),
+        Err(_) if args.config.is_none() => Ok((Config::default(), sfqlint::fnv1a64(b""))),
         Err(e) => Err(format!("cannot read {}: {e}", path.display())),
     }
 }
@@ -144,7 +156,7 @@ fn run() -> Result<ExitCode, (u8, String)> {
         println!("{text}");
         return Ok(ExitCode::SUCCESS);
     }
-    let cfg = load_config(&args).map_err(|e| (3, e))?;
+    let (cfg, config_hash) = load_config(&args).map_err(|e| (3, e))?;
 
     let mut loaded: Vec<Loaded> = Vec::new();
     if args.workspace {
@@ -168,14 +180,23 @@ fn run() -> Result<ExitCode, (u8, String)> {
             explicit: l.explicit,
         })
         .collect();
-    let mut diags = Vec::new();
-    for t in &targets {
-        diags.extend(check_file(t, &cfg));
+    let mut cache = args
+        .cache
+        .as_deref()
+        .map(|p| sfqlint::Cache::load(p, config_hash));
+    let diags = lint_targets(&targets, &cfg, cache.as_mut());
+    if let (Some(path), Some(cache)) = (args.cache.as_deref(), cache.as_ref()) {
+        cache
+            .save(path)
+            .map_err(|e| (3, format!("cannot write cache {}: {e}", path.display())))?;
+        eprintln!(
+            "sfqlint: cache {} hit(s), {} miss(es), {} file(s) cached at {}",
+            cache.hits,
+            cache.misses,
+            cache.len(),
+            path.display()
+        );
     }
-    diags.extend(check_workspace(&targets, &cfg));
-    diags.extend(check_concurrency(&targets, &cfg));
-
-    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     let (kept, suppressed, unused) = apply_allowlist(diags, &cfg);
     let stale = args.strict_allow && !unused.is_empty();
 

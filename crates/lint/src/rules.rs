@@ -71,7 +71,18 @@ pub struct FileTarget<'a> {
 /// Lints one file under `cfg`, returning findings before allowlisting.
 pub fn check_file(target: &FileTarget<'_>, cfg: &Config) -> Vec<Diagnostic> {
     let tokens = lex(target.src);
-    let mask = test_mask(&tokens);
+    check_file_tokens(target, cfg, &tokens)
+}
+
+/// Token-level entry point: lints one already-lexed file. The incremental
+/// pipeline lexes each file once and shares the stream between the token
+/// rules, the item scanner, and the unsafe-block census.
+pub fn check_file_tokens(
+    target: &FileTarget<'_>,
+    cfg: &Config,
+    tokens: &[Token<'_>],
+) -> Vec<Diagnostic> {
+    let mask = test_mask(tokens);
     // Indices of significant (non-comment) tokens, for pattern matching.
     let sig: Vec<usize> = (0..tokens.len())
         .filter(|&i| !tokens[i].is_comment())
@@ -89,7 +100,7 @@ pub fn check_file(target: &FileTarget<'_>, cfg: &Config) -> Vec<Diagnostic> {
 
     let mut diags = Vec::new();
     let mut ctx = RuleCtx {
-        tokens: &tokens,
+        tokens,
         mask: &mask,
         sig: &sig,
         path: target.path,
@@ -344,7 +355,7 @@ fn rule_f1(ctx: &mut RuleCtx<'_, '_>) {
 
 /// Rust keywords that may directly precede a `[` without it being an index
 /// expression (`let [a, b] = …`, `if let [x] = …`, `return [0; 4]`, …).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "mut", "ref", "in", "return", "match", "if", "else", "move", "as", "box", "await",
     "break", "continue", "yield", "static", "const", "where", "dyn", "impl", "for", "while",
     "loop", "unsafe", "async", "fn", "type", "struct", "enum", "union", "trait", "use", "pub",

@@ -130,15 +130,42 @@ pub fn check_concurrency(targets: &[FileTarget<'_>], cfg: &Config) -> Vec<Diagno
         }
     }
     let graph = Graph::build(parsed);
+    let census: Vec<(String, Vec<(u32, u32)>)> = targets
+        .iter()
+        .filter(|t| !t.explicit)
+        .map(|t| (t.path.to_owned(), unsafe_block_sites(&lex(t.src))))
+        .collect();
+    check_concurrency_graph(&graph, cfg, &census)
+}
 
+/// Runs L1/L2/S1 over an already-built library+binary graph, with the
+/// `unsafe`-block census precomputed per file (empty census on explicit /
+/// fixture runs). The incremental pipeline calls this directly.
+pub(crate) fn check_concurrency_graph(
+    graph: &Graph,
+    cfg: &Config,
+    census: &[(String, Vec<(u32, u32)>)],
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let model = Model::build(&graph, cfg);
+    let model = Model::build(graph, cfg);
     model.check_l1_l2(&mut diags);
-    rule_s1_handlers(&graph, cfg, &mut diags);
-    audit_unsafe_blocks(targets, cfg, &mut diags);
+    rule_s1_handlers(graph, cfg, &mut diags);
+    audit_unsafe_census(census, cfg, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     diags.dedup();
     diags
+}
+
+/// Positions of `unsafe {` block heads in one token stream.
+pub(crate) fn unsafe_block_sites(tokens: &[crate::lexer::Token<'_>]) -> Vec<(u32, u32)> {
+    let sig: Vec<&crate::lexer::Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut blocks = Vec::new();
+    for w in sig.windows(2) {
+        if w[0].is_ident("unsafe") && w[1].is_punct("{") {
+            blocks.push((w[0].line, w[0].col));
+        }
+    }
+    blocks
 }
 
 fn diag(rule: &'static str, file: &str, line: u32, col: u32, message: String) -> Diagnostic {
@@ -883,9 +910,15 @@ fn rule_s1_handlers(graph: &Graph, cfg: &Config, diags: &mut Vec<Diagnostic>) {
 
 /// S1, registry half: every `unsafe {{ … }}` block in the workspace must
 /// have a `path -- justification` entry, and entries must match reality.
-fn audit_unsafe_blocks(targets: &[FileTarget<'_>], cfg: &Config, diags: &mut Vec<Diagnostic>) {
-    let scanned: Vec<&FileTarget<'_>> = targets.iter().filter(|t| !t.explicit).collect();
-    if scanned.is_empty() {
+/// `census` holds `(path, unsafe-block positions)` for each non-explicit
+/// file in scope; fixture / explicit-file runs pass an empty census and
+/// audit nothing.
+fn audit_unsafe_census(
+    census: &[(String, Vec<(u32, u32)>)],
+    cfg: &Config,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if census.is_empty() {
         return; // fixture / explicit-file runs audit nothing
     }
     let mut registered: BTreeMap<&str, usize> = BTreeMap::new();
@@ -895,23 +928,14 @@ fn audit_unsafe_blocks(targets: &[FileTarget<'_>], cfg: &Config, diags: &mut Vec
         }
     }
     let mut audited: BTreeSet<&str> = BTreeSet::new();
-    for t in &scanned {
-        let tokens = lex(t.src);
-        let sig: Vec<&crate::lexer::Token<'_>> =
-            tokens.iter().filter(|t| !t.is_comment()).collect();
-        let mut blocks: Vec<(u32, u32)> = Vec::new();
-        for w in sig.windows(2) {
-            if w[0].is_ident("unsafe") && w[1].is_punct("{") {
-                blocks.push((w[0].line, w[0].col));
-            }
-        }
-        audited.insert(t.path);
-        let allowed = registered.get(t.path).copied().unwrap_or(0);
+    for (path, blocks) in census {
+        audited.insert(path.as_str());
+        let allowed = registered.get(path.as_str()).copied().unwrap_or(0);
         if blocks.len() > allowed {
             let (line, col) = blocks[allowed];
             diags.push(diag(
                 "S1",
-                t.path,
+                path,
                 line,
                 col,
                 format!(
@@ -924,7 +948,7 @@ fn audit_unsafe_blocks(targets: &[FileTarget<'_>], cfg: &Config, diags: &mut Vec
         } else if blocks.len() < allowed {
             diags.push(diag(
                 "S1",
-                t.path,
+                path,
                 1,
                 1,
                 format!(

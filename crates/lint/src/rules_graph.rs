@@ -75,7 +75,7 @@ const IO_MACROS: &[&str] = &["print", "println", "eprint", "eprintln", "dbg"];
 /// Method names from `std::io::{Read, Write}` — a direct-scan vocabulary;
 /// none of the covered crates define methods with these names, so a hit is
 /// an I/O call (or deserves a written allow).
-const IO_METHODS: &[&str] = &[
+pub(crate) const IO_METHODS: &[&str] = &[
     "write_all",
     "write_fmt",
     "write_vectored",
@@ -105,11 +105,20 @@ pub fn check_workspace(targets: &[FileTarget<'_>], cfg: &Config) -> Vec<Diagnost
         parsed.push((t.path.to_owned(), parse_items(t.path, t.src)));
     }
     let graph = Graph::build(parsed);
+    check_workspace_graph(&graph, cfg, &explicit_paths)
+}
 
+/// Runs A1/I1/O1 over an already-built library graph. The incremental
+/// pipeline builds the graph once and shares it with the value rules.
+pub(crate) fn check_workspace_graph(
+    graph: &Graph,
+    cfg: &Config,
+    explicit_paths: &[&str],
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    rule_a1(&graph, cfg, &mut diags);
-    rule_i1(&graph, cfg, &explicit_paths, &mut diags);
-    rule_o1(&graph, cfg, &mut diags);
+    rule_a1(graph, cfg, &mut diags);
+    rule_i1(graph, cfg, explicit_paths, &mut diags);
+    rule_o1(graph, cfg, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     diags.dedup();
     diags
@@ -196,7 +205,7 @@ fn rule_a1(graph: &Graph, cfg: &Config, diags: &mut Vec<Diagnostic>) {
 }
 
 /// The allocating construct a call site represents, if any.
-fn alloc_construct(call: &CallSite) -> Option<String> {
+pub(crate) fn alloc_construct(call: &CallSite) -> Option<String> {
     if call.is_macro {
         return ALLOC_MACROS
             .contains(&call.name.as_str())

@@ -1,0 +1,10 @@
+// sfqlint fixture: rule D4 negative — order-insensitive folds and
+// non-float reductions stay exempt.
+
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+pub fn count_positive(xs: &[f64]) -> usize {
+    xs.iter().filter(|&&x| x > 0.0).count()
+}

@@ -1,0 +1,14 @@
+// sfqlint fixture: rule D4 positive — raw float reductions whose
+// association order is not the canonical striped fold.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn running(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+// sfqlint fixture: rule N1 negative — NaN/Inf-capable arithmetic confined
+// to the divergence-recovery scope, literal divisors elsewhere.
+
+pub struct Solver;
+
+impl Solver {
+    pub fn try_solve(&self, a: f64, b: f64) -> f64 {
+        recovered_ratio(a, b)
+    }
+}
+
+fn recovered_ratio(a: f64, b: f64) -> f64 {
+    a / b
+}
+
+pub fn halve(x: f64) -> f64 {
+    x / 2.0
+}

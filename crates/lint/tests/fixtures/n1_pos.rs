@@ -1,0 +1,6 @@
+// sfqlint fixture: rule N1 positive — a division that can produce
+// NaN/Inf, in a function outside the divergence-recovery scope.
+
+pub fn stray_ratio(a: f64, b: f64) -> f64 {
+    a / b
+}

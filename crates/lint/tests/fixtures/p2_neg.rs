@@ -1,0 +1,17 @@
+// sfqlint fixture: rule P2 negative — the same root path spelled with
+// checked access and `debug_assert!` invariants.
+
+pub struct Shared {
+    jobs: Vec<u32>,
+}
+
+impl Shared {
+    pub fn settle(&self) -> u32 {
+        debug_assert!(!self.jobs.is_empty());
+        self.finish_one()
+    }
+
+    fn finish_one(&self) -> u32 {
+        self.jobs.first().copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,17 @@
+// sfqlint fixture: rule P2 positive — panic constructs reachable from the
+// declared panic-free root `Shared::settle`, one hop deep.
+
+pub struct Shared {
+    jobs: Vec<u32>,
+}
+
+impl Shared {
+    pub fn settle(&self) -> u32 {
+        self.finish_one()
+    }
+
+    fn finish_one(&self) -> u32 {
+        assert!(!self.jobs.is_empty());
+        self.jobs[0]
+    }
+}

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use sfqlint::graph::Graph;
 use sfqlint::items::parse_items;
-use sfqlint::{check_workspace, Config, FileTarget};
+use sfqlint::{check_file, check_values, check_workspace, Cache, CacheEntry, Config, FileTarget};
 
 /// Rust-ish token vocabulary: item keywords, delimiters, and the exact
 /// identifiers the A1/I1/O1 configurations key on, so random interleavings
@@ -60,6 +60,28 @@ const VOCAB: &[&str] = &[
     "set",
     "println",
     "stdout",
+    // Value-rule vocabulary (P2/N1/D4): panic constructs, non-finite
+    // operations, and reduction shapes, plus the configured root names.
+    "sum",
+    "fold",
+    "sqrt",
+    "powf",
+    "NAN",
+    "INFINITY",
+    "/",
+    "%",
+    "+=",
+    "0.0",
+    "let",
+    "unwrap",
+    "expect",
+    "assert",
+    "debug_assert",
+    "f64",
+    "settle",
+    "Shared",
+    "Solver",
+    "try_solve",
 ];
 
 proptest! {
@@ -89,5 +111,50 @@ proptest! {
             explicit: true,
         };
         let _ = check_workspace(std::slice::from_ref(&target), &Config::default());
+    }
+
+    /// The v4 value rules share the scanner with the graph rules; they must
+    /// be just as tolerant of half-written sources.
+    #[test]
+    fn value_rules_survive_rustish_token_soup(
+        picks in proptest::collection::vec(any::<u16>(), 0..200),
+    ) {
+        let words: Vec<&str> = picks
+            .iter()
+            .map(|&p| VOCAB[(p as usize) % VOCAB.len()])
+            .collect();
+        let src = words.join(" ");
+        let target = FileTarget {
+            path: "crates/core/src/fuzz.rs",
+            src: &src,
+            explicit: true,
+        };
+        let _ = check_values(std::slice::from_ref(&target), &Config::default());
+    }
+
+    /// Whatever the scanner extracts from arbitrary bytes, the cache
+    /// serializer must round-trip it exactly — the warm run's inputs are
+    /// byte-for-byte the cold run's artifacts.
+    #[test]
+    fn cache_roundtrips_fuzzed_analyses(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let path = "crates/core/src/fuzz.rs";
+        let target = FileTarget { path, src: &src, explicit: false };
+        let entry = CacheEntry {
+            content_hash: sfqlint::fnv1a64(src.as_bytes()),
+            diags: check_file(&target, &Config::default()),
+            items: parse_items(path, &src),
+            unsafe_sites: vec![(1, 2), (40, 7)],
+        };
+        let mut cache = Cache::new(seed);
+        cache.insert(path, entry.clone());
+        let file = std::env::temp_dir().join(format!("sfqlint-prop-cache-{seed:x}"));
+        cache.save(&file).unwrap();
+        let mut reloaded = Cache::load(&file, seed);
+        let _ = std::fs::remove_file(&file);
+        prop_assert_eq!(reloaded.lookup(path, entry.content_hash), Some(entry));
     }
 }

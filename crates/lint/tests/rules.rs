@@ -6,37 +6,43 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use sfqlint::{
-    apply_allowlist, check_concurrency, check_file, check_workspace, AllowEntry, Config,
-    Diagnostic, FileTarget,
+    apply_allowlist, check_concurrency, check_file, check_values, check_workspace, AllowEntry,
+    Config, Diagnostic, FileTarget,
 };
 
-const POSITIVES: [&str; 12] = [
+const POSITIVES: [&str; 15] = [
     "a1_pos.rs",
     "d1_pos.rs",
     "d2_pos.rs",
     "d3_pos.rs",
+    "d4_pos.rs",
     "f1_pos.rs",
     "i1_pos.rs",
     "l1_pos.rs",
     "l2_pos.rs",
+    "n1_pos.rs",
     "o1_pos.rs",
     "p1_pos.rs",
+    "p2_pos.rs",
     "s1_pos.rs",
     "u1_pos.rs",
 ];
-const NEGATIVES: [&str; 14] = [
+const NEGATIVES: [&str; 17] = [
     "a1_neg.rs",
     "d1_neg.rs",
     "d2_neg.rs",
     "d3_neg.rs",
     "d3_net_neg.rs",
+    "d4_neg.rs",
     "f1_neg.rs",
     "i1_neg.rs",
     "l1_neg.rs",
     "l2_neg.rs",
     "lexer_edges_neg.rs",
+    "n1_neg.rs",
     "o1_neg.rs",
     "p1_neg.rs",
+    "p2_neg.rs",
     "s1_neg.rs",
     "u1_neg.rs",
 ];
@@ -59,6 +65,7 @@ fn lint_fixture(name: &str, cfg: &Config) -> Vec<Diagnostic> {
     };
     let mut diags = check_file(&target, cfg);
     diags.extend(check_workspace(std::slice::from_ref(&target), cfg));
+    diags.extend(check_values(std::slice::from_ref(&target), cfg));
     diags.extend(check_concurrency(std::slice::from_ref(&target), cfg));
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
@@ -72,12 +79,15 @@ fn positive_fixtures_fire_at_expected_positions() {
         ("d1_pos.rs", "D1", 2, 23),
         ("d2_pos.rs", "D2", 4, 25),
         ("d3_pos.rs", "D3", 4, 18),
+        ("d4_pos.rs", "D4", 5, 15),
         ("f1_pos.rs", "F1", 4, 7),
         ("i1_pos.rs", "I1", 5, 5),
         ("l1_pos.rs", "L1", 11, 20),
         ("l2_pos.rs", "L2", 10, 5),
+        ("n1_pos.rs", "N1", 5, 7),
         ("o1_pos.rs", "O1", 19, 5),
         ("p1_pos.rs", "P1", 4, 7),
+        ("p2_pos.rs", "P2", 14, 9),
         ("s1_pos.rs", "S1", 22, 16),
         ("u1_pos.rs", "U1", 4, 5),
     ];
@@ -335,6 +345,46 @@ fn s1_fixture_reports_macro_and_unvetted_call() {
     assert!(s1[1].message.contains("emit"), "{:?}", s1[1]);
 }
 
+/// The P2 fixture pins both finding shapes — a panicking macro and
+/// unchecked indexing — each carrying the root→…→site witness chain.
+#[test]
+fn p2_fixture_reports_macro_and_indexing_with_witness() {
+    let diags = lint_fixture("p2_pos.rs", &Config::default());
+    let p2: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "P2").collect();
+    assert_eq!(p2.len(), 2, "{diags:?}");
+    assert!(p2[0].message.contains("`assert!`"), "{:?}", p2[0]);
+    assert!(p2[1].message.contains("indexing"), "{:?}", p2[1]);
+    for d in &p2 {
+        assert!(
+            d.message.contains("Shared::settle → Shared::finish_one"),
+            "witness chain missing: {d:?}"
+        );
+    }
+}
+
+/// The N1 finding names the offending function and points at the
+/// checked-math helpers.
+#[test]
+fn n1_fixture_names_function_and_checked_helpers() {
+    let diags = lint_fixture("n1_pos.rs", &Config::default());
+    let n1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "N1").collect();
+    assert_eq!(n1.len(), 1, "{diags:?}");
+    assert!(n1[0].message.contains("stray_ratio"), "{:?}", n1[0]);
+    assert!(n1[0].message.contains("core::float"), "{:?}", n1[0]);
+}
+
+/// The D4 fixture pins both finding shapes: a raw iterator reduction and a
+/// sequential `+=` accumulation loop.
+#[test]
+fn d4_fixture_reports_iterator_and_accumulator_shapes() {
+    let diags = lint_fixture("d4_pos.rs", &Config::default());
+    let d4: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "D4").collect();
+    assert_eq!(d4.len(), 2, "{diags:?}");
+    assert!(d4[0].message.contains("iterator reduction"), "{:?}", d4[0]);
+    assert!(d4[1].message.contains("`+=`"), "{:?}", d4[1]);
+    assert!(d4[0].message.contains("core::lanes"), "{:?}", d4[0]);
+}
+
 #[test]
 fn cli_explain_prints_rule_rationale() {
     let out = sfqlint().args(["--explain", "L1"]).output().unwrap();
@@ -364,6 +414,79 @@ fn cli_github_format_emits_explain_notice() {
         text.contains("::notice title=sfqlint L1::run `sfqlint --explain L1`"),
         "{text}"
     );
+}
+
+/// Incremental cache correctness: a warm `--cache` run serves every
+/// unchanged file from the cache with stdout byte-identical to the cold
+/// run, and an edit invalidates exactly the edited file's entry.
+#[test]
+fn cli_cache_warm_run_is_byte_identical_and_incremental() {
+    let dir = std::env::temp_dir().join("sfqlint-cache-correctness-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).unwrap();
+    // `stray_ratio` fires N1 (covered crate, outside the recovery scope).
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn stray_ratio(a: f64, b: f64) -> f64 {\n    a / b\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("other.rs"),
+        "pub fn double(x: f64) -> f64 {\n    x * 2.0\n}\n",
+    )
+    .unwrap();
+    let cache = dir.join("lint-cache");
+    let run = || {
+        let out = sfqlint()
+            .args(["--workspace", "--format", "json", "--root"])
+            .arg(&dir)
+            .arg("--cache")
+            .arg(&cache)
+            .output()
+            .unwrap();
+        (
+            out.status.code(),
+            out.stdout,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    let (cold_code, cold_stdout, cold_stderr) = run();
+    assert_eq!(cold_code, Some(1), "{cold_stderr}");
+    assert!(
+        cold_stderr.contains("cache 0 hit(s), 2 miss(es), 2 file(s) cached"),
+        "{cold_stderr}"
+    );
+
+    let (warm_code, warm_stdout, warm_stderr) = run();
+    assert_eq!(warm_code, Some(1), "{warm_stderr}");
+    assert!(
+        warm_stderr.contains("cache 2 hit(s), 0 miss(es)"),
+        "{warm_stderr}"
+    );
+    assert_eq!(
+        cold_stdout, warm_stdout,
+        "warm findings must be byte-identical"
+    );
+
+    // Edit one file: only its entry is stale, and the new finding (a raw
+    // float fold, rule D4) appears.
+    std::fs::write(
+        src.join("other.rs"),
+        "pub fn total(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n",
+    )
+    .unwrap();
+    let (edit_code, edit_stdout, edit_stderr) = run();
+    assert_eq!(edit_code, Some(1), "{edit_stderr}");
+    assert!(
+        edit_stderr.contains("cache 1 hit(s), 1 miss(es)"),
+        "{edit_stderr}"
+    );
+    let json = String::from_utf8_lossy(&edit_stdout);
+    assert!(json.contains("\"rule\":\"D4\""), "{json}");
+    assert!(json.contains("\"rule\":\"N1\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

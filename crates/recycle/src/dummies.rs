@@ -92,7 +92,7 @@ pub fn insert_dummies(
     let mut residual_ma = 0.0f64;
     for (plane, &bias) in plane_bias.iter().enumerate() {
         let deficit = b_max - bias;
-        let count = (deficit / quantum).floor() as usize;
+        let count = sfq_partition::float::frac(deficit, quantum, 0.0).floor() as usize;
         dummies_per_plane[plane] = count;
         residual_ma = residual_ma.max(deficit - count as f64 * quantum);
         for d in 0..count {

@@ -81,7 +81,7 @@ impl ElectricalReport {
         let recycled_power_uw = supply.as_milliamps() * supply_voltage_mv;
         let parallel_power_uw = b_cir.as_milliamps() * v_b;
         let power_overhead_fraction = if parallel_power_uw > 0.0 {
-            recycled_power_uw / parallel_power_uw - 1.0
+            sfq_partition::float::frac(recycled_power_uw, parallel_power_uw, 1.0) - 1.0
         } else {
             0.0
         };
@@ -90,9 +90,10 @@ impl ElectricalReport {
         let n = plan.bias_lines_parallel().max(1) as f64;
         // (mA)²·Ω = µW.
         let recycled_lead_heat_uw = supply.as_milliamps().powi(2) * r;
-        let parallel_lead_heat_uw = b_cir.as_milliamps().powi(2) * r / n;
+        let parallel_lead_heat_uw =
+            sfq_partition::float::frac(b_cir.as_milliamps().powi(2) * r, n, 0.0);
         let lead_heat_reduction = if recycled_lead_heat_uw > 0.0 {
-            parallel_lead_heat_uw / recycled_lead_heat_uw
+            sfq_partition::float::frac(parallel_lead_heat_uw, recycled_lead_heat_uw, 1.0)
         } else {
             1.0
         };
@@ -244,7 +245,7 @@ pub fn clock_impact(
     });
 
     let frequency_loss_fraction = if partitioned.min_period_ps > 0.0 {
-        1.0 - base.min_period_ps / partitioned.min_period_ps
+        1.0 - sfq_partition::float::frac(base.min_period_ps, partitioned.min_period_ps, 1.0)
     } else {
         0.0
     };

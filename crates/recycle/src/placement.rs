@@ -87,7 +87,7 @@ impl StripPlacement {
 
     /// The strip (plane) a y-coordinate falls into.
     pub fn strip_of_y(&self, y: f64) -> usize {
-        ((y / self.strip_height_um) as usize).min(self.num_planes - 1)
+        (sfq_partition::float::frac(y, self.strip_height_um, 0.0) as usize).min(self.num_planes - 1)
     }
 
     /// Total half-perimeter wirelength of the problem's connections, µm —
@@ -136,7 +136,9 @@ pub fn place_in_strips(
     }
     let a_max = plane_area.iter().copied().fold(1.0, f64::max);
     let strip_area = a_max * options.whitespace;
-    let chip_width = (strip_area * k as f64).sqrt().max(1.0);
+    let chip_width = sfq_partition::float::checked_sqrt(strip_area * k as f64)
+        .unwrap_or(0.0)
+        .max(1.0);
 
     // Packing order within strips.
     let order: Vec<usize> = match options.order {
@@ -151,7 +153,8 @@ pub fn place_in_strips(
     let mut cursor_row = vec![0usize; k];
     for &i in &order {
         let plane = partition.plane_of(i);
-        let width = problem.area()[i] / options.row_height_um + options.cell_gap_um;
+        let width = sfq_partition::float::frac(problem.area()[i], options.row_height_um, 0.0)
+            + options.cell_gap_um;
         if cursor_x[plane] + width > chip_width && cursor_x[plane] > 0.0 {
             cursor_x[plane] = 0.0;
             cursor_row[plane] += 1;

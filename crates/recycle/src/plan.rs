@@ -196,7 +196,7 @@ impl RecyclingPlan {
                     area: SquareMicrons::new(area[p]),
                     dummy_current: MilliAmps::new(dummy),
                     dummy_area: options.dummy_area_per_ma * dummy,
-                    utilization: if a_max > 0.0 { area[p] / a_max } else { 1.0 },
+                    utilization: sfq_partition::float::frac(area[p], a_max, 1.0),
                 }
             })
             .collect();
@@ -231,15 +231,21 @@ impl RecyclingPlan {
         // serial recycling needs one.
         let limit = options.bias_pad_limit.as_milliamps();
         let bias_lines_parallel = if limit > 0.0 {
-            (problem.total_bias() / limit).ceil().max(1.0) as usize
+            sfq_partition::float::frac(problem.total_bias(), limit, 0.0)
+                .ceil()
+                .max(1.0) as usize
         } else {
             1
         };
 
         let total_area = problem.total_area();
         let chip_area = (a_max * k as f64).max(total_area) * (1.0 + options.whitespace_fraction);
-        let chip_width = chip_area.sqrt();
-        let strip_height = chip_area / chip_width / k as f64;
+        let chip_width = sfq_partition::float::checked_sqrt(chip_area).unwrap_or(0.0);
+        let strip_height = sfq_partition::float::frac(
+            sfq_partition::float::frac(chip_area, chip_width, 0.0),
+            k as f64,
+            0.0,
+        );
         let floorplan = Floorplan {
             chip_width_um: chip_width,
             chip_height_um: strip_height * k as f64,

@@ -178,7 +178,9 @@ fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
     }
     #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    // The clamp makes rank-1 in-bounds for every q (including NaN, which
+    // casts to 0); checked access keeps this panic-free by construction.
+    sorted.get(rank - 1).copied().unwrap_or(0)
 }
 
 /// Runs `jobs` jobs through `client` with at most `inflight` outstanding,
@@ -441,9 +443,14 @@ fn gate_round(enabled: bool, jobs: u64, seed: u64) -> Option<f64> {
 fn median(sorted: &[f64]) -> f64 {
     let mid = sorted.len() / 2;
     if sorted.len() % 2 == 1 {
-        sorted[mid]
+        sorted.get(mid).copied().unwrap_or(0.0)
     } else {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
+        // Checked access also covers the empty slice, where `mid - 1`
+        // would underflow and the old indexing panicked.
+        match (sorted.get(mid.wrapping_sub(1)), sorted.get(mid)) {
+            (Some(a), Some(b)) => (a + b) / 2.0,
+            _ => 0.0,
+        }
     }
 }
 
